@@ -1,0 +1,26 @@
+"""Shared fixtures for the experiment harness.
+
+Every benchmark prints a paper-shaped report table and also writes it to
+``benchmarks/reports/<name>.txt`` so results survive pytest's output
+capture.  EXPERIMENTS.md summarizes paper-claim vs. measured for each.
+"""
+
+import pathlib
+
+import pytest
+
+REPORTS = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report():
+    """report(name, text): print and persist one experiment report."""
+
+    def emit(name: str, text: str) -> str:
+        REPORTS.mkdir(exist_ok=True)
+        path = REPORTS / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+        return text
+
+    return emit

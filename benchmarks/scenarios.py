@@ -1,0 +1,66 @@
+"""Scenario builders shared by the experiment benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.links import LinkModel
+from repro.testbed import Deployment, GridTestbed
+
+
+def overlapping_vos(
+    seed: int = 0,
+    per_side: int = 3,
+) -> Tuple[GridTestbed, Deployment, Deployment, Deployment, Dict[str, List[str]]]:
+    """The Figure 1 scene: two VOs over partially overlapping resources.
+
+    Side 1 and side 2 are network sites.  VO-A's directory lives on
+    side 1 and aggregates resources from both sides.  VO-B's directory
+    is replicated, one replica per side, and also spans both sides.
+    Some resources belong to both VOs.
+    """
+    tb = GridTestbed(seed=seed, default_link=LinkModel(latency=0.005))
+    # dispersed users, one per side (the stick figures of Figure 1)
+    tb.host("user-s1", site="side1")
+    tb.host("user-s2", site="side2")
+    vo_a = tb.add_giis("giis-a", "o=Grid", site="side1", vo_name="VO-A")
+    vo_b1 = tb.add_giis("giis-b1", "o=Grid", site="side1", vo_name="VO-B")
+    vo_b2 = tb.add_giis("giis-b2", "o=Grid", site="side2", vo_name="VO-B")
+
+    members: Dict[str, List[str]] = {"VO-A": [], "VO-B": []}
+    for side in (1, 2):
+        for i in range(per_side):
+            host = f"s{side}r{i}"
+            gris = tb.standard_gris(host, f"hn={host}, o=Grid", site=f"side{side}")
+            # resources alternate: VO-A only, VO-B only, both
+            in_a = i % 3 != 1
+            in_b = i % 3 != 0
+            if in_a:
+                tb.register(gris, vo_a, interval=10.0, ttl=30.0, name=host)
+                members["VO-A"].append(host)
+            if in_b:
+                tb.register(gris, vo_b1, interval=10.0, ttl=30.0, name=host)
+                tb.register(gris, vo_b2, interval=10.0, ttl=30.0, name=host)
+                members["VO-B"].append(host)
+    tb.run(2.0)
+    return tb, vo_a, vo_b1, vo_b2, members
+
+
+def side_hosts(tb: GridTestbed, side: str) -> List[str]:
+    return [h for h in tb.net.hosts() if tb.net.node(h).site == side]
+
+
+def flat_vo(
+    seed: int = 0, n: int = 8, **giis_kwargs
+) -> Tuple[GridTestbed, Deployment, List[Deployment]]:
+    """One GIIS with *n* standard GRIS children."""
+    tb = GridTestbed(seed=seed)
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO", **giis_kwargs)
+    children = []
+    for i in range(n):
+        host = f"r{i}"
+        gris = tb.standard_gris(host, f"hn={host}, o=Grid", load_mean=0.3 + 0.5 * i)
+        tb.register(gris, giis, interval=15.0, ttl=45.0, name=host)
+        children.append(gris)
+    tb.run(1.0)
+    return tb, giis, children

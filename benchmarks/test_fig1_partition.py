@@ -1,0 +1,99 @@
+"""F1 — Figure 1: distributed VOs survive network partition.
+
+Paper claim: "While VO-B is split by network failure, it should operate
+as two disjoint fragments."  Users on each side keep discovering the
+resources reachable on their side; after the partition heals, full
+views return.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from scenarios import overlapping_vos
+
+from repro.testbed.metrics import fmt_table
+
+
+def visible_hosts(tb, user_host, directory):
+    client = tb.client(user_host, directory)
+    out = client.search("o=Grid", filter="(objectclass=computer)", check=False)
+    return sorted(e.first("hn") for e in out.entries)
+
+
+def run_partition_experiment(seed=0):
+    tb, vo_a, vo_b1, vo_b2, members = overlapping_vos(seed=seed)
+    rows = []
+
+    def observe(phase, user, directory, expect_side=None):
+        hosts = visible_hosts(tb, user, directory)
+        rows.append((phase, user, directory.host, len(hosts), " ".join(hosts)))
+        return hosts
+
+    # -- before the partition: full views everywhere
+    before_b1 = observe("before", "user-s1", vo_b1)
+    before_b2 = observe("before", "user-s2", vo_b2)
+    assert before_b1 == sorted(members["VO-B"])
+    assert before_b2 == sorted(members["VO-B"])
+
+    # -- partition the two sides (Figure 1's lightning bolt)
+    side1 = [h for h in tb.net.hosts() if tb.net.node(h).site == "side1"]
+    side2 = [h for h in tb.net.hosts() if tb.net.node(h).site == "side2"]
+    tb.net.partition(side1, side2)
+    tb.run(60.0)  # soft state purges unreachable registrations (ttl 30)
+
+    during_b1 = observe("during", "user-s1", vo_b1)
+    during_b2 = observe("during", "user-s2", vo_b2)
+    during_a = observe("during", "user-s1", vo_a)
+
+    # both fragments keep operating, each with its side's members
+    b_members = set(members["VO-B"])
+    assert during_b1 and set(during_b1) == {h for h in b_members if h.startswith("s1")}
+    assert during_b2 and set(during_b2) == {h for h in b_members if h.startswith("s2")}
+    # VO-A's directory (on side 1) serves side-1 members: partial info (§2.2)
+    assert during_a == sorted(h for h in members["VO-A"] if h.startswith("s1"))
+
+    # -- heal: views reconverge once registrations flow again
+    tb.net.heal()
+    tb.run(30.0)
+    after_b1 = observe("after", "user-s1", vo_b1)
+    after_b2 = observe("after", "user-s2", vo_b2)
+    after_a = observe("after", "user-s1", vo_a)
+    assert after_b1 == sorted(members["VO-B"])
+    assert after_b2 == sorted(members["VO-B"])
+    assert after_a == sorted(members["VO-A"])
+    return rows
+
+
+def test_fig1_partitioned_vo_operates_as_fragments(benchmark, report):
+    rows = benchmark.pedantic(run_partition_experiment, rounds=1, iterations=1)
+    report(
+        "F1_partition",
+        "Figure 1: VO views before / during / after a network partition\n"
+        + fmt_table(
+            ["phase", "user", "directory", "visible", "hosts"],
+            rows,
+        )
+        + "\n\nClaim check: during the partition VO-B operates as two disjoint\n"
+        "fragments (each side still answers with its reachable members),\n"
+        "and views reconverge after the heal.",
+    )
+
+
+def test_fig1_fragments_are_disjoint(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    tb, vo_a, vo_b1, vo_b2, members = overlapping_vos(seed=7)
+    side1 = [h for h in tb.net.hosts() if tb.net.node(h).site == "side1"]
+    side2 = [h for h in tb.net.hosts() if tb.net.node(h).site == "side2"]
+    tb.net.partition(side1, side2)
+    tb.run(60.0)
+    b1 = set(visible_hosts(tb, "user-s1", vo_b1))
+    b2 = set(visible_hosts(tb, "user-s2", vo_b2))
+    assert b1 and b2
+    assert not (b1 & b2), "fragments must be disjoint during the partition"
+    report(
+        "F1_disjoint",
+        f"VO-B fragment on side 1 sees: {sorted(b1)}\n"
+        f"VO-B fragment on side 2 sees: {sorted(b2)}\n"
+        f"intersection: {sorted(b1 & b2)} (empty = disjoint fragments)",
+    )

@@ -1,0 +1,113 @@
+"""F2 — Figure 2: the architecture's three interactions.
+
+Figure 2 shows users (a) querying aggregate directories to *discover*
+entities (GRIP to the GIIS), (b) *looking up* individual entities
+directly at their information providers (GRIP to a GRIS), while
+(c) providers *register* with directories (GRRP).  This harness runs
+all three flows on one VO and reports the virtual latency and message
+cost of each, confirming the intended cost structure: discovery pays a
+directory round-trip plus fan-out; direct lookup is a single
+round-trip; registration is cheap background traffic.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from scenarios import flat_vo
+
+from repro.ldap.dit import Scope
+from repro.testbed.metrics import Series, fmt_table
+
+
+def run_architecture_flows(n=6, queries=20):
+    tb, giis, children = flat_vo(seed=2, n=n)
+    user = "user"
+    discovery = Series("discovery")
+    lookup = Series("lookup")
+    discovery_msgs = Series("dmsgs")
+    lookup_msgs = Series("lmsgs")
+
+    client = tb.client(user, giis)
+    direct = {c.host: tb.client(user, c) for c in children}
+
+    for i in range(queries):
+        target = children[i % n].host
+        # (a) discovery through the aggregate directory
+        m0, t0 = tb.net.stats.messages, tb.sim.now()
+        out = client.search(
+            "o=Grid", Scope.SUBTREE, f"(&(objectclass=computer)(hn={target}))"
+        )
+        discovery.add(tb.sim.now() - t0)
+        discovery_msgs.add(tb.net.stats.messages - m0)
+        assert len(out) == 1
+
+        # (b) direct lookup at the provider named by the discovery
+        m0, t0 = tb.net.stats.messages, tb.sim.now()
+        got = direct[target].search(
+            f"hn={target}, o=Grid", Scope.BASE, "(objectclass=*)"
+        )
+        lookup.add(tb.sim.now() - t0)
+        lookup_msgs.add(tb.net.stats.messages - m0)
+        assert len(got) == 1
+
+    # (c) registration traffic rate: run quietly and count GRRP adds
+    m0, t0 = tb.net.stats.messages, tb.sim.now()
+    tb.run(60.0)
+    reg_msgs_per_min = tb.net.stats.messages - m0
+    return discovery, lookup, discovery_msgs, lookup_msgs, reg_msgs_per_min, n
+
+
+def test_fig2_flows(benchmark, report):
+    (
+        discovery,
+        lookup,
+        dmsgs,
+        lmsgs,
+        reg_rate,
+        n,
+    ) = benchmark.pedantic(run_architecture_flows, rounds=1, iterations=1)
+    # discovery fans out to providers: costs more than a direct lookup
+    assert discovery.mean > lookup.mean
+    assert dmsgs.mean > lmsgs.mean
+    rows = [
+        ("discovery via GIIS (GRIP)", discovery.mean * 1000, dmsgs.mean),
+        ("direct lookup at GRIS (GRIP)", lookup.mean * 1000, lmsgs.mean),
+        ("registration (GRRP, msgs/min/VO)", "-", reg_rate),
+    ]
+    report(
+        "F2_architecture",
+        f"Figure 2 interaction costs ({n} providers in the VO)\n"
+        + fmt_table(["interaction", "latency (ms, virtual)", "messages"], rows)
+        + "\n\nClaim check: discovery pays the directory fan-out; refined\n"
+        "lookups go straight to the authoritative provider for one RTT;\n"
+        "GRRP registration is cheap, steady background traffic.",
+    )
+
+
+def test_fig2_discovery_then_lookup_pattern(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """§4.1's broker pattern: search roughly, then refine by enquiry."""
+    tb, giis, children = flat_vo(seed=3, n=5)
+    client = tb.client("broker", giis)
+    rough = client.search(
+        "o=Grid", Scope.SUBTREE, "(&(objectclass=computer)(cpucount>=4))"
+    )
+    assert len(rough) == 5
+    # refine: direct enquiry for current load at each discovered host
+    loads = {}
+    for entry in rough:
+        host = entry.first("hn")
+        direct = tb.client("broker", next(c for c in children if c.host == host))
+        got = direct.search(
+            f"hn={host}, o=Grid", Scope.SUBTREE, "(objectclass=loadaverage)"
+        )
+        loads[host] = float(got.entries[0].first("load5"))
+    assert len(loads) == 5
+    best = min(loads, key=loads.get)
+    report(
+        "F2_discovery_refine",
+        "discovery -> enquiry refinement (broker pattern, §4.1)\n"
+        + "\n".join(f"  {h}: load5={v:.2f}" for h, v in sorted(loads.items()))
+        + f"\n  selected: {best}",
+    )

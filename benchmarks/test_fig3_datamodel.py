@@ -1,0 +1,175 @@
+"""F3 — Figure 3: the LDAP data model, exercised and timed.
+
+Figure 3 presents the hostX subtree: a hierarchically named set of
+typed objects (computer, queue service, load average, filesystem).
+This harness (a) reproduces the exact subtree and verifies every claim
+the figure encodes — naming hierarchy, object class typing, attribute
+bindings, schema validity — and (b) wall-clock-benchmarks the substrate
+operations every GRIP exchange relies on: filter evaluation, scoped DIT
+search, and message encode/decode.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import pytest
+
+from repro.ldap import DIT, DN, Entry, GRID_SCHEMA, Scope, parse_filter
+from repro.ldap.protocol import (
+    LdapMessage,
+    SearchRequest,
+    SearchResultEntry,
+    decode_message,
+    encode_message,
+)
+from repro.testbed.metrics import fmt_table
+
+
+def figure3_subtree():
+    return [
+        Entry("hn=hostX", objectclass="computer", hn="hostX", system="mips irix"),
+        Entry(
+            "queue=default, hn=hostX",
+            objectclass=["service", "queue"],
+            queue="default",
+            url="gram://hostX/default",
+            dispatchtype="immediate",
+        ),
+        Entry(
+            "perf=load5, hn=hostX",
+            objectclass=["perf", "loadaverage"],
+            perf="load5",
+            period=10,
+            load5="3.2",
+        ),
+        Entry(
+            "store=scratch, hn=hostX",
+            objectclass=["storage", "filesystem"],
+            store="scratch",
+            free="33515 MB",
+            path="/disks/scratch1",
+        ),
+    ]
+
+
+def test_fig3_model_claims(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    entries = figure3_subtree()
+    dit = DIT()
+    dit.load(entries)
+
+    # hierarchical namespace: three children under the host
+    kids = dit.children("hn=hostX")
+    assert len(kids) == 3
+    assert all(k.parent() == DN.parse("hn=hostX") for k in kids)
+
+    # typed objects: each entry tagged with named types
+    types = {str(e.dn): e.object_classes for e in entries}
+    assert types["queue=default, hn=hostX"] == ["service", "queue"]
+
+    # value bindings according to type, all schema-valid
+    for e in entries:
+        GRID_SCHEMA.validate(e)
+
+    # the queries Figure 3's data supports
+    assert len(dit.search(DN.root(), Scope.SUBTREE, parse_filter("(load5>=2)"))) == 1
+    assert (
+        len(dit.search(DN.root(), Scope.SUBTREE, parse_filter("(free>=30000 MB)")))
+        == 1
+    )
+    report(
+        "F3_datamodel",
+        "Figure 3 subtree reproduced: 4 entries, hierarchy + typing verified\n"
+        + fmt_table(
+            ["dn", "objectclasses"],
+            [(dn, " ".join(t)) for dn, t in sorted(types.items())],
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def loaded_dit():
+    dit = DIT()
+    for i in range(200):
+        host = f"host{i:03d}"
+        dit.add(
+            Entry(
+                f"hn={host}",
+                objectclass="computer",
+                hn=host,
+                system="linux" if i % 2 else "mips irix",
+                cpucount=1 << (i % 5),
+            )
+        )
+        dit.add(
+            Entry(
+                f"perf=load5, hn={host}",
+                objectclass=["perf", "loadaverage"],
+                perf="load5",
+                period=10,
+                load5=f"{(i % 80) / 10:.1f}",
+            )
+        )
+    return dit
+
+
+FILTER = parse_filter("(&(objectclass=computer)(|(system=*irix*)(cpucount>=8)))")
+
+
+def test_bench_filter_evaluation(benchmark, loaded_dit):
+    entries = loaded_dit.search(DN.root(), Scope.SUBTREE)
+
+    def run():
+        return sum(1 for e in entries if FILTER.matches(e))
+
+    expected = sum(
+        1
+        for e in entries
+        if e.is_a("computer")
+        and ("irix" in e.first("system", "") or float(e.first("cpucount", "0")) >= 8)
+    )
+    matched = benchmark(run)
+    assert matched == expected > 0
+
+
+def test_bench_subtree_search(benchmark, loaded_dit):
+    def run():
+        return loaded_dit.search(
+            DN.root(), Scope.SUBTREE, parse_filter("(load5<=2.0)")
+        )
+
+    out = benchmark(run)
+    assert len(out) == 63  # hosts with (i % 80) / 10 <= 2.0
+
+
+def test_bench_message_roundtrip(benchmark):
+    entry = figure3_subtree()[0]
+    msg = LdapMessage(7, SearchResultEntry.from_entry(entry))
+
+    def run():
+        return decode_message(encode_message(msg))
+
+    back = benchmark(run)
+    assert back == msg
+
+
+def test_bench_search_request_codec(benchmark):
+    req = SearchRequest(
+        base="o=Grid",
+        scope=Scope.SUBTREE,
+        filter=parse_filter("(&(objectclass=computer)(load5<=2.0)(system=*linux*))"),
+        attributes=("hn", "cpucount"),
+    )
+    msg = LdapMessage(3, req)
+
+    def run():
+        return decode_message(encode_message(msg))
+
+    assert benchmark(run) == msg
+
+
+def test_bench_filter_parse(benchmark):
+    text = "(&(objectclass=computer)(|(system=*linux*)(system=*irix*))(!(load5>=4))(cpucount>=2))"
+    f = benchmark(parse_filter, text)
+    assert str(parse_filter(str(f))) == str(f)

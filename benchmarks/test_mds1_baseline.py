@@ -1,0 +1,177 @@
+"""E9 — §11.1: MDS-1-style centralized directory vs MDS-2 distribution.
+
+"The strategy of collecting all information into a database inevitably
+limited scalability and reliability."  Compared on the same workload:
+
+* **freshness** — the central store's answers age up to the push
+  interval; MDS-2 chaining reads through to providers whose staleness
+  is bounded by their (short) local cache TTL;
+* **background traffic** — pushing streams all attributes of all
+  resources whether or not anyone queries; MDS-2 moves bulk data only
+  on demand (plus tiny GRRP heartbeats);
+* **reliability** — the central store is a single point of failure,
+  while MDS-2 queries degrade to partial results (§2.2).
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from repro.baselines import CentralDirectory, Mds1Pusher
+from repro.gris import DynamicHostProvider, HostConfig, SimulatedLoadSensor, StaticHostProvider
+from repro.ldap.client import LdapClient
+from repro.ldap.url import LdapUrl
+from repro.testbed import GridTestbed
+from repro.testbed.metrics import Series, fmt_table
+
+import random
+
+N_RESOURCES = 5
+PUSH_INTERVAL = 60.0
+GRIS_TTL = 5.0
+OBSERVE = 600.0
+QUERY_EVERY = 20.0
+
+
+def build_both(seed=0):
+    """The same resources served both ways: pushed centrally and via GIIS."""
+    tb = GridTestbed(seed=seed)
+    central = CentralDirectory(tb.sim)
+    tb.host("central").listen(389, central.server.handle_connection)
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO")
+    pushers = []
+    for i in range(N_RESOURCES):
+        host = f"r{i}"
+        gris = tb.standard_gris(
+            host, f"hn={host}, o=Grid", load_mean=1.0, load_ttl=GRIS_TTL
+        )
+        tb.register(gris, giis, interval=15.0, ttl=45.0, name=host)
+        # the SAME provider objects feed an MDS-1 pusher
+        conn = gris.node.connect(("central", 389))
+        pusher = Mds1Pusher(
+            tb.sim,
+            LdapClient(conn),
+            f"hn={host}, o=Grid",
+            gris.backend.providers(),
+            interval=PUSH_INTERVAL,
+        )
+        pusher.start()
+        pushers.append(pusher)
+    tb.run(1.0)
+    return tb, central, giis, pushers
+
+
+def run_comparison(seed=0):
+    tb, central, giis, pushers = build_both(seed)
+    central_client = tb.client("user", LdapUrl("central", 389))
+    giis_client = tb.client("user", giis)
+    central_staleness, giis_staleness = Series(), Series()
+    m_quiet_start = tb.net.stats.messages
+
+    next_query = QUERY_EVERY
+    while tb.sim.now() < OBSERVE:
+        tb.run(next_query - tb.sim.now())
+        for client, series in (
+            (central_client, central_staleness),
+            (giis_client, giis_staleness),
+        ):
+            out = client.search(
+                "o=Grid", filter="(objectclass=loadaverage)", check=False
+            )
+            for entry in out.entries:
+                ts = entry.timestamp()
+                if ts is not None:
+                    series.add(tb.sim.now() - ts)
+        next_query += QUERY_EVERY
+
+    total_msgs = tb.net.stats.messages - m_quiet_start
+    push_msgs = sum(p.entries_pushed for p in pushers)
+    return central_staleness, giis_staleness, total_msgs, push_msgs, tb, central, giis
+
+
+def test_freshness_and_traffic(benchmark, report):
+    (
+        central_staleness,
+        giis_staleness,
+        total_msgs,
+        push_msgs,
+        tb,
+        central,
+        giis,
+    ) = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = [
+        (
+            "MDS-1 central push",
+            round(central_staleness.mean, 1),
+            round(central_staleness.maximum, 1),
+            push_msgs,
+        ),
+        (
+            "MDS-2 GIIS chaining",
+            round(giis_staleness.mean, 1),
+            round(giis_staleness.maximum, 1),
+            "on demand",
+        ),
+    ]
+    report(
+        "E9_mds1_freshness",
+        f"Freshness under identical load dynamics ({N_RESOURCES} resources,\n"
+        f"push every {PUSH_INTERVAL:.0f}s vs provider cache TTL {GRIS_TTL:.0f}s, "
+        f"queried every {QUERY_EVERY:.0f}s for {OBSERVE:.0f}s)\n"
+        + fmt_table(
+            ["architecture", "mean staleness (s)", "max staleness (s)", "pushed entries"],
+            rows,
+        )
+        + "\n\nClaim check (§11.1): the central copy ages toward the push\n"
+        "interval; reading through the distributed providers keeps\n"
+        "staleness bounded by the short local TTL.",
+    )
+    assert giis_staleness.mean < central_staleness.mean / 3
+    assert central_staleness.maximum > PUSH_INTERVAL * 0.5
+    assert giis_staleness.maximum <= GRIS_TTL + 1.0
+
+
+def test_single_point_of_failure(benchmark, report):
+    def run():
+        tb, central, giis, pushers = build_both(seed=3)
+        central_client = tb.client("user", LdapUrl("central", 389))
+        giis_client = tb.client("user", giis)
+        # one resource crashes: MDS-2 degrades to partial results
+        for key, dep in list(tb.deployments.items()):
+            if dep.host == "r0":
+                dep.node.crash()
+        tb.run(60.0)
+        partial = giis_client.search(
+            "o=Grid", filter="(objectclass=computer)", check=False
+        )
+        # the central server crashes: the MDS-1 world goes dark
+        tb.net.node("central").crash()
+        central_ok = True
+        try:
+            fresh = tb.client("user2", LdapUrl("central", 389))
+            fresh.search("o=Grid", check=False)
+        except Exception:  # noqa: BLE001
+            central_ok = False
+        after = giis_client.search(
+            "o=Grid", filter="(objectclass=computer)", check=False
+        )
+        return len(partial.entries), central_ok, len(after.entries)
+
+    partial_count, central_ok, after_count = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert partial_count == N_RESOURCES - 1  # partial info, not failure (§2.2)
+    assert not central_ok  # central architecture: total discovery outage
+    assert after_count == N_RESOURCES - 1  # MDS-2 unaffected by that crash
+    report(
+        "E9_failure_modes",
+        fmt_table(
+            ["event", "MDS-1 central", "MDS-2 distributed"],
+            [
+                ("one resource down", "stale copy lingers", f"{partial_count}/{N_RESOURCES} served"),
+                ("directory host down", "discovery outage", f"{after_count}/{N_RESOURCES} served"),
+            ],
+        )
+        + "\n'The failure of any one component should not prevent obtaining\n"
+        "information about other components' (§2.2).",
+    )

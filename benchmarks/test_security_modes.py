@@ -1,0 +1,223 @@
+"""E11 — §7: the four provider/directory security postures + signed GRRP.
+
+The paper enumerates four information-provider policies; the harness
+runs the same query population against each and reports exactly what an
+anonymous user, a VO member, and a privileged user can see.  It also
+exercises both GRRP authenticity mechanisms (§7: secure channel
+identity vs. per-message signatures) and wall-clocks the crypto
+operations.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import random
+
+from repro.grip.messages import GrrpMessage
+from repro.ldap.backend import DitBackend, RequestContext
+from repro.ldap.dit import DIT
+from repro.ldap.entry import Entry
+from repro.ldap.server import LdapServer
+from repro.net.sim import Simulator
+from repro.net.simnet import SimNetwork
+from repro.ldap.client import LdapClient
+from repro.security import (
+    ANONYMOUS,
+    CertificateAuthority,
+    GsiAuthenticator,
+    TrustStore,
+    attribute_restricted_policy,
+    authenticated_policy,
+    existence_only_policy,
+    make_token,
+    open_policy,
+    sign_message,
+    verify_message,
+)
+from repro.testbed.metrics import fmt_table
+
+RNG = random.Random(2024)
+BITS = 256
+CA = CertificateAuthority("CN=GridCA", rng=RNG, bits=BITS)
+ALICE = CA.issue("CN=alice", rng=RNG, bits=BITS)  # privileged VO member
+ROGUE_CA = CertificateAuthority("CN=RogueCA", rng=RNG, bits=BITS)
+MALLORY = ROGUE_CA.issue("CN=alice", rng=RNG, bits=BITS)
+TRUST = TrustStore([CA.certificate])
+
+
+def host_entries():
+    return [
+        Entry(
+            "hn=hostX, o=Grid",
+            objectclass="computer",
+            hn="hostX",
+            system="linux redhat 6.2",
+            load5="0.7",
+        ),
+        Entry(
+            "hn=hostY, o=Grid",
+            objectclass="computer",
+            hn="hostY",
+            system="mips irix",
+            load5="3.4",
+        ),
+    ]
+
+
+def serve(policy):
+    sim = Simulator(seed=0)
+    net = SimNetwork(sim)
+    server_node = net.add_node("server")
+    user_node = net.add_node("user")
+    dit = DIT()
+    for e in host_entries():
+        dit.add(e)
+    auth = GsiAuthenticator(TRUST, "ldap://server:389")
+    server = LdapServer(
+        DitBackend(dit), authenticator=auth, policy=policy, clock=sim
+    )
+    server_node.listen(389, server.handle_connection)
+
+    def client(credential=None):
+        c = LdapClient(user_node.connect(("server", 389)), driver=sim.step)
+        if credential is not None:
+            token = make_token(credential, "ldap://server:389", now=sim.now())
+            c.bind(mechanism="GSI", credentials=token)
+        return c
+
+    return sim, client
+
+
+def describe(search_result):
+    if not search_result.entries:
+        return "nothing"
+    attrs = sorted({a.lower() for e in search_result.entries for a in e.attribute_names()})
+    return f"{len(search_result.entries)} entries: {','.join(attrs)}"
+
+
+def run_four_modes():
+    """For each §7 mode: what does each principal see, and can load5
+    be used as a search predicate?"""
+    modes = [
+        (
+            "1 trusted directory / VO-common policy",
+            authenticated_policy(),
+        ),
+        (
+            "2 attribute-restricted (OS public, load private)",
+            attribute_restricted_policy(
+                public_attrs=["objectclass", "hn", "system"],
+                restricted_attrs=["load5"],
+                allowed_identities=["CN=alice"],
+            ),
+        ),
+        ("3 existence only", existence_only_policy()),
+        ("4 no restriction (anonymous ok)", open_policy()),
+    ]
+    rows = []
+    for label, policy in modes:
+        sim, client = serve(policy)
+        anon = client()
+        member = client(ALICE)
+        anon_all = anon.search("o=Grid", filter="(objectclass=*)", check=False)
+        anon_load = anon.search("o=Grid", filter="(load5<=99)", check=False)
+        member_all = member.search("o=Grid", filter="(objectclass=*)", check=False)
+        rows.append(
+            (
+                label,
+                describe(anon_all),
+                len(anon_load.entries),
+                describe(member_all),
+            )
+        )
+    return rows
+
+
+def test_four_security_modes(benchmark, report):
+    rows = benchmark.pedantic(run_four_modes, rounds=1, iterations=1)
+    report(
+        "E11_security_modes",
+        "The four §7 provider policies, as seen over the wire\n"
+        + fmt_table(
+            ["mode", "anonymous sees", "anon (load5<=99) hits", "CN=alice sees"],
+            rows,
+        )
+        + "\n\nClaim check: mode 2's load average is neither returned to nor\n"
+        "searchable by anonymous users ('a query for machines running\n"
+        "RedHat Linux 6.2 with a load of less than 1.0' needs the second,\n"
+        "authenticated round); mode 3 only enumerates; mode 4 needs no auth.",
+    )
+    by_mode = {r[0][:1]: r for r in rows}
+    assert by_mode["1"][1] == "nothing"
+    assert "load5" not in by_mode["2"][1] and by_mode["2"][2] == 0
+    assert "load5" in by_mode["2"][3]
+    assert by_mode["3"][1].endswith("objectclass")
+    assert by_mode["4"][1] == by_mode["4"][3]
+
+
+def test_signed_grrp_registrations(benchmark, report):
+    """§7: 'we can cryptographically sign each GRRP message with the
+    credentials of the registering entity' — and the receiving
+    directory can apply access control on the verified identity."""
+
+    def run():
+        message = GrrpMessage(
+            service_url="ldap://gris1:2135/",
+            timestamp=10.0,
+            valid_until=40.0,
+            metadata={"vo": "VO-A"},
+        )
+        signed = sign_message(ALICE, message.to_bytes())
+        identity, payload = verify_message(signed, TRUST, now=12.0)
+        ok = GrrpMessage.from_bytes(payload) == message and identity == "CN=alice"
+
+        forged = sign_message(MALLORY, message.to_bytes())
+        rejected = False
+        try:
+            verify_message(forged, TRUST, now=12.0)
+        except Exception:  # noqa: BLE001
+            rejected = True
+
+        tampered = bytearray(signed)
+        idx = tampered.find(b"gris1")
+        tampered[idx : idx + 5] = b"evil1"
+        tamper_rejected = False
+        try:
+            verify_message(bytes(tampered), TRUST, now=12.0)
+        except Exception:  # noqa: BLE001
+            tamper_rejected = True
+        return ok, rejected, tamper_rejected, len(signed), len(message.to_bytes())
+
+    ok, rejected, tamper_rejected, signed_size, plain_size = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert ok and rejected and tamper_rejected
+    report(
+        "E11_signed_grrp",
+        fmt_table(
+            ["case", "outcome"],
+            [
+                ("valid signature from trusted CA", "accepted as CN=alice"),
+                ("same name, rogue CA", "rejected"),
+                ("payload tampered in flight", "rejected"),
+                ("envelope overhead", f"{plain_size} -> {signed_size} bytes"),
+            ],
+        ),
+    )
+
+
+def test_bench_token_verify(benchmark):
+    token = make_token(ALICE, "svc", now=100.0)
+    result = benchmark(
+        lambda: __import__("repro.security", fromlist=["verify_token"]).verify_token(
+            token, TRUST, "svc", now=101.0
+        )
+    )
+    assert result == "CN=alice"
+
+
+def test_bench_sign_message(benchmark):
+    payload = b"x" * 256
+    signed = benchmark(sign_message, ALICE, payload)
+    assert verify_message(signed, TRUST, now=1.0)[1] == payload

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Hierarchical discovery + specialized directories (paper Fig. 5, §5).
+
+Builds the Figure 5 topology — two resource centers and one individual
+contributing resources to a VO, with center directories registered to
+the VO directory — then layers two specialized aggregate directories on
+top of the same GRRP/GRIP machinery:
+
+* a relational directory answering the paper's §5.3 join
+  ("an idle computer connected to an idle network"), and
+* a Condor-style matchmaker ranking machines for a job ClassAd.
+
+    python examples/hierarchical_vo.py
+"""
+
+from repro.giis import ClassAd, MatchmakerDirectory, RelationalDirectory
+from repro.gris import FunctionProvider
+from repro.ldap.dn import DN
+from repro.ldap.entry import Entry
+from repro.testbed import GridTestbed
+
+# (org, host, cpus, load, bandwidth to the VO hub)
+RESOURCES = [
+    ("O1", "o1-r1", 8, 0.3, 180.0),
+    ("O1", "o1-r2", 4, 2.5, 200.0),
+    ("O1", "o1-r3", 16, 0.4, 40.0),
+    ("O2", "o2-r1", 8, 0.6, 150.0),
+    ("O2", "o2-r2", 2, 5.0, 160.0),
+]
+
+
+def main() -> None:
+    tb = GridTestbed(seed=5)
+
+    vo = tb.add_giis("vo-dir", "o=Grid", vo_name="PhysicsVO")
+    relational = RelationalDirectory()
+    matchmaker = MatchmakerDirectory()
+    vo.backend.add_index(relational)
+    vo.backend.add_index(matchmaker)
+
+    centers = {
+        "O1": tb.add_giis("center-o1", "o=O1, o=Grid", vo_name="Center-O1"),
+        "O2": tb.add_giis("center-o2", "o=O2, o=Grid", vo_name="Center-O2"),
+    }
+    for center in centers.values():
+        tb.register(center, vo, interval=20.0, ttl=60.0, name=center.host)
+
+    for org, host, cpus, load, bw in RESOURCES:
+        gris = tb.standard_gris(
+            host, f"hn={host}, o={org}, o=Grid", cpu_count=cpus, load_mean=load
+        )
+        gris.sensor.load1 = gris.sensor.load5 = gris.sensor.load15 = load
+        gris.backend.add_provider(
+            FunctionProvider(
+                f"link-{host}",
+                lambda host=host, bw=bw: [
+                    Entry(
+                        DN.parse(f"link={host}:hub, nw=links"),
+                        objectclass="networklink",
+                        src=host,
+                        dst="hub",
+                        bandwidth=f"{bw:.1f}",
+                    )
+                ],
+            )
+        )
+        # Figure 5: resources register with their center; the centers
+        # register with the VO directory (done above).
+        tb.register(gris, centers[org], interval=20.0, ttl=60.0, name=host)
+    tb.run(3.0)
+
+    client = tb.client("physicist", vo)
+
+    print("== hierarchical GRIP discovery ==")
+    out = client.search("o=Grid", filter="(objectclass=computer)")
+    print(f"root search ('without concern for scope'): {len(out.entries)} machines")
+    out = client.search("o=O2, o=Grid", filter="(objectclass=computer)")
+    print(f"scoped to O2:                               {len(out.entries)} machines")
+    out = client.search("o=Grid", filter="(&(objectclass=computer)(cpucount>=8))")
+    print(f"qualitative (cpus >= 8):                    {len(out.entries)} machines\n")
+
+    print("== relational directory: the §5.3 join ==")
+    table = relational.idle_computers_on_idle_networks(max_load=1.0, min_bandwidth=100.0)
+    print("idle computers on idle networks (load5<=1.0, bw>=100):")
+    for row in table.order_by("networklink.bandwidth", reverse=True):
+        print(
+            f"   {row['hn']:>6}: load5={row['load.load5']}, "
+            f"bw={row['networklink.bandwidth']} MB/s"
+        )
+
+    print("\n== matchmaker directory: ClassAd ranking ==")
+    job = ClassAd(
+        requirements="target.cpucount >= 4 && target.load5 <= 1.0",
+        rank="target.cpucount - target.load5",
+        name="montecarlo-job",
+    )
+    print(f"job requirements: {job.requirements}")
+    for ad, rank in matchmaker.match(job):
+        print(
+            f"   rank {rank:5.1f}: {ad.value('hn')} "
+            f"({ad.value('cpucount'):.0f} cpus, load5={ad.value('load5'):.1f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim so editable installs work offline (no `wheel` package available).
+
+`pip install -e .` on this box falls back to the legacy setup.py develop
+path; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — reproduction of "Grid Information Services for Distributed
+Resource Sharing" (Czajkowski, Fitzgerald, Foster, Kesselman; HPDC 2001).
+
+The package implements the MDS-2 architecture from scratch:
+
+* :mod:`repro.ldap` — the LDAP data model, filter query language, BER wire
+  protocol, DIT store, client and extensible server (GRIP's substrate);
+* :mod:`repro.net` — a deterministic discrete-event network simulator and a
+  real TCP transport behind one interface;
+* :mod:`repro.security` — a GSI stand-in (RSA, certificates, ACLs);
+* :mod:`repro.grip` — the paper's protocols: GRRP soft-state registration
+  and the failure detector built on it;
+* :mod:`repro.gris` — the information-provider framework (GRIS);
+* :mod:`repro.giis` — aggregate directories (GIIS), hierarchical,
+  name-serving, relational, and matchmaker variants;
+* :mod:`repro.services` — higher-level services (broker, replica selection,
+  monitoring, troubleshooting, adaptation, naming);
+* :mod:`repro.baselines` — MDS-1-style central directory and
+  multicast-discovery baselines;
+* :mod:`repro.testbed` — VO/workload builders used by the experiments.
+"""
+
+__version__ = "1.0.0"

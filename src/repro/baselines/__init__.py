@@ -1,0 +1,26 @@
+"""Comparison baselines from the paper's related-work section (§11).
+
+MDS-1-style centralized push directory, multicast-scoped discovery
+(SLP/SDS/Jini style), and Bloom-filter lossy aggregation (SDS).
+"""
+
+from .bloom import BloomFilter, EntrySummary, SummaryIndex
+from .mds1 import CentralDirectory, Mds1Pusher
+from .multicast import (
+    DISCOVERY_GROUP,
+    DISCOVERY_PORT,
+    MulticastDiscoveryClient,
+    MulticastResponder,
+)
+
+__all__ = [
+    "BloomFilter",
+    "EntrySummary",
+    "SummaryIndex",
+    "CentralDirectory",
+    "Mds1Pusher",
+    "MulticastDiscoveryClient",
+    "MulticastResponder",
+    "DISCOVERY_GROUP",
+    "DISCOVERY_PORT",
+]

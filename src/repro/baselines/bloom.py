@@ -1,0 +1,144 @@
+"""Bloom-filter lossy aggregation (paper §5.1, the SDS technique [9]).
+
+"Such aggregate directories could also use lossy aggregation
+techniques, as in the Service Discovery Service, which hashes
+descriptions and summarizes hashes via Bloom filtering."
+
+A directory summarizes each child's entries as a Bloom filter over
+``attr=value`` tokens; a query's equality terms are tested against each
+child's filter to prune which children to contact.  False positives
+cost a wasted query; false negatives never happen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from ..ldap.entry import Entry
+from ..ldap.filter import And, Equality, Filter
+
+__all__ = ["BloomFilter", "EntrySummary", "SummaryIndex"]
+
+
+class BloomFilter:
+    """A classic Bloom filter over byte strings."""
+
+    def __init__(self, bits: int = 1024, hashes: int = 4):
+        if bits < 8 or hashes < 1:
+            raise ValueError("need at least 8 bits and 1 hash")
+        self.bits = bits
+        self.hashes = hashes
+        self._array = bytearray((bits + 7) // 8)
+        self.count = 0
+
+    def _positions(self, item: bytes) -> Iterable[int]:
+        for salt in range(self.hashes):
+            digest = hashlib.sha256(bytes([salt]) + item).digest()
+            yield int.from_bytes(digest[:8], "big") % self.bits
+
+    def add(self, item: bytes) -> None:
+        for pos in self._positions(item):
+            self._array[pos // 8] |= 1 << (pos % 8)
+        self.count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(
+            self._array[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item)
+        )
+
+    def false_positive_rate(self) -> float:
+        """The analytic FP estimate for the current fill."""
+        if self.count == 0:
+            return 0.0
+        return (1.0 - math.exp(-self.hashes * self.count / self.bits)) ** self.hashes
+
+    def merge(self, other: "BloomFilter") -> None:
+        if other.bits != self.bits or other.hashes != self.hashes:
+            raise ValueError("cannot merge differently-shaped filters")
+        for i, byte in enumerate(other._array):
+            self._array[i] |= byte
+        self.count += other.count
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._array)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._array)
+
+
+def _tokens(entry: Entry) -> Iterable[bytes]:
+    for attr, values in entry.items():
+        key = attr.lower()
+        for value in values:
+            yield f"{key}={value.strip().lower()}".encode("utf-8")
+
+
+class EntrySummary:
+    """A Bloom summary of one child's entry set."""
+
+    def __init__(self, bits: int = 2048, hashes: int = 4):
+        self.filter = BloomFilter(bits, hashes)
+        self.entries = 0
+
+    def add_entry(self, entry: Entry) -> None:
+        self.entries += 1
+        for token in _tokens(entry):
+            self.filter.add(token)
+
+    def may_match_term(self, attr: str, value: str) -> bool:
+        token = f"{attr.lower()}={value.strip().lower()}".encode("utf-8")
+        return token in self.filter
+
+
+def _equality_terms(filt: Filter) -> List[Tuple[str, str]]:
+    if isinstance(filt, Equality):
+        return [(filt.attr, filt.value)]
+    if isinstance(filt, And):
+        out: List[Tuple[str, str]] = []
+        for clause in filt.clauses:
+            out.extend(_equality_terms(clause))
+        return out
+    return []
+
+
+class SummaryIndex:
+    """Per-child Bloom summaries with query-time pruning.
+
+    ``candidates(filter)`` returns the children that *may* hold matches
+    for the filter's equality terms — the SDS-style routing decision.
+    Filters with no equality terms cannot be pruned and return all
+    children (lossy aggregation only helps conjunctive point queries).
+    """
+
+    def __init__(self, bits: int = 2048, hashes: int = 4):
+        self.bits = bits
+        self.hashes = hashes
+        self._summaries: Dict[str, EntrySummary] = {}
+
+    def update_child(self, child: str, entries: Iterable[Entry]) -> None:
+        summary = EntrySummary(self.bits, self.hashes)
+        for entry in entries:
+            summary.add_entry(entry)
+        self._summaries[child] = summary
+
+    def drop_child(self, child: str) -> None:
+        self._summaries.pop(child, None)
+
+    def children(self) -> List[str]:
+        return sorted(self._summaries)
+
+    def candidates(self, filt: Filter) -> List[str]:
+        terms = _equality_terms(filt)
+        if not terms:
+            return self.children()
+        out = []
+        for child, summary in sorted(self._summaries.items()):
+            if all(summary.may_match_term(attr, value) for attr, value in terms):
+                out.append(child)
+        return out
+
+    def summary_bytes(self) -> int:
+        return sum(s.filter.size_bytes for s in self._summaries.values())

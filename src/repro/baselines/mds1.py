@@ -1,0 +1,127 @@
+"""MDS-1-style centralized directory baseline (paper §11.1).
+
+"One approach to constructing a Grid information service is to push all
+information into a directory service.  We employed this approach in
+early versions of MDS-1. ... the strategy of collecting all information
+into a database inevitably limited scalability and reliability."
+
+The baseline: one central LDAP directory (a plain
+:class:`~repro.ldap.backend.DitBackend` server) into which every
+resource periodically *pushes* its full provider snapshot.  Queries hit
+the central store — fast, but the answer's freshness is bounded by the
+push interval, the central server carries every update whether or not
+anyone asks, and it is a single point of failure.  Benchmark E9
+measures all three against the MDS-2 distributed architecture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..gris.cache import ProviderCache
+from ..gris.provider import InformationProvider, ProviderError
+from ..ldap.backend import DitBackend
+from ..ldap.client import LdapClient
+from ..ldap.dit import DIT
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.server import LdapServer
+from ..net.clock import Clock, TimerHandle
+
+__all__ = ["CentralDirectory", "Mds1Pusher"]
+
+
+class CentralDirectory:
+    """The central store: a vanilla LDAP server over one DIT."""
+
+    def __init__(self, clock: Clock, name: str = "mds1-central"):
+        self.backend = DitBackend(DIT())
+        self.server = LdapServer(self.backend, clock=clock, name=name)
+        self.updates_received = 0
+
+    def entry_count(self) -> int:
+        return len(self.backend.dit)
+
+
+class Mds1Pusher:
+    """Pushes one resource's provider snapshots to the central directory.
+
+    Every *interval* the pusher materializes all providers (through the
+    usual per-provider cache) and replaces its subtree in the central
+    store.  All update traffic flows whether or not anyone queries —
+    the cost profile that limited MDS-1.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        client: LdapClient,
+        suffix: DN | str,
+        providers: List[InformationProvider],
+        interval: float = 30.0,
+    ):
+        self.clock = clock
+        self.client = client
+        self.suffix = DN.of(suffix)
+        self.providers = list(providers)
+        self.interval = interval
+        self.cache = ProviderCache()
+        self._timer: Optional[TimerHandle] = None
+        self._pushed_dns: set = set()
+        self.pushes = 0
+        self.entries_pushed = 0
+        self.push_failures = 0
+
+    def snapshot(self) -> List[Entry]:
+        now = self.clock.now()
+        out: List[Entry] = []
+        for provider in self.providers:
+            try:
+                entries, _ = self.cache.get(provider, now)
+            except ProviderError:
+                continue
+            for entry in entries:
+                out.append(entry.with_dn(DN(entry.dn.rdns + self.suffix.rdns)))
+        return out
+
+    def push_once(self) -> None:
+        """One push cycle: delete vanished entries, upsert the rest."""
+        entries = self.snapshot()
+        current_dns = {entry.dn for entry in entries}
+        self.pushes += 1
+        for dn in sorted(
+            self._pushed_dns - current_dns, key=lambda d: -len(d.rdns)
+        ):
+            try:
+                self.client.delete_async(dn, lambda result: None)
+            except Exception:  # noqa: BLE001 - central dir unreachable
+                self.push_failures += 1
+                return
+        for entry in entries:
+            self.entries_pushed += 1
+            try:
+                # Upsert: delete any stale copy, then add the fresh one.
+                if entry.dn in self._pushed_dns:
+                    self.client.delete_async(entry.dn, lambda result: None)
+                self.client.add_async(entry, lambda result: None)
+            except Exception:  # noqa: BLE001
+                self.push_failures += 1
+                return
+        self._pushed_dns = current_dns
+
+    def start(self, immediately: bool = True) -> None:
+        if immediately:
+            self.push_once()
+        self._schedule()
+
+    def _schedule(self) -> None:
+        def tick() -> None:
+            self.push_once()
+            self._schedule()
+
+        self._timer = self.clock.call_later(self.interval, tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

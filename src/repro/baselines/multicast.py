@@ -1,0 +1,145 @@
+"""Multicast-scoped discovery baseline (paper §11.2: SLP, SDS, Jini).
+
+"A number of other proposed service discovery services also rely on IP
+multicast to locate or to disseminate service descriptions ... the
+reliance on IP multicast makes them inappropriate for our use [because]
+virtual and physical organizational structures do not correspond."
+
+The model: every provider joins a well-known multicast group and
+answers queries whose filter its entries match; a client multicasts a
+query and collects unicast replies for a timeout window.  With
+``scope='site'`` (administratively scoped multicast, the deployable
+configuration) a query reaches only same-site providers — so a VO that
+spans sites silently loses resources.  With ``scope='global'`` every
+provider on the grid receives every query from every VO — the
+scalability failure.  Benchmark E8 quantifies both against GIIS scoping.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ldap.entry import Entry
+from ..ldap.filter import parse as parse_filter
+from ..ldap.ldif import format_entry, parse_ldif
+from ..net.clock import Clock
+from ..net.simnet import SimNode
+from ..net.transport import Address
+
+__all__ = ["DISCOVERY_GROUP", "DISCOVERY_PORT", "MulticastResponder", "MulticastDiscoveryClient"]
+
+DISCOVERY_GROUP = "svc-discovery"
+DISCOVERY_PORT = 427  # the SLP port
+_REPLY_PORT = 1427
+
+
+class MulticastResponder:
+    """A provider answering multicast discovery queries.
+
+    *entries_fn* supplies the provider's current entries; each query's
+    filter is evaluated against them and matches are unicast back.
+    """
+
+    def __init__(self, node: SimNode, entries_fn: Callable[[], List[Entry]]):
+        self.node = node
+        self.entries_fn = entries_fn
+        self.queries_seen = 0
+        self.replies_sent = 0
+        node.join_multicast(DISCOVERY_GROUP, DISCOVERY_PORT, self._on_query)
+
+    def _on_query(self, source: Address, payload: bytes) -> None:
+        self.queries_seen += 1
+        try:
+            request = json.loads(payload.decode("utf-8"))
+            filt = parse_filter(request["filter"])
+            reply_port = int(request["reply_port"])
+            query_id = request["id"]
+        except (ValueError, KeyError):
+            return
+        matches = [e for e in self.entries_fn() if filt.matches(e)]
+        if not matches:
+            return
+        reply = json.dumps(
+            {
+                "id": query_id,
+                "from": self.node.host,
+                "entries": [format_entry(e) for e in matches],
+            }
+        ).encode("utf-8")
+        self.replies_sent += 1
+        self.node.send_datagram((source[0], reply_port), reply)
+
+    def stop(self) -> None:
+        self.node.leave_multicast(DISCOVERY_GROUP, DISCOVERY_PORT)
+
+
+class MulticastDiscoveryClient:
+    """Issues multicast queries and collects replies for a window."""
+
+    def __init__(self, node: SimNode, clock: Clock, reply_port: int = _REPLY_PORT):
+        self.node = node
+        self.clock = clock
+        self.reply_port = reply_port
+        self._next_id = 0
+        self._collectors: Dict[int, List[Entry]] = {}
+        self._done: Dict[int, List[Entry]] = {}
+        node.on_datagram(reply_port, self._on_reply)
+        self.queries_sent = 0
+
+    def _on_reply(self, source: Address, payload: bytes) -> None:
+        try:
+            reply = json.loads(payload.decode("utf-8"))
+            query_id = int(reply["id"])
+            entries: List[Entry] = []
+            for text in reply["entries"]:
+                entries.extend(parse_ldif(text))
+        except (ValueError, KeyError):
+            return
+        collector = self._collectors.get(query_id)
+        if collector is not None:
+            collector.extend(entries)
+
+    def discover(
+        self,
+        filter_text: str,
+        timeout: float = 1.0,
+        scope: str = "site",
+        on_done: Optional[Callable[[List[Entry]], None]] = None,
+    ) -> Tuple[int, Callable[[], List[Entry]]]:
+        """Send one query; results accumulate until *timeout*.
+
+        Returns ``(targeted, results_fn)`` where *targeted* is how many
+        responders the multicast reached and *results_fn* reads the
+        accumulated entries (complete once the timeout has elapsed on
+        the simulation clock).
+        """
+        self._next_id += 1
+        query_id = self._next_id
+        self._collectors[query_id] = []
+        payload = json.dumps(
+            {
+                "id": query_id,
+                "filter": filter_text,
+                "reply_port": self.reply_port,
+            }
+        ).encode("utf-8")
+        self.queries_sent += 1
+        targeted = self.node.send_multicast(
+            DISCOVERY_GROUP, DISCOVERY_PORT, payload, scope=scope
+        )
+
+        def finish() -> None:
+            entries = self._collectors.pop(query_id, [])
+            self._done[query_id] = entries  # late replies are discarded
+            if on_done is not None:
+                on_done(entries)
+
+        self.clock.call_later(timeout, finish)
+
+        def results() -> List[Entry]:
+            if query_id in self._done:
+                return list(self._done[query_id])
+            return list(self._collectors.get(query_id, ()))
+
+        return targeted, results

@@ -1,0 +1,129 @@
+"""Configuring information services: finding directories to join (§9).
+
+The paper lists three ways a provider learns which aggregate directories
+to register with:
+
+* **Manual configuration** — :mod:`repro.gris.config` (the
+  ``registrations`` section of a GRIS config file);
+* **Automated discovery based on a hierarchical discovery service** —
+  :func:`discover_directories` searches an existing hierarchy for GIIS
+  service entries and returns their URLs;
+* **Automated discovery based on other information services** — "clients
+  can use SLP to locate a default local directory from which to initiate
+  VO resource discovery": :class:`SlpDirectoryAdvertiser` makes a GIIS
+  answer SLP-style multicast queries, and :func:`discover_via_slp` finds
+  one from a fresh node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..baselines.multicast import MulticastDiscoveryClient, MulticastResponder
+from ..ldap.client import LdapClient
+from ..ldap.dit import Scope
+from ..ldap.entry import Entry
+from ..ldap.url import LdapUrl, LdapUrlError
+from ..net.clock import Clock
+from ..net.simnet import SimNode
+
+__all__ = [
+    "discover_directories",
+    "SlpDirectoryAdvertiser",
+    "discover_via_slp",
+]
+
+
+def discover_directories(
+    client: LdapClient,
+    base: str = "",
+    vo: Optional[str] = None,
+    timeout: float = 10.0,
+) -> List[LdapUrl]:
+    """Find aggregate directories by searching a discovery hierarchy.
+
+    GIIS suffix entries carry ``objectclass: service`` with their GRIP
+    URL and a ``GIIS for <vo>`` description; any reachable directory
+    (often a well-known root) can therefore enumerate the directories
+    below it.  Returns the parsed URLs, optionally filtered by VO name.
+    """
+    filt = "(&(objectclass=service)(description=GIIS*))"
+    if vo is not None:
+        filt = f"(&(objectclass=service)(description=GIIS for {vo}))"
+    out = client.search(
+        base, Scope.SUBTREE, filt, attrs=["url", "description"],
+        timeout=timeout, check=False,
+    )
+    urls: List[LdapUrl] = []
+    seen = set()
+    for entry in out.entries:
+        for raw in entry.get("url"):
+            if raw in seen:
+                continue
+            seen.add(raw)
+            try:
+                urls.append(LdapUrl.parse(raw))
+            except LdapUrlError:
+                continue
+    return urls
+
+
+class SlpDirectoryAdvertiser:
+    """Makes a GIIS discoverable through SLP-style multicast (§9).
+
+    The directory answers multicast service requests matching
+    ``(service=grid-directory)`` with its service entry.  Site-scoped
+    multicast means this finds *local* directories — exactly the
+    bootstrap role §9 assigns it ("locate a default local directory
+    from which to initiate VO resource discovery").
+    """
+
+    def __init__(self, node: SimNode, url: LdapUrl, vo_name: str = ""):
+        self.url = url
+        self.vo_name = vo_name
+        entry = Entry(
+            url.dn,
+            objectclass="service",
+            url=str(url),
+            service="grid-directory",
+        )
+        if vo_name:
+            entry.put("description", f"GIIS for {vo_name}")
+        self._responder = MulticastResponder(node, lambda: [entry])
+
+    def stop(self) -> None:
+        self._responder.stop()
+
+
+def discover_via_slp(
+    node: SimNode,
+    clock: Clock,
+    timeout: float = 1.0,
+    on_done: Optional[Callable[[List[LdapUrl]], None]] = None,
+):
+    """Multicast for local grid directories; URLs via callback/result fn.
+
+    Returns ``(targeted, results_fn)`` like the underlying multicast
+    client; ``results_fn()`` yields parsed directory URLs once *timeout*
+    has elapsed on *clock*.
+    """
+    client = MulticastDiscoveryClient(node, clock)
+
+    def convert(entries) -> List[LdapUrl]:
+        urls = []
+        for entry in entries:
+            raw = entry.first("url")
+            if raw:
+                try:
+                    urls.append(LdapUrl.parse(raw))
+                except LdapUrlError:
+                    pass
+        return urls
+
+    done_cb = None
+    if on_done is not None:
+        done_cb = lambda entries: on_done(convert(entries))
+    targeted, raw_results = client.discover(
+        "(service=grid-directory)", timeout=timeout, on_done=done_cb
+    )
+    return targeted, (lambda: convert(raw_results()))

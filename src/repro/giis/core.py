@@ -1,0 +1,510 @@
+"""The GIIS backend: MDS-2's aggregate directory framework (§10.4).
+
+"The GIIS framework comprises three major components: generic GRRP
+handling, pluggable index construction, and pluggable search handling."
+
+* **GRRP handling** — AddRequests carrying ``giisregistration`` entries
+  are decoded as GRRP messages and fed to a
+  :class:`~repro.grip.registry.SoftStateRegistry`; "these actions
+  comprise little more than management of a list of active providers."
+* **Pluggable indexes** — objects implementing :class:`GiisIndex` get
+  registration/expiry callbacks; the relational directory
+  (:mod:`repro.giis.relational`) uses them to pull provider state with
+  follow-up GRIP queries.
+* **Search handling** — the default is *chaining*: "GRIP requests
+  directed to the GIIS are simply forwarded on to the appropriate
+  information provider for response", merged, and returned.  A referral
+  mode instead "return[s] the name of the information provider directly
+  to the client in the form of a LDAP URL"; per-query result caching is
+  available as in the framework.
+
+The GIIS is itself an information provider: it serves its own suffix
+entry plus one entry per active registration, so hierarchical discovery
+(Figure 5) and name services can enumerate VO members with plain GRIP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..grip.messages import GrrpError, GrrpMessage, NotificationType
+from ..grip.registry import Registration, SoftStateRegistry
+from ..ldap.backend import (
+    Backend,
+    ChangeCallback,
+    ChangeType,
+    RequestContext,
+    SearchOutcome,
+    Subscription,
+    _in_scope,
+)
+from ..ldap.client import LdapClient, SearchResult
+from ..ldap.dit import Scope
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.protocol import AddRequest, LdapResult, ResultCode, SearchRequest
+from ..ldap.url import LdapUrl
+from ..net.clock import Clock
+from ..net.transport import Connection, ConnectionClosed, TransportError
+
+__all__ = ["GiisIndex", "GiisBackend", "Connector", "CHAIN_DEPTH_OID"]
+
+# Dial a provider by its service URL; raises ConnectionClosed on failure.
+Connector = Callable[[LdapUrl], Connection]
+
+# Private control carrying the chaining hop count, so misconfigured
+# directory cycles (A registered with B registered with A) terminate
+# instead of recursing until every timeout fires.
+CHAIN_DEPTH_OID = "1.3.6.1.4.1.57264.1.1"
+
+
+def _read_chain_depth(controls) -> int:
+    from ..ldap import ber
+
+    for control in controls:
+        if getattr(control, "oid", None) == CHAIN_DEPTH_OID:
+            try:
+                return ber.decode_integer(ber.decode_tlv(control.value)[1])
+            except Exception:  # noqa: BLE001 - malformed: treat as fresh
+                return 0
+    return 0
+
+
+def _chain_depth_control(depth: int):
+    from ..ldap import ber
+    from ..ldap.protocol import Control
+
+    return Control(CHAIN_DEPTH_OID, False, ber.encode_integer(depth))
+
+
+class GiisIndex:
+    """Interface for pluggable index construction (§10.4)."""
+
+    def attach(self, giis: "GiisBackend") -> None:
+        """Called once when plugged into a GIIS."""
+
+    def on_register(self, registration: Registration) -> None:
+        """A new provider joined."""
+
+    def on_refresh(self, registration: Registration) -> None:
+        """An existing registration was refreshed."""
+
+    def on_expire(self, registration: Registration) -> None:
+        """A registration timed out (soft-state purge)."""
+
+    def on_unregister(self, registration: Registration) -> None:
+        """A provider explicitly left."""
+
+
+class _QueryCacheSlot:
+    __slots__ = ("outcome", "created_at")
+
+    def __init__(self, outcome: SearchOutcome, created_at: float):
+        self.outcome = outcome
+        self.created_at = created_at
+
+
+class GiisBackend(Backend):
+    """A Grid Index Information Service."""
+
+    def __init__(
+        self,
+        suffix: DN | str,
+        clock: Clock,
+        connector: Optional[Connector] = None,
+        url: Optional[LdapUrl] = None,
+        mode: str = "chain",  # 'chain' or 'referral'
+        child_timeout: float = 5.0,
+        cache_ttl: float = 0.0,
+        registration_grace: float = 0.0,
+        purge_interval: Optional[float] = None,
+        accept: Optional[Callable[[GrrpMessage, Optional[str]], bool]] = None,
+        vo_name: str = "",
+        credential=None,
+        max_chain_depth: int = 8,
+    ):
+        if mode not in ("chain", "referral"):
+            raise ValueError(f"unknown GIIS mode {mode!r}")
+        self.suffix = DN.of(suffix)
+        self.clock = clock
+        self.connector = connector
+        self.url = url
+        self.mode = mode
+        self.child_timeout = child_timeout
+        self.cache_ttl = cache_ttl
+        self.vo_name = vo_name or str(self.suffix)
+        # §10.4: "the GIIS can also bind using a trusted server
+        # credential, [so] each GRIS may export some data that it trusts
+        # the GIIS to handle properly."  When set, every child
+        # connection is opened with a GSI bind as this credential.
+        self.credential = credential
+        self.max_chain_depth = max_chain_depth
+        self.stats_depth_limited = 0
+        self.registry = SoftStateRegistry(
+            clock,
+            grace=registration_grace,
+            purge_interval=purge_interval,
+            on_register=self._fan_register,
+            on_expire=self._fan_expire,
+            on_unregister=self._fan_unregister,
+            accept=accept,
+        )
+        self.indexes: List[GiisIndex] = []
+        self._clients: Dict[str, LdapClient] = {}
+        self._query_cache: Dict[Tuple, _QueryCacheSlot] = {}
+        self._subs: Dict[int, Tuple[SearchRequest, int, ChangeCallback]] = {}
+        self._next_sub = 0
+        self.stats_chained = 0
+        self.stats_child_errors = 0
+        self.stats_child_timeouts = 0
+        self.stats_cache_hits = 0
+
+    # -- index plumbing --------------------------------------------------------
+
+    def add_index(self, index: GiisIndex) -> None:
+        self.indexes.append(index)
+        index.attach(self)
+
+    def _fan_register(self, registration: Registration) -> None:
+        self._query_cache.clear()
+        for index in self.indexes:
+            index.on_register(registration)
+        self._notify_subs(self._registration_entry(registration), ChangeType.ADD)
+
+    def _fan_expire(self, registration: Registration) -> None:
+        self._query_cache.clear()
+        for index in self.indexes:
+            index.on_expire(registration)
+        self._notify_subs(self._registration_entry(registration), ChangeType.DELETE)
+
+    def _fan_unregister(self, registration: Registration) -> None:
+        self._query_cache.clear()
+        for index in self.indexes:
+            index.on_unregister(registration)
+        self._notify_subs(self._registration_entry(registration), ChangeType.DELETE)
+
+    # -- GRRP intake (the write path) --------------------------------------------
+
+    def add(self, req: AddRequest, ctx: RequestContext) -> LdapResult:
+        entry = req.to_entry()
+        if not GrrpMessage.is_registration_entry(entry):
+            return LdapResult(
+                ResultCode.UNWILLING_TO_PERFORM,
+                message="GIIS accepts only GRRP registration entries",
+            )
+        try:
+            message = GrrpMessage.from_entry(entry)
+        except GrrpError as exc:
+            return LdapResult(ResultCode.PROTOCOL_ERROR, message=str(exc))
+        return self.apply_grrp(message, ctx.identity)
+
+    def apply_grrp(
+        self, message: GrrpMessage, identity: Optional[str] = None
+    ) -> LdapResult:
+        """GRRP intake independent of transport (datagram or LDAP Add)."""
+        was_known = self.registry.lookup(message.service_url) is not None
+        changed = self.registry.apply(message, identity)
+        if (
+            not changed
+            and message.notification_type == NotificationType.REGISTER
+            and not was_known
+        ):
+            return LdapResult(
+                ResultCode.INSUFFICIENT_ACCESS_RIGHTS,
+                message="registration refused by VO membership policy",
+            )
+        if changed and was_known:
+            registration = self.registry.lookup(message.service_url)
+            if registration is not None:
+                for index in self.indexes:
+                    index.on_refresh(registration)
+        return LdapResult()
+
+    def handle_grrp_datagram(self, source, payload: bytes) -> None:
+        """Datagram-transport GRRP intake (bind to ``node.on_datagram``)."""
+        try:
+            message = GrrpMessage.from_bytes(payload)
+        except GrrpError:
+            return
+        self.apply_grrp(message)
+
+    # -- local view ---------------------------------------------------------------
+
+    def _registration_entry(self, registration: Registration) -> Entry:
+        entry = registration.message.to_entry(self.suffix)
+        entry.put("regsource", registration.source_identity or "unknown")
+        return entry
+
+    def local_entries(self) -> List[Entry]:
+        """The entries the GIIS itself serves: suffix + registrations."""
+        suffix_entry = Entry(
+            self.suffix,
+            objectclass=["organization"] if self.suffix.rdns else ["top"],
+        )
+        if self.suffix.rdns:
+            suffix_entry.put(self.suffix.rdn.attr, self.suffix.rdn.value)
+        suffix_entry.put("description", f"GIIS for {self.vo_name}")
+        if self.url is not None:
+            suffix_entry.add_value("objectclass", "service")
+            suffix_entry.put("url", str(self.url))
+        out = [suffix_entry]
+        for registration in self.registry.active():
+            out.append(self._registration_entry(registration))
+        return out
+
+    def children(self) -> List[Registration]:
+        return self.registry.active()
+
+    # -- search handling -------------------------------------------------------------
+
+    def _targets(self, req: SearchRequest) -> List[Registration]:
+        """Registrations whose advertised namespace intersects the query."""
+        base = req.base_dn()
+        out = []
+        for registration in self.registry.active():
+            child_suffix = DN.parse(registration.message.metadata.get("suffix", ""))
+            if child_suffix.is_within(base) or base.is_within(child_suffix):
+                out.append(registration)
+        return out
+
+    def naming_contexts(self):
+        return [str(self.suffix)]
+
+    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        """Synchronous search sees only the local view (no chaining)."""
+        return self._local_outcome(req)
+
+    def _local_outcome(self, req: SearchRequest) -> SearchOutcome:
+        base = req.base_dn()
+        entries = [
+            e
+            for e in self.local_entries()
+            if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
+        ]
+        return SearchOutcome(entries=entries)
+
+    def search_async(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        done: Callable[[SearchOutcome], None],
+    ) -> None:
+        base = req.base_dn()
+        if not (base.is_within(self.suffix) or self.suffix.is_within(base)):
+            done(
+                SearchOutcome(
+                    result=LdapResult(
+                        ResultCode.NO_SUCH_OBJECT, matched_dn=str(self.suffix)
+                    )
+                )
+            )
+            return
+
+        cache_key = None
+        if self.cache_ttl > 0:
+            cache_key = (str(base).lower(), int(req.scope), str(req.filter))
+            slot = self._query_cache.get(cache_key)
+            if (
+                slot is not None
+                and self.clock.now() - slot.created_at <= self.cache_ttl
+            ):
+                self.stats_cache_hits += 1
+                done(_copy_outcome(slot.outcome))
+                return
+
+        targets = self._targets(req)
+        local = self._local_outcome(req)
+
+        if self.mode == "referral":
+            referrals = [
+                _child_url(registration) for registration in targets
+            ]
+            done(SearchOutcome(entries=local.entries, referrals=referrals))
+            return
+
+        depth = _read_chain_depth(ctx.controls)
+        if depth >= self.max_chain_depth:
+            # Cycle or pathological hierarchy: answer with the local
+            # view instead of recursing (partial results, §2.2).
+            self.stats_depth_limited += 1
+            done(local)
+            return
+
+        if self.connector is None or not targets:
+            done(local)
+            return
+
+        collector = _Collector(self, req, local, len(targets), done, cache_key)
+        for registration in targets:
+            self._chain_to(registration, req, collector, depth + 1)
+
+    def _chain_to(
+        self,
+        registration: Registration,
+        req: SearchRequest,
+        collector: "_Collector",
+        depth: int = 1,
+    ) -> None:
+        client = self._client_for(registration.service_url)
+        if client is None:
+            self.stats_child_errors += 1
+            collector.child_failed(registration.service_url)
+            return
+        self.stats_chained += 1
+        # Forward without attribute selection or size limit: the parent
+        # front end filters and projects authoritatively on full entries
+        # (a projected entry could no longer match the filter upstream).
+        req = replace(req, attributes=(), size_limit=0)
+        timer = self.clock.call_later(
+            self.child_timeout,
+            lambda: collector.child_timed_out(registration.service_url),
+        )
+
+        def on_done(result: SearchResult) -> None:
+            timer.cancel()
+            if result.result.ok:
+                collector.child_done(registration.service_url, result)
+            else:
+                self.stats_child_errors += 1
+                collector.child_failed(registration.service_url)
+
+        try:
+            client.search_async(req, on_done, controls=(_chain_depth_control(depth),))
+        except Exception:  # noqa: BLE001 - connection died under us
+            timer.cancel()
+            self._clients.pop(registration.service_url, None)
+            self.stats_child_errors += 1
+            collector.child_failed(registration.service_url)
+
+    def _client_for(self, service_url: str) -> Optional[LdapClient]:
+        client = self._clients.get(service_url)
+        if client is not None and not client.closed:
+            return client
+        if self.connector is None:
+            return None
+        try:
+            url = LdapUrl.parse(service_url)
+            conn = self.connector(url)
+        except (ConnectionClosed, TransportError, ValueError):
+            self._clients.pop(service_url, None)
+            return None
+        client = LdapClient(conn)
+        if self.credential is not None:
+            # Ordered delivery guarantees the bind is processed before
+            # any search we send on this connection afterwards.
+            from ..security.gsi import make_token
+
+            token = make_token(self.credential, service_url, self.clock.now())
+            try:
+                client.bind_async(lambda result: None, mechanism="GSI", credentials=token)
+            except Exception:  # noqa: BLE001 - connection died already
+                return None
+        self._clients[service_url] = client
+        return client
+
+    # -- subscriptions over the membership view -----------------------------------------
+
+    def subscribe(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        push: ChangeCallback,
+        change_types: int = ChangeType.ALL,
+    ) -> Subscription:
+        """Notify on VO membership changes (registration add/expiry)."""
+        self._next_sub += 1
+        key = self._next_sub
+        self._subs[key] = (req, change_types, push)
+        return Subscription(lambda: self._subs.pop(key, None))
+
+    def _notify_subs(self, entry: Entry, change: int) -> None:
+        for req, change_types, push in list(self._subs.values()):
+            if not change_types & change:
+                continue
+            base = req.base_dn()
+            if not _in_scope(entry.dn, base, req.scope):
+                continue
+            if change != ChangeType.DELETE and not req.filter.matches(entry):
+                continue
+            push(entry.copy(), change)
+
+
+class _Collector:
+    """Merges chained child results; calls done() exactly once."""
+
+    def __init__(
+        self,
+        giis: GiisBackend,
+        req: SearchRequest,
+        local: SearchOutcome,
+        pending: int,
+        done: Callable[[SearchOutcome], None],
+        cache_key,
+    ):
+        self.giis = giis
+        self.req = req
+        self.done = done
+        self.cache_key = cache_key
+        self.pending = pending
+        self.finished = False
+        self.merged: Dict[DN, Entry] = {e.dn: e for e in local.entries}
+        self.referrals: List[str] = list(local.referrals)
+        self.responded: set = set()
+
+    def child_done(self, url: str, result: SearchResult) -> None:
+        if url in self.responded:
+            return
+        self.responded.add(url)
+        for entry in result.entries:
+            self.merged.setdefault(entry.dn, entry)
+        self.referrals.extend(result.referrals)
+        self._decrement()
+
+    def child_failed(self, url: str) -> None:
+        if url in self.responded:
+            return
+        self.responded.add(url)
+        self._decrement()
+
+    def child_timed_out(self, url: str) -> None:
+        if url in self.responded:
+            return
+        self.responded.add(url)
+        self.giis.stats_child_timeouts += 1
+        self._decrement()
+
+    def _decrement(self) -> None:
+        self.pending -= 1
+        if self.pending > 0 or self.finished:
+            return
+        self.finished = True
+        entries = sorted(
+            self.merged.values(), key=lambda e: (len(e.dn), str(e.dn).lower())
+        )
+        outcome = SearchOutcome(entries=entries, referrals=self.referrals)
+        if self.cache_key is not None:
+            self.giis._query_cache[self.cache_key] = _QueryCacheSlot(
+                _copy_outcome(outcome), self.giis.clock.now()
+            )
+        self.done(outcome)
+
+
+def _child_url(registration: Registration) -> str:
+    """The referral URI for one registered provider."""
+    suffix = registration.message.metadata.get("suffix", "")
+    try:
+        url = LdapUrl.parse(registration.service_url)
+        if suffix:
+            url = url.with_dn(suffix)
+        return str(url)
+    except ValueError:
+        return registration.service_url
+
+
+def _copy_outcome(outcome: SearchOutcome) -> SearchOutcome:
+    return SearchOutcome(
+        entries=[e.copy() for e in outcome.entries],
+        referrals=list(outcome.referrals),
+        result=outcome.result,
+    )

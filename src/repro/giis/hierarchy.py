@@ -1,0 +1,175 @@
+"""Wiring for hierarchical discovery services (Figure 5, §5.1).
+
+"Each directory uses the GRIP data model, query language, and protocol,
+and acts as an information provider that contains information about all
+of the resources beneath it in the hierarchy.  Directories use GRRP to
+register with higher-level directories to construct the hierarchy."
+
+This module provides the GRRP *transports* that carry registration
+streams, and the helper that points one GIIS (or GRIS) at a parent
+directory:
+
+* :class:`LdapGrrpSender` — GRRP over LDAP Add operations, the MDS-2.1
+  transport (§10.1);
+* :class:`DatagramGrrpSender` — GRRP over unreliable datagrams, the
+  transport §4.3 designs for (used by the soft-state experiments);
+* :func:`make_registrant` — builds the refresh stream advertising a
+  service and the namespace suffix it serves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..grip.messages import GrrpMessage
+from ..grip.registration import Registrant
+from ..ldap.client import LdapClient
+from ..ldap.dn import DN
+from ..ldap.url import LdapUrl
+from ..net.clock import Clock
+from ..net.simnet import SimNode
+from ..net.transport import ConnectionClosed, TransportError
+from .core import Connector
+
+__all__ = [
+    "GRRP_DATAGRAM_PORT",
+    "LdapGrrpSender",
+    "DatagramGrrpSender",
+    "make_registrant",
+    "listen_for_invitations",
+]
+
+GRRP_DATAGRAM_PORT = 2136  # convention: GRIP port + 1
+
+
+class LdapGrrpSender:
+    """Carries GRRP messages as LDAP Add operations (§10.1).
+
+    Directory addresses are LDAP URLs; the registration entry is placed
+    under the directory's suffix (the URL's DN).  Failed sends are
+    dropped silently — GRRP is soft state, the next refresh retries.
+    """
+
+    def __init__(self, connector: Connector):
+        self.connector = connector
+        self._clients: Dict[str, LdapClient] = {}
+        self.sends = 0
+        self.send_failures = 0
+
+    def __call__(self, directory: str, message: GrrpMessage) -> None:
+        try:
+            url = LdapUrl.parse(directory)
+        except ValueError:
+            self.send_failures += 1
+            return
+        client = self._client_for(directory, url)
+        if client is None:
+            self.send_failures += 1
+            return
+        entry = message.to_entry(url.dn)
+        self.sends += 1
+        try:
+            client.add_async(entry, lambda result: None)
+        except Exception:  # noqa: BLE001 - connection died; refresh will retry
+            self._clients.pop(directory, None)
+            self.send_failures += 1
+
+    def _client_for(self, key: str, url: LdapUrl) -> Optional[LdapClient]:
+        client = self._clients.get(key)
+        if client is not None and not client.closed:
+            return client
+        try:
+            conn = self.connector(url)
+        except (ConnectionClosed, TransportError):
+            return None
+        client = LdapClient(conn)
+        self._clients[key] = client
+        return client
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.unbind()
+        self._clients.clear()
+
+
+class DatagramGrrpSender:
+    """Carries GRRP messages as unreliable datagrams from a sim node.
+
+    Directory addresses are bare host names (the GRRP datagram port is
+    fixed by convention); loss, partitions and crashes silently eat
+    messages, which is precisely the §4.3 failure model.
+    """
+
+    def __init__(self, node: SimNode, port: int = GRRP_DATAGRAM_PORT):
+        self.node = node
+        self.port = port
+        self.sends = 0
+
+    def __call__(self, directory: str, message: GrrpMessage) -> None:
+        self.sends += 1
+        self.node.send_datagram((directory, self.port), message.to_bytes())
+
+
+def make_registrant(
+    clock: Clock,
+    service_url: LdapUrl | str,
+    served_suffix: DN | str,
+    send: Callable[[str, GrrpMessage], None],
+    interval: float = 30.0,
+    ttl: float = 90.0,
+    name: str = "",
+    vo: str = "",
+    **kwargs,
+) -> Registrant:
+    """A refresh stream advertising *service_url* and its namespace.
+
+    The ``suffix`` metadata is what lets a parent GIIS route queries to
+    this child ("the provider's namespace intersects the query scope");
+    ``name`` feeds name-serving directories; ``vo`` feeds membership
+    policies.
+    """
+    metadata = {"suffix": str(DN.of(served_suffix))}
+    if name:
+        metadata["name"] = name
+    if vo:
+        metadata["vo"] = vo
+    return Registrant(
+        clock,
+        str(service_url),
+        send,
+        interval=interval,
+        ttl=ttl,
+        metadata=metadata,
+        **kwargs,
+    )
+
+
+def listen_for_invitations(
+    node: SimNode,
+    registrant: Registrant,
+    port: int = GRRP_DATAGRAM_PORT,
+) -> None:
+    """Wire a provider node to accept GRRP invitations (§10.4).
+
+    "In the case of invitation, a GRIS is asked to join by the aggregate
+    directory service — or perhaps a third party.  If a GRIS agrees to
+    join, it turns around and uses GRRP to register itself with the
+    specified aggregate directory in a fault-tolerant manner."
+
+    The invitation names the directory to register with in its
+    ``directory`` metadata; acceptance policy lives on the registrant
+    (``accept_invitation``).
+    """
+    from ..grip.messages import GrrpError, GrrpMessage, NotificationType
+
+    def on_datagram(source, payload: bytes) -> None:
+        try:
+            message = GrrpMessage.from_bytes(payload)
+        except GrrpError:
+            return
+        if message.notification_type != NotificationType.INVITE:
+            return
+        directory = message.metadata.get("directory", message.service_url)
+        registrant.handle_invitation(directory, message)
+
+    node.on_datagram(port, on_datagram)

@@ -1,0 +1,156 @@
+"""Basic pluggable GIIS indexes (§3, §10.4).
+
+* :class:`NameIndex` — backs the name-serving directory: "simply records
+  the name of each entity for which a GRRP registration was recorded,
+  and supports only name-resolution queries."
+* :class:`PullIndex` — base class for indexes that follow up "each
+  registration of a new entity with a GRIP query to determine its
+  properties" (§3's relational directory pattern); subclasses store the
+  pulled entries however they like.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..grip.registry import Registration
+from ..ldap.client import LdapClient, SearchResult
+from ..ldap.dit import Scope
+from ..ldap.entry import Entry
+from ..ldap.filter import parse as parse_filter
+from ..ldap.protocol import SearchRequest
+from ..ldap.url import LdapUrl
+from ..net.transport import ConnectionClosed, TransportError
+from .core import GiisBackend, GiisIndex
+
+__all__ = ["NameIndex", "PullIndex"]
+
+
+class NameIndex(GiisIndex):
+    """Entity name -> service URL, maintained purely from registrations.
+
+    Cheap to maintain (no GRIP traffic) but answers only name-resolution
+    queries — the low end of the §3 "power of an index vs. cost of
+    maintaining it" tradeoff.
+    """
+
+    def __init__(self):
+        self._names: Dict[str, str] = {}
+
+    @staticmethod
+    def _name_of(registration: Registration) -> str:
+        return registration.message.metadata.get("name", registration.service_url)
+
+    def on_register(self, registration: Registration) -> None:
+        self._names[self._name_of(registration)] = registration.service_url
+
+    def on_expire(self, registration: Registration) -> None:
+        self._names.pop(self._name_of(registration), None)
+
+    def on_unregister(self, registration: Registration) -> None:
+        self.on_expire(registration)
+
+    def resolve(self, name: str) -> Optional[str]:
+        return self._names.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+class PullIndex(GiisIndex):
+    """Follows registrations with GRIP pulls of the provider's subtree.
+
+    Subclasses override :meth:`store` / :meth:`evict`.  Pulls are
+    asynchronous; on the simulator they complete as virtual time
+    advances.  A *refresh_interval* re-pulls periodically — one of the
+    "specialized update strategies" of §5.2.
+    """
+
+    def __init__(
+        self,
+        filter_text: str = "(objectclass=*)",
+        refresh_interval: Optional[float] = None,
+    ):
+        self.filter_text = filter_text
+        self.refresh_interval = refresh_interval
+        self.giis: Optional[GiisBackend] = None
+        self.pulls = 0
+        self.pull_failures = 0
+        self._timers: Dict[str, object] = {}
+
+    def attach(self, giis: GiisBackend) -> None:
+        self.giis = giis
+
+    # -- subclass API ------------------------------------------------------
+
+    def store(self, registration: Registration, entries: List[Entry]) -> None:
+        """Absorb a fresh snapshot of one provider's data."""
+        raise NotImplementedError
+
+    def evict(self, registration: Registration) -> None:
+        """Drop everything learned from one provider."""
+        raise NotImplementedError
+
+    # -- registration callbacks ------------------------------------------------
+
+    def on_register(self, registration: Registration) -> None:
+        self.pull(registration)
+        self._schedule_refresh(registration)
+
+    def on_expire(self, registration: Registration) -> None:
+        self._cancel_refresh(registration)
+        self.evict(registration)
+
+    def on_unregister(self, registration: Registration) -> None:
+        self.on_expire(registration)
+
+    # -- pulling ------------------------------------------------------------------
+
+    def pull(self, registration: Registration) -> None:
+        assert self.giis is not None, "index not attached"
+        client = self.giis._client_for(registration.service_url)
+        if client is None:
+            self.pull_failures += 1
+            return
+        suffix = registration.message.metadata.get("suffix", "")
+        req = SearchRequest(
+            base=suffix,
+            scope=Scope.SUBTREE,
+            filter=parse_filter(self.filter_text),
+        )
+        self.pulls += 1
+
+        def on_done(result: SearchResult) -> None:
+            if not result.result.ok:
+                self.pull_failures += 1
+                return
+            self.store(registration, result.entries)
+
+        try:
+            client.search_async(req, on_done)
+        except Exception:  # noqa: BLE001 - connection died: count and move on
+            self.pull_failures += 1
+
+    def _schedule_refresh(self, registration: Registration) -> None:
+        if self.refresh_interval is None or self.giis is None:
+            return
+        url = registration.service_url
+
+        def tick() -> None:
+            if self.giis is None or not self.giis.registry.is_registered(url):
+                self._timers.pop(url, None)
+                return
+            self.pull(registration)
+            self._timers[url] = self.giis.clock.call_later(
+                self.refresh_interval, tick
+            )
+
+        self._timers[url] = self.giis.clock.call_later(self.refresh_interval, tick)
+
+    def _cancel_refresh(self, registration: Registration) -> None:
+        timer = self._timers.pop(registration.service_url, None)
+        if timer is not None:
+            timer.cancel()

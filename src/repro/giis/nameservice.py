@@ -1,0 +1,64 @@
+"""The name-serving aggregate directory (§3's first example directory).
+
+"A name-serving aggregate directory simply records the name of each
+entity for which a GRRP registration was recorded, and supports only
+name-resolution queries."  Combined with the hierarchical discovery
+service it gives the §5.2 pattern: resolve a member's location cheaply,
+then use direct GRIP queries for detail — and §8's observation that
+each aggregate directory "effectively serves as a local naming
+authority" (names are unique only within one hierarchy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ldap.dn import DN
+from ..ldap.url import LdapUrl
+from ..net.clock import Clock
+from .core import GiisBackend
+from .indexes import NameIndex
+
+__all__ = ["NameService"]
+
+
+class NameService:
+    """A GIIS configured as a pure name-location service.
+
+    It never chains queries or pulls provider data — the cheapest point
+    of the index power/cost tradeoff — so its only state is the
+    registration list plus the name index.
+    """
+
+    def __init__(self, suffix: DN | str, clock: Clock, vo_name: str = ""):
+        self.backend = GiisBackend(
+            suffix=suffix,
+            clock=clock,
+            connector=None,  # name resolution only: no chaining
+            mode="chain",
+            vo_name=vo_name,
+        )
+        self.index = NameIndex()
+        self.backend.add_index(self.index)
+
+    # -- the name-resolution API --------------------------------------------
+
+    def resolve(self, name: str) -> Optional[LdapUrl]:
+        """Resolve a registered entity name to its provider URL."""
+        url = self.index.resolve(name)
+        if url is None:
+            return None
+        try:
+            return LdapUrl.parse(url)
+        except ValueError:
+            return None
+
+    def names(self) -> List[str]:
+        """Enumerate all currently registered names."""
+        return self.index.names()
+
+    def __contains__(self, name: str) -> bool:
+        return self.index.resolve(name) is not None
+
+    def __len__(self) -> int:
+        return len(self.index)

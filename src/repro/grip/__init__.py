@@ -1,0 +1,26 @@
+"""The paper's protocols: GRRP soft-state registration and what rides on it.
+
+GRIP itself *is* LDAP (implemented in :mod:`repro.ldap`); this package
+holds the registration protocol — message format, sender streams,
+receiver soft-state table, invitation — and the unreliable failure
+detector §4.3 derives from registration streams.
+"""
+
+from .failure import FailureDetector, SuspicionEvent
+from .messages import GrrpError, GrrpMessage, NotificationType, registration_dn
+from .registration import Inviter, Registrant, SendFn
+from .registry import Registration, SoftStateRegistry
+
+__all__ = [
+    "FailureDetector",
+    "SuspicionEvent",
+    "GrrpError",
+    "GrrpMessage",
+    "NotificationType",
+    "registration_dn",
+    "Inviter",
+    "Registrant",
+    "SendFn",
+    "Registration",
+    "SoftStateRegistry",
+]

@@ -1,0 +1,160 @@
+"""Unreliable failure detection over GRRP streams (§4.3, refs [7, 33]).
+
+"GRRP provides a discoverer with an unreliable failure detector.  A
+discoverer can decide at a certain point (e.g., after a certain amount
+of time has passed without a registration message being received from a
+producer) that the producer has failed or become inaccessible. ...
+There is thus a tradeoff to be made, when choosing the criteria used to
+decide that a producer has failed, between likelihood of an erroneous
+decision and timeliness of failure detection."
+
+:class:`FailureDetector` consumes heartbeat observations (registration
+arrivals) and classifies each producer as alive or suspected based on a
+timeout.  It records the events needed to *measure* the §4.3 tradeoff:
+detection latency for true failures and false-suspicion counts for live
+producers under packet loss — the subject of benchmark E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..net.clock import Clock, TimerHandle
+
+__all__ = ["SuspicionEvent", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class SuspicionEvent:
+    """One transition of a producer's perceived state."""
+
+    producer: str
+    when: float
+    suspected: bool  # True: alive->suspected; False: suspected->alive
+    silence: float  # seconds since last heartbeat at transition time
+
+
+@dataclass
+class _ProducerState:
+    last_heartbeat: float
+    suspected: bool = False
+    heartbeats: int = 0
+
+
+class FailureDetector:
+    """Timeout-based unreliable failure detector.
+
+    *timeout* is the silence threshold after which a producer is
+    suspected.  Decisions "can be erroneous, as the missing registration
+    messages may have been sent but discarded by a lossy network
+    connection" — a later heartbeat revokes the suspicion and the
+    episode is counted as a false suspicion.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        timeout: float,
+        on_suspect: Optional[Callable[[SuspicionEvent], None]] = None,
+        check_interval: Optional[float] = None,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.clock = clock
+        self.timeout = timeout
+        self.on_suspect = on_suspect
+        self.check_interval = check_interval or timeout / 4
+        self._producers: Dict[str, _ProducerState] = {}
+        self._timer: Optional[TimerHandle] = None
+        self.events: List[SuspicionEvent] = []
+
+    # -- observations ---------------------------------------------------------
+
+    def heartbeat(self, producer: str) -> None:
+        """Record a registration arrival from *producer*."""
+        now = self.clock.now()
+        state = self._producers.get(producer)
+        if state is None:
+            self._producers[producer] = _ProducerState(last_heartbeat=now, heartbeats=1)
+            return
+        silence = now - state.last_heartbeat
+        state.last_heartbeat = now
+        state.heartbeats += 1
+        if state.suspected:
+            state.suspected = False
+            self._record(producer, now, suspected=False, silence=silence)
+
+    def forget(self, producer: str) -> None:
+        """Stop monitoring (e.g. after an explicit unregister)."""
+        self._producers.pop(producer, None)
+
+    # -- classification --------------------------------------------------------
+
+    def check(self) -> List[str]:
+        """Evaluate all producers; returns newly suspected ones."""
+        now = self.clock.now()
+        fresh: List[str] = []
+        for producer, state in self._producers.items():
+            silence = now - state.last_heartbeat
+            if not state.suspected and silence > self.timeout:
+                state.suspected = True
+                fresh.append(producer)
+                self._record(producer, now, suspected=True, silence=silence)
+        return fresh
+
+    def is_suspect(self, producer: str) -> bool:
+        state = self._producers.get(producer)
+        if state is None:
+            return True  # never heard of: indistinguishable from failed
+        silence = self.clock.now() - state.last_heartbeat
+        if silence > self.timeout and not state.suspected:
+            state.suspected = True
+            self._record(producer, self.clock.now(), suspected=True, silence=silence)
+        return state.suspected
+
+    def alive(self) -> List[str]:
+        self.check()
+        return [p for p, s in self._producers.items() if not s.suspected]
+
+    def monitored(self) -> List[str]:
+        return list(self._producers)
+
+    # -- periodic checking -------------------------------------------------------
+
+    def start(self) -> None:
+        self._schedule()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _schedule(self) -> None:
+        def tick() -> None:
+            self.check()
+            self._schedule()
+
+        self._timer = self.clock.call_later(self.check_interval, tick)
+
+    def _record(self, producer: str, when: float, suspected: bool, silence: float) -> None:
+        event = SuspicionEvent(producer, when, suspected, silence)
+        self.events.append(event)
+        if self.on_suspect:
+            self.on_suspect(event)
+
+    # -- experiment accounting (bench E6) ------------------------------------------
+
+    def false_suspicions(self) -> int:
+        """Suspicions later revoked by a heartbeat (erroneous decisions)."""
+        return sum(1 for e in self.events if not e.suspected)
+
+    def suspicion_count(self) -> int:
+        return sum(1 for e in self.events if e.suspected)
+
+    def detection_latency(self, producer: str, failed_at: float) -> Optional[float]:
+        """Time from the real failure to the (final) suspicion event."""
+        for event in self.events:
+            if event.producer == producer and event.suspected and event.when >= failed_at:
+                return event.when - failed_at
+        return None

@@ -1,0 +1,149 @@
+"""GRRP message format (paper §4.3, [18]).
+
+"Each GRRP message contains the name of the service that is being
+described (i.e., a URL to which GRIP messages can be directed), the
+type of notification message, and timestamps that determine the
+interval over which the notification should be considered to hold."
+
+Two encodings, because "the GRRP definition does not specify the
+underlying transport":
+
+* compact JSON bytes for the unreliable datagram transport;
+* an LDAP entry (objectclass ``giisregistration``) so registrations can
+  be "mapped onto LDAP add operations and then carried via the normal
+  LDAP protocol", exactly as MDS-2.1 does (§10.1).
+
+Messages may be GSI-signed (§7) via :func:`repro.security.gsi.sign_message`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..ldap.dn import DN, RDN
+from ..ldap.entry import Entry
+
+__all__ = ["GrrpError", "NotificationType", "GrrpMessage", "registration_dn"]
+
+
+class GrrpError(ValueError):
+    """Raised on malformed GRRP messages."""
+
+
+class NotificationType:
+    """The kinds of GRRP notification (§10.4: registration and invitation)."""
+
+    REGISTER = "register"
+    UNREGISTER = "unregister"
+    INVITE = "invite"
+
+    ALL = (REGISTER, UNREGISTER, INVITE)
+
+
+def registration_dn(service_url: str, suffix: DN | str = "") -> DN:
+    """Where a registration entry lives in a directory's namespace."""
+    # RDN.single escapes the URL's '=', ',' and '/' characters properly.
+    return DN.of(suffix).child(RDN.single("regid", service_url))
+
+
+@dataclass(frozen=True)
+class GrrpMessage:
+    """One soft-state notification."""
+
+    service_url: str
+    notification_type: str = NotificationType.REGISTER
+    timestamp: float = 0.0
+    valid_until: float = 0.0
+    # Free-form descriptive metadata: the suffix a provider serves, its
+    # object classes, the VO it is registering into, etc.
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.notification_type not in NotificationType.ALL:
+            raise GrrpError(f"unknown notification type {self.notification_type!r}")
+        if not self.service_url:
+            raise GrrpError("GRRP message must name a service URL")
+
+    @property
+    def ttl(self) -> float:
+        return max(0.0, self.valid_until - self.timestamp)
+
+    def is_valid_at(self, now: float) -> bool:
+        """Within the interval the notification 'should be considered to hold'."""
+        return self.timestamp <= now <= self.valid_until
+
+    def refreshed(self, now: float) -> "GrrpMessage":
+        """The same notification re-stamped for a refresh send."""
+        return replace(self, timestamp=now, valid_until=now + self.ttl)
+
+    # -- datagram encoding ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        payload = {
+            "url": self.service_url,
+            "type": self.notification_type,
+            "ts": self.timestamp,
+            "until": self.valid_until,
+            "meta": self.metadata,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "GrrpMessage":
+        try:
+            data = json.loads(raw.decode("utf-8"))
+            return cls(
+                service_url=str(data["url"]),
+                notification_type=str(data["type"]),
+                timestamp=float(data["ts"]),
+                valid_until=float(data["until"]),
+                metadata={str(k): str(v) for k, v in data.get("meta", {}).items()},
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise GrrpError(f"malformed GRRP datagram: {exc}") from exc
+
+    # -- LDAP-entry encoding (the MDS-2.1 transport) ----------------------------
+
+    def to_entry(self, suffix: DN | str = "") -> Entry:
+        entry = Entry(
+            registration_dn(self.service_url, suffix),
+            objectclass=["service", "giisregistration"],
+            url=self.service_url,
+            notificationtype=self.notification_type,
+            ttl=repr(self.ttl),
+        )
+        entry.put("mds-timestamp", repr(self.timestamp))
+        entry.put("mds-validto", repr(self.valid_until))
+        for key, value in self.metadata.items():
+            entry.put(f"regmeta-{key}", value)
+        return entry
+
+    @classmethod
+    def from_entry(cls, entry: Entry) -> "GrrpMessage":
+        url = entry.first("url")
+        if url is None:
+            raise GrrpError(f"{entry.dn}: registration entry lacks url")
+        try:
+            timestamp = float(entry.first("mds-timestamp", "0"))
+            valid_until = float(entry.first("mds-validto", "0"))
+        except ValueError as exc:
+            raise GrrpError(f"{entry.dn}: bad timestamps") from exc
+        metadata = {}
+        for attr, values in entry.items():
+            if attr.lower().startswith("regmeta-"):
+                metadata[attr[len("regmeta-") :]] = values[0]
+        return cls(
+            service_url=url,
+            notification_type=entry.first(
+                "notificationtype", NotificationType.REGISTER
+            ),
+            timestamp=timestamp,
+            valid_until=valid_until,
+            metadata=metadata,
+        )
+
+    @classmethod
+    def is_registration_entry(cls, entry: Entry) -> bool:
+        return entry.is_a("giisregistration")

@@ -1,0 +1,189 @@
+"""The sender side of GRRP: registrants and invitations.
+
+"Under the direction of local and VO-specific policies, an information
+provider determines the directory(s) with which it will register.  The
+provider then sustains a stream of registration messages to each
+directory." (§4.3)
+
+A :class:`Registrant` owns that stream for one provider: it re-stamps
+and re-sends the registration on a fixed interval (with optional jitter
+to avoid synchronized bursts), over any transport expressed as a send
+callable — a simulator datagram, a UDP socket, or an LDAP Add carried by
+a client connection.  Lost sends are fine; soft state absorbs them.
+
+Invitation (§10.4): "a GRIS is asked to join by the aggregate directory
+service ... If a GRIS agrees to join, it turns around and uses GRRP to
+register itself with the specified aggregate directory in a
+fault-tolerant manner."  :meth:`Registrant.handle_invitation` implements
+the turn-around.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..net.clock import Clock, TimerHandle
+from .messages import GrrpMessage, NotificationType
+
+__all__ = ["SendFn", "Registrant", "Inviter"]
+
+# A transport hook: deliver one encoded GRRP message toward a directory
+# named by an opaque address string.  Must never raise on loss.
+SendFn = Callable[[str, GrrpMessage], None]
+
+
+class Registrant:
+    """Sustains soft-state registration streams for one service.
+
+    *interval* is the refresh period; *ttl* the per-message validity.
+    The classic configuration sets ``ttl = k * interval`` for small k so
+    that k consecutive losses are needed before a directory wrongly
+    purges the provider (the tradeoff §4.3 discusses).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        service_url: str,
+        send: SendFn,
+        interval: float = 30.0,
+        ttl: float = 90.0,
+        jitter: float = 0.0,
+        metadata: Optional[Dict[str, str]] = None,
+        rng: Optional[random.Random] = None,
+        accept_invitation: Optional[Callable[[str, GrrpMessage], bool]] = None,
+    ):
+        if interval <= 0 or ttl <= 0:
+            raise ValueError("interval and ttl must be positive")
+        self.clock = clock
+        self.service_url = service_url
+        self.send = send
+        self.interval = interval
+        self.ttl = ttl
+        self.jitter = jitter
+        self.metadata = dict(metadata or {})
+        self.rng = rng or random.Random()
+        # Policy hook: "information providers may wish to assert policy
+        # over which VOs they are prepared to join" (§2.3).
+        self.accept_invitation = accept_invitation
+        self._targets: Dict[str, TimerHandle] = {}
+        self.sends = 0
+
+    # -- registration streams -----------------------------------------------
+
+    def register_with(self, directory: str, immediately: bool = True) -> None:
+        """Start (or keep) a refresh stream toward *directory*."""
+        if directory in self._targets:
+            return
+        self._targets[directory] = _NOOP_TIMER
+        if immediately:
+            self._refresh(directory)
+        else:
+            self._schedule(directory)
+
+    def deregister_from(self, directory: str, notify: bool = True) -> None:
+        """Stop the stream; optionally send an explicit unregister.
+
+        Soft state makes the explicit message an optimization, not a
+        requirement ("no reliable de-notify protocol message is
+        required") — if it is lost, expiry cleans up.
+        """
+        timer = self._targets.pop(directory, None)
+        if timer is not None:
+            timer.cancel()
+        if notify:
+            now = self.clock.now()
+            self.send(
+                directory,
+                GrrpMessage(
+                    service_url=self.service_url,
+                    notification_type=NotificationType.UNREGISTER,
+                    timestamp=now,
+                    valid_until=now,
+                    metadata=self.metadata,
+                ),
+            )
+            self.sends += 1
+
+    def stop(self) -> None:
+        for directory in list(self._targets):
+            self.deregister_from(directory, notify=False)
+
+    def directories(self) -> List[str]:
+        return list(self._targets)
+
+    def _refresh(self, directory: str) -> None:
+        if directory not in self._targets:
+            return
+        now = self.clock.now()
+        message = GrrpMessage(
+            service_url=self.service_url,
+            notification_type=NotificationType.REGISTER,
+            timestamp=now,
+            valid_until=now + self.ttl,
+            metadata=self.metadata,
+        )
+        self.send(directory, message)
+        self.sends += 1
+        self._schedule(directory)
+
+    def _schedule(self, directory: str) -> None:
+        delay = self.interval
+        if self.jitter:
+            delay += self.rng.uniform(-self.jitter, self.jitter)
+            delay = max(delay, self.interval * 0.1)
+        self._targets[directory] = self.clock.call_later(
+            delay, lambda: self._refresh(directory)
+        )
+
+    # -- invitation ---------------------------------------------------------
+
+    def handle_invitation(self, directory: str, message: GrrpMessage) -> bool:
+        """An aggregate directory asked us to join; maybe turn around."""
+        if message.notification_type != NotificationType.INVITE:
+            return False
+        if self.accept_invitation is not None and not self.accept_invitation(
+            directory, message
+        ):
+            return False
+        self.register_with(directory)
+        return True
+
+
+class _NoopTimer:
+    def cancel(self) -> None:
+        pass
+
+
+_NOOP_TIMER = _NoopTimer()
+
+
+class Inviter:
+    """Directory-side invitation sender (§10.4's invite mode).
+
+    A GIIS — "or perhaps a third party" — uses this to ask providers to
+    join a VO.  The invitation names the directory to register with in
+    its metadata.
+    """
+
+    def __init__(self, clock: Clock, directory_url: str, send: SendFn):
+        self.clock = clock
+        self.directory_url = directory_url
+        self.send = send
+
+    def invite(self, provider: str, ttl: float = 300.0, vo: str = "") -> None:
+        now = self.clock.now()
+        metadata = {"directory": self.directory_url}
+        if vo:
+            metadata["vo"] = vo
+        self.send(
+            provider,
+            GrrpMessage(
+                service_url=self.directory_url,
+                notification_type=NotificationType.INVITE,
+                timestamp=now,
+                valid_until=now + ttl,
+                metadata=metadata,
+            ),
+        )

@@ -1,0 +1,104 @@
+"""Per-provider TTL caching (paper §10.3).
+
+"To control the intrusiveness of GRIS operation, improve response time,
+and maximize deployment flexibility, each provider's results may be
+cached for a configurable period of time to reduce the number of
+provider invocations; this cache time-to-live (TTL) is specified
+per-provider."
+
+The cache stores each provider's last snapshot with its production
+timestamp; :meth:`get` refreshes on expiry.  It also tolerates provider
+failures by serving the stale snapshot (flagged) — unavailable sources
+must "not interfere with other functions" (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ldap.entry import Entry
+from .provider import InformationProvider, ProviderError
+
+__all__ = ["CacheStats", "ProviderCache"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    failures: int = 0
+    stale_served: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _CacheSlot:
+    entries: List[Entry]
+    produced_at: float
+
+
+class ProviderCache:
+    """TTL cache over provider snapshots."""
+
+    def __init__(self):
+        self._slots: Dict[str, _CacheSlot] = {}
+        self.stats = CacheStats()
+
+    def get(
+        self,
+        provider: InformationProvider,
+        now: float,
+        serve_stale_on_failure: bool = True,
+    ) -> Tuple[List[Entry], float]:
+        """Return (entries, produced_at), refreshing when the TTL lapsed.
+
+        Entries are copies stamped with the production time so consumers
+        can "explicitly model the currency ... of their information"
+        (§2.1).
+        """
+        slot = self._slots.get(provider.name)
+        if (
+            slot is not None
+            and provider.cache_ttl > 0
+            and now - slot.produced_at <= provider.cache_ttl
+        ):
+            self.stats.hits += 1
+            return self._serve(slot, provider)
+        self.stats.misses += 1
+        try:
+            entries = provider.provide()
+        except ProviderError:
+            self.stats.failures += 1
+            if slot is not None and serve_stale_on_failure:
+                self.stats.stale_served += 1
+                return self._serve(slot, provider)
+            raise
+        slot = _CacheSlot(entries=entries, produced_at=now)
+        self._slots[provider.name] = slot
+        return self._serve(slot, provider)
+
+    def _serve(
+        self, slot: _CacheSlot, provider: InformationProvider
+    ) -> Tuple[List[Entry], float]:
+        ttl = provider.cache_ttl if provider.cache_ttl > 0 else None
+        out = []
+        for entry in slot.entries:
+            copy = entry.copy()
+            copy.stamp(now=slot.produced_at, ttl=ttl)
+            out.append(copy)
+        return out, slot.produced_at
+
+    def invalidate(self, provider_name: str) -> None:
+        self._slots.pop(provider_name, None)
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+    def age(self, provider_name: str, now: float) -> Optional[float]:
+        slot = self._slots.get(provider_name)
+        return None if slot is None else now - slot.produced_at

@@ -1,0 +1,190 @@
+"""Static GRIS configuration (paper §9, §10.3).
+
+"a GRIS is configured by specifying the type of information to be
+produced by a provider and the provider-defined set of routines that
+implement the GRIS API.  Configuration can be done either dynamically
+or statically via configuration files."
+
+The file format is JSON (one object), mirroring the MDS grid-info.conf
+role::
+
+    {
+      "suffix": "hn=myhost, o=Demo",
+      "providers": [
+        {"type": "static-host", "hostname": "myhost", "cpu_count": 8,
+         "memory_mb": 4096, "system": "linux", "cache_ttl": 3600},
+        {"type": "dynamic-host", "hostname": "myhost", "cache_ttl": 5},
+        {"type": "storage", "hostname": "myhost", "store": "scratch",
+         "path": "/scratch", "cache_ttl": 60},
+        {"type": "queue", "hostname": "myhost", "queue": "default"},
+        {"type": "ldif", "name": "site-info", "file": "site.ldif",
+         "cache_ttl": 3600}
+      ],
+      "registrations": [
+        {"directory": "ldap://giis.example:2135/o=Grid",
+         "interval": 30, "ttl": 90, "name": "myhost", "vo": "DemoVO"}
+      ]
+    }
+
+``type: ldif`` providers serve a static LDIF file — the common way MDS
+sites published hand-maintained information.  Provider ``base`` fields
+default to "" (entries rooted at the GRIS suffix), matching the
+per-machine deployment; set ``base`` explicitly for org-level GRISes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..ldap.dn import DN
+from ..ldap.ldif import parse_ldif
+from ..net.clock import Clock, WallClock
+from .core import GrisBackend
+from .host import DynamicHostProvider, HostConfig, StaticHostProvider, real_load_sensor
+from .provider import FunctionProvider, InformationProvider
+from .storage import QueueProvider, StorageProvider, real_filesystem_stat
+
+__all__ = ["ConfigError", "RegistrationSpec", "GrisConfig", "load_config", "build_gris"]
+
+
+class ConfigError(ValueError):
+    """Raised on malformed configuration files."""
+
+
+@dataclass(frozen=True)
+class RegistrationSpec:
+    """One directory this GRIS should register with (§9 manual config)."""
+
+    directory: str
+    interval: float = 30.0
+    ttl: float = 90.0
+    name: str = ""
+    vo: str = ""
+
+
+@dataclass
+class GrisConfig:
+    """A parsed configuration."""
+
+    suffix: str
+    providers: List[InformationProvider] = field(default_factory=list)
+    registrations: List[RegistrationSpec] = field(default_factory=list)
+
+
+def _require(spec: Dict, key: str, provider_type: str):
+    try:
+        return spec[key]
+    except KeyError:
+        raise ConfigError(f"provider type {provider_type!r} requires {key!r}") from None
+
+
+def _build_provider(
+    spec: Dict, base_dir: pathlib.Path, load_sensor: Callable
+) -> InformationProvider:
+    ptype = spec.get("type")
+    ttl = float(spec.get("cache_ttl", 0.0))
+    base = spec.get("base", "")
+    if ptype == "static-host":
+        config = HostConfig(
+            hostname=_require(spec, "hostname", ptype),
+            system=spec.get("system", "linux"),
+            os_version=spec.get("os_version", ""),
+            cpu_type=spec.get("cpu_type", "x86"),
+            cpu_count=int(spec.get("cpu_count", 1)),
+            memory_mb=int(spec.get("memory_mb", 512)),
+            architecture=spec.get("architecture", "ia32"),
+        )
+        return StaticHostProvider(config, cache_ttl=ttl or 3600.0, base=base)
+    if ptype == "dynamic-host":
+        return DynamicHostProvider(
+            _require(spec, "hostname", ptype),
+            load_sensor,
+            cache_ttl=ttl or 15.0,
+            base=base,
+        )
+    if ptype == "storage":
+        path = _require(spec, "path", ptype)
+        return StorageProvider(
+            _require(spec, "hostname", ptype),
+            spec.get("store", "scratch"),
+            path,
+            real_filesystem_stat(path),
+            cache_ttl=ttl or 60.0,
+            base=base,
+        )
+    if ptype == "queue":
+        return QueueProvider(
+            _require(spec, "hostname", ptype),
+            spec.get("queue", "default"),
+            cache_ttl=ttl or 10.0,
+            base=base,
+        )
+    if ptype == "ldif":
+        file_path = base_dir / _require(spec, "file", ptype)
+        name = spec.get("name", file_path.stem)
+        try:
+            entries = parse_ldif(file_path.read_text())
+        except OSError as exc:
+            raise ConfigError(f"cannot read LDIF file {file_path}: {exc}") from exc
+        return FunctionProvider(
+            name,
+            lambda entries=entries: entries,
+            namespace=spec.get("namespace", base),
+            cache_ttl=ttl or 3600.0,
+        )
+    raise ConfigError(f"unknown provider type {ptype!r}")
+
+
+def load_config(
+    path: str | pathlib.Path,
+    load_sensor: Optional[Callable] = None,
+) -> GrisConfig:
+    """Parse a GRIS configuration file."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "suffix" not in data:
+        raise ConfigError(f"{path}: config must be an object with a 'suffix'")
+    try:
+        DN.parse(data["suffix"])
+    except Exception as exc:  # noqa: BLE001
+        raise ConfigError(f"{path}: bad suffix: {exc}") from exc
+
+    sensor = load_sensor or real_load_sensor
+    providers = [
+        _build_provider(spec, path.parent, sensor)
+        for spec in data.get("providers", [])
+    ]
+    registrations = []
+    for spec in data.get("registrations", []):
+        if "directory" not in spec:
+            raise ConfigError(f"{path}: registration entry requires 'directory'")
+        registrations.append(
+            RegistrationSpec(
+                directory=spec["directory"],
+                interval=float(spec.get("interval", 30.0)),
+                ttl=float(spec.get("ttl", 90.0)),
+                name=spec.get("name", ""),
+                vo=spec.get("vo", ""),
+            )
+        )
+    return GrisConfig(
+        suffix=data["suffix"], providers=providers, registrations=registrations
+    )
+
+
+def build_gris(
+    config: GrisConfig, clock: Optional[Clock] = None
+) -> GrisBackend:
+    """Instantiate a GRIS backend from a parsed configuration."""
+    gris = GrisBackend(config.suffix, clock=clock or WallClock())
+    for provider in config.providers:
+        gris.add_provider(provider)
+    return gris

@@ -1,0 +1,249 @@
+"""The GRIS backend: MDS-2's configurable information provider (§10.3).
+
+"GRIS authenticates and parses each incoming GRIP request and then
+dispatches those requests to one or more 'local' information providers,
+depending [on] the type of information named in the request.  Results
+are then merged back to the client.  To efficiently prune search
+processing, a specific provider's results are only considered if the
+provider's namespace intersects the query scope."
+
+This backend plugs into the :class:`~repro.ldap.server.LdapServer`
+front end (which owns authentication and authoritative result
+filtering, §10.1/§10.3) and adds:
+
+* namespace-pruned dispatch to registered providers;
+* per-provider TTL caching (:mod:`repro.gris.cache`);
+* merge of provider snapshots into one view;
+* robustness: a failing provider is skipped, not fatal (§2.2);
+* polling subscriptions, so persistent search works over providers that
+  only expose snapshots (MDS-2.1 lacked push; we implement it as the
+  planned extension).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ldap.backend import (
+    Backend,
+    ChangeCallback,
+    ChangeType,
+    RequestContext,
+    SearchOutcome,
+    Subscription,
+    _in_scope,
+)
+from ..ldap.dit import Scope
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.protocol import LdapResult, ResultCode, SearchRequest
+from ..net.clock import Clock, TimerHandle
+from .cache import ProviderCache
+from .provider import InformationProvider, ProviderError
+
+__all__ = ["GrisBackend"]
+
+
+class GrisBackend(Backend):
+    """A Grid Resource Information Service backend."""
+
+    def __init__(
+        self,
+        suffix: DN | str,
+        clock: Clock,
+        poll_interval: float = 5.0,
+    ):
+        self.suffix = DN.of(suffix)
+        self.clock = clock
+        self.poll_interval = poll_interval
+        self.cache = ProviderCache()
+        self._providers: Dict[str, InformationProvider] = {}
+        self._suffix_entry: Optional[Entry] = None
+        self._subs: Dict[int, "_PollingSubscription"] = {}
+        self._next_sub = 0
+        self.provider_errors = 0
+
+    # -- configuration ("dynamically or statically", §10.3) -------------------
+
+    def add_provider(self, provider: InformationProvider) -> None:
+        if provider.name in self._providers:
+            raise ValueError(f"duplicate provider {provider.name!r}")
+        self._providers[provider.name] = provider
+
+    def remove_provider(self, name: str) -> None:
+        self._providers.pop(name, None)
+        self.cache.invalidate(name)
+
+    def providers(self) -> List[InformationProvider]:
+        return list(self._providers.values())
+
+    def set_suffix_entry(self, entry: Entry) -> None:
+        """The entry published at the GRIS suffix itself."""
+        self._suffix_entry = entry.with_dn(self.suffix)
+
+    # -- namespace math ---------------------------------------------------------
+
+    def provider_base(self, provider: InformationProvider) -> DN:
+        """Absolute DN of the subtree *provider* serves."""
+        return DN(provider.namespace.rdns + self.suffix.rdns)
+
+    def _intersects(self, provider: InformationProvider, req: SearchRequest) -> bool:
+        """Conservative namespace/scope intersection test (§10.3 pruning).
+
+        May admit a provider whose entries all fall outside the scope —
+        generic scope filtering removes them — but never prunes one that
+        could contribute.
+        """
+        base = req.base_dn()
+        pbase = self.provider_base(provider)
+        if req.scope == Scope.BASE:
+            return base.is_within(pbase)
+        return pbase.is_within(base) or base.is_within(pbase)
+
+    # -- search ------------------------------------------------------------------
+
+    def naming_contexts(self):
+        return [str(self.suffix)]
+
+    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        try:
+            base = req.base_dn()
+        except Exception:
+            return SearchOutcome(
+                result=LdapResult(ResultCode.PROTOCOL_ERROR, message="bad base DN")
+            )
+        if not (base.is_within(self.suffix) or self.suffix.is_within(base)):
+            return SearchOutcome(
+                result=LdapResult(
+                    ResultCode.NO_SUCH_OBJECT, matched_dn=str(self.suffix)
+                )
+            )
+        entries = self._collect(req)
+        in_scope = [
+            e
+            for e in entries.values()
+            if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
+        ]
+        if req.scope == Scope.BASE and not in_scope:
+            return SearchOutcome(
+                result=LdapResult(ResultCode.NO_SUCH_OBJECT, matched_dn=req.base)
+            )
+        in_scope.sort(key=lambda e: (len(e.dn), str(e.dn).lower()))
+        return SearchOutcome(entries=in_scope)
+
+    def _collect(self, req: SearchRequest) -> Dict[DN, Entry]:
+        """Gather the merged view relevant to *req* from all providers."""
+        now = self.clock.now()
+        merged: Dict[DN, Entry] = {}
+        if self._suffix_entry is not None:
+            merged[self.suffix] = self._suffix_entry.copy()
+        for provider in self._providers.values():
+            if not self._intersects(provider, req):
+                continue
+            direct = provider.search(req, self.suffix)
+            if direct is not None:
+                for entry in direct:
+                    merged.setdefault(entry.dn, entry)
+                continue
+            try:
+                entries, _age = self.cache.get(provider, now)
+            except ProviderError:
+                self.provider_errors += 1
+                continue  # robustness: skip the failed source (§2.2)
+            for entry in entries:
+                absolute = entry.with_dn(DN(entry.dn.rdns + self.suffix.rdns))
+                # First provider to name a DN wins; providers are expected
+                # to own disjoint namespaces.
+                merged.setdefault(absolute.dn, absolute)
+        return merged
+
+    def snapshot(self, req: Optional[SearchRequest] = None) -> List[Entry]:
+        """The full merged view (diagnostics and polling subscriptions)."""
+        req = req or SearchRequest(base=str(self.suffix), scope=Scope.SUBTREE)
+        return list(self._collect(req).values())
+
+    # -- polling subscriptions ------------------------------------------------------
+
+    def subscribe(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        push: ChangeCallback,
+        change_types: int = ChangeType.ALL,
+    ) -> Subscription:
+        self._next_sub += 1
+        key = self._next_sub
+        sub = _PollingSubscription(self, req, push, change_types)
+        self._subs[key] = sub
+        sub.start()
+
+        def cancel() -> None:
+            inner = self._subs.pop(key, None)
+            if inner is not None:
+                inner.stop()
+
+        return Subscription(cancel)
+
+    def subscription_count(self) -> int:
+        return len(self._subs)
+
+
+class _PollingSubscription:
+    """Diffs successive GRIS snapshots into change notifications."""
+
+    def __init__(
+        self,
+        backend: GrisBackend,
+        req: SearchRequest,
+        push: ChangeCallback,
+        change_types: int,
+    ):
+        self.backend = backend
+        self.req = req
+        self.push = push
+        self.change_types = change_types
+        self._timer: Optional[TimerHandle] = None
+        self._last: Dict[DN, Entry] = self._matching()
+
+    def _matching(self) -> Dict[DN, Entry]:
+        base = self.req.base_dn()
+        out: Dict[DN, Entry] = {}
+        for dn, entry in self.backend._collect(self.req).items():
+            if _in_scope(dn, base, self.req.scope) and self.req.filter.matches(entry):
+                out[dn] = entry
+        return out
+
+    def start(self) -> None:
+        self._timer = self.backend.clock.call_later(
+            self.backend.poll_interval, self._tick
+        )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        current = self._matching()
+        previous, self._last = self._last, current
+        for dn, entry in current.items():
+            if dn not in previous:
+                if self.change_types & ChangeType.ADD:
+                    self.push(entry.copy(), ChangeType.ADD)
+            elif not _same_payload(previous[dn], entry):
+                if self.change_types & ChangeType.MODIFY:
+                    self.push(entry.copy(), ChangeType.MODIFY)
+        for dn, entry in previous.items():
+            if dn not in current and self.change_types & ChangeType.DELETE:
+                self.push(entry.copy(), ChangeType.DELETE)
+        self.start()
+
+
+def _same_payload(a: Entry, b: Entry) -> bool:
+    """Entry equality ignoring the currency-metadata stamps."""
+    strip = ("mds-timestamp", "mds-validto")
+    ca, cb = a.copy(), b.copy()
+    for attr in strip:
+        ca.remove_attr(attr)
+        cb.remove_attr(attr)
+    return ca == cb

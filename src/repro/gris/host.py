@@ -1,0 +1,175 @@
+"""Host information providers: static configuration and dynamic load.
+
+The MDS-2 release ships "information sources for static host information
+(operating system version, CPU type, number of processors, etc.) [and]
+dynamic host information (load average, queue entries, etc.)" (§10.3).
+
+* :class:`StaticHostProvider` — machine configuration, long cache TTL;
+* :class:`DynamicHostProvider` — load averages from a pluggable sensor,
+  short cache TTL;
+* :class:`SimulatedLoadSensor` — a mean-reverting stochastic load
+  process for the simulator, so benches exercise realistic dynamics;
+* :func:`real_load_sensor` — reads the actual ``os.getloadavg`` when the
+  examples run on a real machine.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..net.clock import Clock
+from .provider import FunctionProvider
+
+__all__ = [
+    "HostConfig",
+    "StaticHostProvider",
+    "LoadSensor",
+    "SimulatedLoadSensor",
+    "real_load_sensor",
+    "DynamicHostProvider",
+]
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Static description of one compute resource."""
+
+    hostname: str
+    system: str = "linux"
+    os_version: str = "2.4"
+    cpu_type: str = "x86"
+    cpu_count: int = 1
+    memory_mb: int = 512
+    architecture: str = "ia32"
+
+    def to_entry(self) -> Entry:
+        return Entry(
+            DN.root().child(f"hn={self.hostname}"),
+            objectclass="computer",
+            hn=self.hostname,
+            system=self.system,
+            osversion=self.os_version,
+            cputype=self.cpu_type,
+            cpucount=self.cpu_count,
+            memorysize=f"{self.memory_mb} MB",
+            architecture=self.architecture,
+        )
+
+
+class StaticHostProvider(FunctionProvider):
+    """Static host information: changes only on reconfiguration.
+
+    *base* is where the computer entry sits relative to the GRIS suffix:
+    the default ``hn=<host>`` suits an org-level GRIS serving many
+    machines; pass ``""`` when the GRIS suffix *is* the host entry
+    (per-machine GRIS, the common MDS deployment).
+    """
+
+    def __init__(
+        self,
+        config: HostConfig,
+        cache_ttl: float = 3600.0,
+        base: Optional[DN | str] = None,
+    ):
+        self.config = config
+        self.base = DN.of(base) if base is not None else DN.parse(f"hn={config.hostname}")
+        super().__init__(
+            name=f"static-host-{config.hostname}",
+            fn=self._read,
+            namespace=self.base,
+            cache_ttl=cache_ttl,
+        )
+
+    def _read(self) -> List[Entry]:
+        return [self.config.to_entry().with_dn(self.base)]
+
+
+# A load sensor returns (load1, load5, load15).
+LoadSensor = Callable[[], Tuple[float, float, float]]
+
+
+class SimulatedLoadSensor:
+    """Mean-reverting random-walk load process.
+
+    Each sample pulls toward *mean* with rate *reversion* plus Gaussian
+    noise — a cheap Ornstein-Uhlenbeck analogue that produces the load
+    dynamics the idle-multicomputer and broker experiments need.  The
+    5- and 15-minute figures are EWMAs of the 1-minute value.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        mean: float = 1.0,
+        noise: float = 0.3,
+        reversion: float = 0.2,
+        initial: Optional[float] = None,
+    ):
+        self.rng = rng
+        self.mean = mean
+        self.noise = noise
+        self.reversion = reversion
+        self.load1 = initial if initial is not None else max(0.0, mean)
+        self.load5 = self.load1
+        self.load15 = self.load1
+
+    def __call__(self) -> Tuple[float, float, float]:
+        pull = self.reversion * (self.mean - self.load1)
+        self.load1 = max(0.0, self.load1 + pull + self.rng.gauss(0.0, self.noise))
+        self.load5 += (self.load1 - self.load5) * 0.2
+        self.load15 += (self.load1 - self.load15) * 0.0667
+        return (self.load1, self.load5, self.load15)
+
+    def set_mean(self, mean: float) -> None:
+        """Shift the regime (e.g. a job arrives / departs)."""
+        self.mean = mean
+
+
+def real_load_sensor() -> Tuple[float, float, float]:
+    """The host's actual load averages (used by the examples)."""
+    try:
+        return os.getloadavg()
+    except (OSError, AttributeError):
+        return (0.0, 0.0, 0.0)
+
+
+class DynamicHostProvider(FunctionProvider):
+    """Dynamic host information: load averages under ``perf=load``."""
+
+    def __init__(
+        self,
+        hostname: str,
+        sensor: LoadSensor,
+        cache_ttl: float = 15.0,
+        period: int = 10,
+        base: Optional[DN | str] = None,
+    ):
+        self.hostname = hostname
+        self.sensor = sensor
+        self.period = period
+        self.base = DN.of(base) if base is not None else DN.parse(f"hn={hostname}")
+        super().__init__(
+            name=f"dynamic-host-{hostname}",
+            fn=self._read,
+            namespace=self.base,
+            cache_ttl=cache_ttl,
+        )
+
+    def _read(self) -> List[Entry]:
+        load1, load5, load15 = self.sensor()
+        return [
+            Entry(
+                self.base.child("perf=loadavg"),
+                objectclass=["perf", "loadaverage"],
+                perf="loadavg",
+                period=self.period,
+                load1=f"{load1:.2f}",
+                load5=f"{load5:.2f}",
+                load15=f"{load15:.2f}",
+            )
+        ]

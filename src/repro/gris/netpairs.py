@@ -1,0 +1,142 @@
+"""Non-enumerable namespace provider: network-pair forecasts (§4.1).
+
+"A provider can represent an infinite parametric name space, generating
+elements of this space lazily in response to direct queries.  For
+example, we have constructed ... an information provider that allows
+users to request bandwidth information for entities corresponding to
+network links connecting specified endpoints. ... Information providers
+that support queries on nonenumerable namespaces might signal an error
+and/or return partial results for searches that use too wide a scope."
+
+Entries live at ``link=<src>:<dst>`` below the provider's namespace.
+A query must pin down the pair, either by naming the entry (BASE
+search) or by equality filters on ``src`` and ``dst``; wider searches
+return only the already-materialized links (partial results) — and
+none at all when the provider is configured strict, in which case the
+merge layer simply sees nothing from it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..ldap.dit import Scope
+from ..ldap.dn import DN, RDN
+from ..ldap.entry import Entry
+from ..ldap.filter import And, Equality, Filter
+from ..ldap.protocol import SearchRequest
+from .nws import Forecast, SeriesStore
+from .provider import InformationProvider
+
+__all__ = ["NetworkPairsProvider", "pair_series"]
+
+
+def pair_series(src: str, dst: str, metric: str) -> str:
+    return f"{metric}:{src}->{dst}"
+
+
+def _equality_constraints(filt: Filter) -> dict:
+    """Extract attr->value equality constraints from a conjunction."""
+    out: dict = {}
+    if isinstance(filt, Equality):
+        out[filt.attr.lower()] = filt.value
+    elif isinstance(filt, And):
+        for clause in filt.clauses:
+            out.update(_equality_constraints(clause))
+    return out
+
+
+class NetworkPairsProvider(InformationProvider):
+    """Lazy bandwidth/latency entries for endpoint pairs."""
+
+    def __init__(
+        self,
+        bandwidth_store: SeriesStore,
+        latency_store: Optional[SeriesStore] = None,
+        namespace: DN | str = "nw=links",
+        strict: bool = False,
+    ):
+        super().__init__("network-pairs", namespace, cache_ttl=0.0)
+        self.bandwidth = bandwidth_store
+        self.latency = latency_store
+        self.strict = strict
+        self._materialized: Set[Tuple[str, str]] = set()
+        self.lazy_hits = 0
+
+    # The namespace is infinite: provide() cannot enumerate it, so only
+    # already-materialized links are snapshot-able.
+    def provide(self) -> List[Entry]:
+        self._invoked()
+        return [
+            e
+            for pair in sorted(self._materialized)
+            if (e := self._link_entry(*pair)) is not None
+        ]
+
+    def search(self, req: SearchRequest, suffix: DN) -> Optional[List[Entry]]:
+        self._invoked()
+        base = req.base_dn()
+        ns = DN(self.namespace.rdns + suffix.rdns)
+        pair = self._pair_from_base(base, ns)
+        if pair is None:
+            pair = self._pair_from_filter(req.filter)
+        if pair is not None:
+            self.lazy_hits += 1
+            self._materialized.add(pair)
+            entry = self._link_entry(*pair)
+            if entry is None:
+                return []
+            return [entry.with_dn(DN(entry.dn.rdns + suffix.rdns))]
+        # Too wide a scope for an infinite namespace.
+        if self.strict:
+            return []
+        out = []
+        for src, dst in sorted(self._materialized):
+            entry = self._link_entry(src, dst)
+            if entry is not None:
+                out.append(entry.with_dn(DN(entry.dn.rdns + suffix.rdns)))
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _pair_from_base(base: DN, ns: DN) -> Optional[Tuple[str, str]]:
+        """A BASE-style query naming ``link=src:dst`` directly."""
+        if not base.is_descendant_of(ns):
+            return None
+        rel = base.relative_to(ns)
+        if len(rel) != 1 or rel[0].attr.lower() != "link":
+            return None
+        value = rel[0].value
+        if ":" not in value:
+            return None
+        src, dst = value.split(":", 1)
+        return (src, dst) if src and dst else None
+
+    @staticmethod
+    def _pair_from_filter(filt: Filter) -> Optional[Tuple[str, str]]:
+        """Equality constraints pinning both endpoints."""
+        constraints = _equality_constraints(filt)
+        src, dst = constraints.get("src"), constraints.get("dst")
+        if src and dst:
+            return (src, dst)
+        return None
+
+    def _link_entry(self, src: str, dst: str) -> Optional[Entry]:
+        bw = self.bandwidth.forecast(pair_series(src, dst, "bw"))
+        if bw is None:
+            return None
+        entry = Entry(
+            DN((RDN.single("link", f"{src}:{dst}"),) + self.namespace.rdns),
+            objectclass="networklink",
+            src=src,
+            dst=dst,
+            bandwidth=f"{bw.value:.3f}",
+            forecastmethod=bw.method,
+            measured=bw.samples,
+        )
+        if self.latency is not None:
+            lat = self.latency.forecast(pair_series(src, dst, "lat"))
+            if lat is not None:
+                entry.put("latency", f"{lat.value:.6f}")
+        return entry

@@ -1,0 +1,140 @@
+"""Active network measurement on the simulated network.
+
+The paper's NWS provider "may variously access cached data or perform
+an experiment" (§4.1).  :mod:`repro.gris.nws` covers the cached path;
+this module performs the experiments: echo-based RTT probes and
+timed-transfer bandwidth probes between simulator nodes, feeding
+measurement series that the forecaster bank then models.
+
+Wire an :class:`EchoResponder` onto any node that should be probeable,
+then drive a :class:`NetworkProber` from the measuring node.  Probes are
+asynchronous (datagram round trips on the event loop); lost probes are
+recorded as timeouts, not hangs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net.clock import Clock
+from ..net.simnet import SimNode
+from ..net.transport import Address
+from .nws import SeriesStore
+
+__all__ = ["ECHO_PORT", "EchoResponder", "NetworkProber"]
+
+ECHO_PORT = 7  # where else
+
+
+class EchoResponder:
+    """Answers probe datagrams: echoes payloads back to the sender."""
+
+    def __init__(self, node: SimNode, port: int = ECHO_PORT, reply_port: int = 1007):
+        self.node = node
+        self.port = port
+        self.reply_port = reply_port
+        self.echoes = 0
+        node.on_datagram(port, self._on_probe)
+
+    def _on_probe(self, source: Address, payload: bytes) -> None:
+        self.echoes += 1
+        self.node.send_datagram((source[0], self.reply_port), payload)
+
+
+class NetworkProber:
+    """Measures RTT (and derived bandwidth) to echo-equipped peers.
+
+    Measurements land in two :class:`~repro.gris.nws.SeriesStore`\\ s
+    keyed ``lat:<src>-><dst>`` (seconds, one-way estimate = RTT/2) and
+    ``bw:<src>-><dst>`` (MB/s from a timed payload transfer), ready for
+    the :class:`~repro.gris.netpairs.NetworkPairsProvider`.
+    """
+
+    def __init__(
+        self,
+        node: SimNode,
+        clock: Clock,
+        latency_store: Optional[SeriesStore] = None,
+        bandwidth_store: Optional[SeriesStore] = None,
+        echo_port: int = ECHO_PORT,
+        reply_port: int = 1007,
+        timeout: float = 5.0,
+        bulk_bytes: int = 64 * 1024,
+    ):
+        self.node = node
+        self.clock = clock
+        self.latency = latency_store if latency_store is not None else SeriesStore()
+        self.bandwidth = bandwidth_store if bandwidth_store is not None else SeriesStore()
+        self.echo_port = echo_port
+        self.reply_port = reply_port
+        self.timeout = timeout
+        self.bulk_bytes = bulk_bytes
+        self._next_id = 0
+        self._pending: Dict[int, tuple] = {}
+        self.probes_sent = 0
+        self.probes_lost = 0
+        node.on_datagram(reply_port, self._on_reply)
+
+    def probe(
+        self, dst: str, on_done: Optional[Callable[[Optional[float]], None]] = None
+    ) -> None:
+        """One RTT probe toward *dst*; result (seconds or None) via callback."""
+        self._launch(dst, b"", "lat", on_done)
+
+    def probe_bandwidth(
+        self, dst: str, on_done: Optional[Callable[[Optional[float]], None]] = None
+    ) -> None:
+        """One bulk-transfer probe; bandwidth in MB/s via callback."""
+        self._launch(dst, b"\x00" * self.bulk_bytes, "bw", on_done)
+
+    def _launch(self, dst: str, padding: bytes, kind: str, on_done) -> None:
+        self._next_id += 1
+        probe_id = self._next_id
+        started = self.clock.now()
+        self.probes_sent += 1
+        timer = self.clock.call_later(
+            self.timeout, lambda: self._timed_out(probe_id)
+        )
+        self._pending[probe_id] = (dst, started, kind, on_done, timer)
+        payload = probe_id.to_bytes(8, "big") + padding
+        self.node.send_datagram((dst, self.echo_port), payload)
+
+    def _on_reply(self, source: Address, payload: bytes) -> None:
+        if len(payload) < 8:
+            return
+        probe_id = int.from_bytes(payload[:8], "big")
+        pending = self._pending.pop(probe_id, None)
+        if pending is None:
+            return  # late reply after timeout
+        dst, started, kind, on_done, timer = pending
+        timer.cancel()
+        rtt = self.clock.now() - started
+        if kind == "lat":
+            value = rtt / 2.0
+            self.latency.observe(f"lat:{self.node.host}->{dst}", value)
+        else:
+            # bulk bytes crossed the path twice (there and back)
+            transferred = 2.0 * (len(payload) - 8)
+            value = (transferred / rtt) / (1024 * 1024) if rtt > 0 else 0.0
+            self.bandwidth.observe(f"bw:{self.node.host}->{dst}", value)
+        if on_done:
+            on_done(value)
+
+    def _timed_out(self, probe_id: int) -> None:
+        pending = self._pending.pop(probe_id, None)
+        if pending is None:
+            return
+        self.probes_lost += 1
+        _dst, _started, _kind, on_done, _timer = pending
+        if on_done:
+            on_done(None)
+
+    def survey(self, dsts, period: float, rounds: int) -> None:
+        """Schedule periodic probes of every destination."""
+        for r in range(rounds):
+            for dst in dsts:
+                self.clock.call_later(r * period, lambda d=dst: self.probe(d))
+                self.clock.call_later(
+                    r * period + period / 2.0,
+                    lambda d=dst: self.probe_bandwidth(d),
+                )

@@ -1,0 +1,291 @@
+"""Network Weather Service substitute: measurement + adaptive forecasting.
+
+The paper's network information provider hands queries off "to the
+Network Weather Service (NWS) network performance characterization
+system, which may variously access cached data or perform an
+experiment" (§4.1, ref [40]).  NWS's core idea is a *bank of cheap
+forecasters* run in parallel over each measurement series, always
+answering with the forecaster whose past error is currently lowest.
+We implement that design:
+
+* forecasters: last value, running mean, sliding-window mean, sliding-
+  window median, adaptive EWMA, AR(1);
+* :class:`AdaptiveForecaster` tracks each forecaster's mean squared
+  error and selects the winner per query;
+* :class:`SeriesStore` holds many named series (one per network path /
+  metric) and supports on-demand measurement via a probe callable —
+  "perform an experiment" — when a series is empty or stale.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Forecaster",
+    "LastValue",
+    "RunningMean",
+    "SlidingMean",
+    "SlidingMedian",
+    "Ewma",
+    "Ar1",
+    "AdaptiveForecaster",
+    "Forecast",
+    "SeriesStore",
+    "default_forecasters",
+]
+
+
+class Forecaster:
+    """One incremental predictor over a scalar series."""
+
+    name = "abstract"
+
+    def update(self, value: float) -> None:
+        raise NotImplementedError
+
+    def predict(self) -> Optional[float]:
+        """Forecast of the next value; None until warmed up."""
+        raise NotImplementedError
+
+
+class LastValue(Forecaster):
+    """Predicts the most recent observation (NWS LAST)."""
+
+    name = "last"
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        self._last = value
+
+    def predict(self) -> Optional[float]:
+        return self._last
+
+
+class RunningMean(Forecaster):
+    """Predicts the mean of the whole history (NWS RUN_AVG)."""
+
+    name = "mean"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def update(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+
+    def predict(self) -> Optional[float]:
+        return self._sum / self._count if self._count else None
+
+
+class SlidingMean(Forecaster):
+    """Predicts the mean of the last *window* observations."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.name = f"mean{window}"
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._window.append(value)
+
+    def predict(self) -> Optional[float]:
+        if not self._window:
+            return None
+        return sum(self._window) / len(self._window)
+
+
+class SlidingMedian(Forecaster):
+    """Predicts the median of the last *window* observations
+    (robust to the spikes network measurements produce)."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.name = f"median{window}"
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._window.append(value)
+
+    def predict(self) -> Optional[float]:
+        if not self._window:
+            return None
+        data = sorted(self._window)
+        mid = len(data) // 2
+        if len(data) % 2:
+            return data[mid]
+        return 0.5 * (data[mid - 1] + data[mid])
+
+
+class Ewma(Forecaster):
+    """Exponentially weighted moving average with gain *alpha*."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.name = f"ewma{alpha:g}"
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        if self._value is None:
+            self._value = value
+        else:
+            self._value += self.alpha * (value - self._value)
+
+    def predict(self) -> Optional[float]:
+        return self._value
+
+
+class Ar1(Forecaster):
+    """Order-1 autoregressive forecaster with incremental fitting."""
+
+    name = "ar1"
+
+    def __init__(self) -> None:
+        self._prev: Optional[float] = None
+        self._n = 0
+        self._sx = self._sy = self._sxx = self._sxy = 0.0
+        self._last: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        if self._prev is not None:
+            x, y = self._prev, value
+            self._n += 1
+            self._sx += x
+            self._sy += y
+            self._sxx += x * x
+            self._sxy += x * y
+        self._prev = value
+        self._last = value
+
+    def predict(self) -> Optional[float]:
+        if self._last is None:
+            return None
+        if self._n < 3:
+            return self._last
+        denom = self._n * self._sxx - self._sx * self._sx
+        if abs(denom) < 1e-12:
+            return self._last
+        slope = (self._n * self._sxy - self._sx * self._sy) / denom
+        intercept = (self._sy - slope * self._sx) / self._n
+        return intercept + slope * self._last
+
+
+def default_forecasters() -> List[Forecaster]:
+    return [
+        LastValue(),
+        RunningMean(),
+        SlidingMean(5),
+        SlidingMean(20),
+        SlidingMedian(5),
+        SlidingMedian(20),
+        Ewma(0.2),
+        Ewma(0.5),
+        Ar1(),
+    ]
+
+
+class Forecast:
+    """One answer from the forecaster bank."""
+
+    __slots__ = ("value", "method", "mse", "samples")
+
+    def __init__(self, value: float, method: str, mse: float, samples: int):
+        self.value = value
+        self.method = method
+        self.mse = mse
+        self.samples = samples
+
+    def __repr__(self) -> str:
+        return f"Forecast({self.value:.4g} via {self.method}, mse={self.mse:.4g})"
+
+
+class AdaptiveForecaster:
+    """NWS-style bank: answer with the historically best forecaster."""
+
+    def __init__(self, forecasters: Optional[Sequence[Forecaster]] = None):
+        self.forecasters = list(forecasters) if forecasters else default_forecasters()
+        self._sq_err: Dict[str, float] = {f.name: 0.0 for f in self.forecasters}
+        self._scored = 0
+        self.samples = 0
+
+    def update(self, value: float) -> None:
+        """Score every forecaster's last prediction, then absorb *value*."""
+        any_scored = False
+        for f in self.forecasters:
+            pred = f.predict()
+            if pred is not None:
+                self._sq_err[f.name] += (pred - value) ** 2
+                any_scored = True
+            f.update(value)
+        if any_scored:
+            self._scored += 1
+        self.samples += 1
+
+    def mse(self, name: str) -> float:
+        if self._scored == 0:
+            return math.inf
+        return self._sq_err[name] / self._scored
+
+    def best(self) -> Optional[Forecaster]:
+        candidates = [f for f in self.forecasters if f.predict() is not None]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda f: self.mse(f.name))
+
+    def forecast(self) -> Optional[Forecast]:
+        winner = self.best()
+        if winner is None:
+            return None
+        value = winner.predict()
+        assert value is not None
+        return Forecast(value, winner.name, self.mse(winner.name), self.samples)
+
+
+# A probe performs one measurement experiment for a named series.
+Probe = Callable[[str], float]
+
+
+class SeriesStore:
+    """Named measurement series with on-demand probing.
+
+    ``observe`` feeds passive measurements; ``forecast`` answers from
+    cached state, optionally running *probe* experiments when the series
+    has fewer than *min_samples* observations (the "may variously access
+    cached data or perform an experiment" behaviour).
+    """
+
+    def __init__(self, probe: Optional[Probe] = None, min_samples: int = 1):
+        self.probe = probe
+        self.min_samples = min_samples
+        self._series: Dict[str, AdaptiveForecaster] = {}
+        self.probes_run = 0
+
+    def observe(self, series: str, value: float) -> None:
+        self._series.setdefault(series, AdaptiveForecaster()).update(value)
+
+    def forecast(self, series: str) -> Optional[Forecast]:
+        bank = self._series.get(series)
+        if (bank is None or bank.samples < self.min_samples) and self.probe is not None:
+            bank = self._series.setdefault(series, AdaptiveForecaster())
+            while bank.samples < self.min_samples:
+                bank.update(self.probe(series))
+                self.probes_run += 1
+        if bank is None:
+            return None
+        return bank.forecast()
+
+    def known_series(self) -> List[str]:
+        return list(self._series)
+
+    def samples(self, series: str) -> int:
+        bank = self._series.get(series)
+        return bank.samples if bank else 0

@@ -1,0 +1,127 @@
+"""The information-provider API (paper §10.3).
+
+"The GRIS communicates with an information provider via a well-defined
+API.  We have implemented two variants of this API": shell scripts
+invoked per request, and loadable modules running inside the server with
+RAM-persistent state.  Both variants are modelled here:
+
+* :class:`FunctionProvider` — the *module* style: an in-process callable
+  returning entries, zero invocation overhead, may keep state;
+* :class:`ScriptProvider` — the *script* style: a callable standing in
+  for a forked shell script, producing LDIF text that the framework
+  parses, with an accounted per-invocation cost (process creation).
+
+A provider owns a namespace (a subtree below the GRIS suffix).  It
+either materializes that subtree on demand (:meth:`provide`) or — for
+non-enumerable namespaces like network-pair forecasts (§4.1) — answers
+scoped searches directly (:meth:`search`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.ldif import parse_ldif
+from ..ldap.protocol import SearchRequest
+
+__all__ = ["ProviderError", "InformationProvider", "FunctionProvider", "ScriptProvider"]
+
+
+class ProviderError(Exception):
+    """Raised when a provider cannot produce its information."""
+
+
+class InformationProvider:
+    """Base class: one pluggable information source.
+
+    *namespace* is the DN of the subtree this provider serves, relative
+    to the GRIS suffix (empty DN = the whole suffix).  *cache_ttl* is
+    the §10.3 per-provider cache time-to-live: "the appropriate value
+    depends greatly on both the dynamism of the modeled resource and
+    the cost of the provider mechanism."
+    """
+
+    def __init__(self, name: str, namespace: DN | str = "", cache_ttl: float = 0.0):
+        self.name = name
+        self.namespace = DN.of(namespace)
+        self.cache_ttl = cache_ttl
+        self.invocations = 0
+
+    def provide(self) -> List[Entry]:
+        """Produce the full current snapshot of this provider's subtree.
+
+        DNs are relative to the GRIS suffix.  Called through the cache.
+        """
+        raise NotImplementedError
+
+    def search(self, req: SearchRequest, suffix: DN) -> Optional[List[Entry]]:
+        """Directly answer a scoped search (non-enumerable namespaces).
+
+        Return None to fall back to :meth:`provide` + generic filtering.
+        *req.base* is absolute; *suffix* is the GRIS suffix.
+        """
+        return None
+
+    def _invoked(self) -> None:
+        self.invocations += 1
+
+
+class FunctionProvider(InformationProvider):
+    """Module-style provider: wraps a callable returning entries."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[], Sequence[Entry]],
+        namespace: DN | str = "",
+        cache_ttl: float = 0.0,
+    ):
+        super().__init__(name, namespace, cache_ttl)
+        self._fn = fn
+
+    def provide(self) -> List[Entry]:
+        self._invoked()
+        try:
+            return [e.copy() for e in self._fn()]
+        except ProviderError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - provider faults are data faults
+            raise ProviderError(f"provider {self.name!r} failed: {exc}") from exc
+
+
+class ScriptProvider(InformationProvider):
+    """Script-style provider: produces LDIF text, parsed per invocation.
+
+    *cost* models the per-invocation overhead ("the overhead of
+    server-side process creation") that module providers avoid; the
+    caching benchmark (E7) charges it per cache miss.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        script: Callable[[], str],
+        namespace: DN | str = "",
+        cache_ttl: float = 0.0,
+        cost: float = 0.0,
+    ):
+        super().__init__(name, namespace, cache_ttl)
+        self._script = script
+        self.cost = cost
+        self.total_cost = 0.0
+
+    def provide(self) -> List[Entry]:
+        self._invoked()
+        self.total_cost += self.cost
+        try:
+            text = self._script()
+        except Exception as exc:  # noqa: BLE001
+            raise ProviderError(f"script provider {self.name!r} failed: {exc}") from exc
+        try:
+            return parse_ldif(text)
+        except Exception as exc:  # noqa: BLE001
+            raise ProviderError(
+                f"script provider {self.name!r} produced bad LDIF: {exc}"
+            ) from exc

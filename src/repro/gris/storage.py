@@ -1,0 +1,124 @@
+"""Storage-system information providers (§10.3: "available disk space,
+total disk space, etc.") and job-queue service providers (Figure 3's
+``queue=default`` service object).
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from .provider import FunctionProvider
+
+__all__ = [
+    "FilesystemStat",
+    "StorageProvider",
+    "real_filesystem_stat",
+    "QueueState",
+    "QueueProvider",
+]
+
+
+# A filesystem sensor returns (free_bytes, total_bytes).
+FilesystemStat = Callable[[], Tuple[int, int]]
+
+
+def real_filesystem_stat(path: str) -> FilesystemStat:
+    """Sensor over a real mount point (used by the examples)."""
+
+    def stat() -> Tuple[int, int]:
+        usage = shutil.disk_usage(path)
+        return usage.free, usage.total
+
+    return stat
+
+
+class StorageProvider(FunctionProvider):
+    """Publishes one filesystem as ``store=<name>`` under its host."""
+
+    def __init__(
+        self,
+        hostname: str,
+        store_name: str,
+        path: str,
+        stat: FilesystemStat,
+        cache_ttl: float = 60.0,
+        readonly: bool = False,
+        base: Optional[DN | str] = None,
+    ):
+        self.hostname = hostname
+        self.store_name = store_name
+        self.path = path
+        self.stat = stat
+        self.readonly = readonly
+        self.base = DN.of(base) if base is not None else DN.parse(f"hn={hostname}")
+        super().__init__(
+            name=f"storage-{hostname}-{store_name}",
+            fn=self._read,
+            namespace=self.base,
+            cache_ttl=cache_ttl,
+        )
+
+    def _read(self) -> List[Entry]:
+        free, total = self.stat()
+        return [
+            Entry(
+                self.base.child(f"store={self.store_name}"),
+                objectclass=["storage", "filesystem"],
+                store=self.store_name,
+                path=self.path,
+                free=f"{free // (1024 * 1024)} MB",
+                total=f"{total // (1024 * 1024)} MB",
+                readonly=str(self.readonly).lower(),
+            )
+        ]
+
+
+@dataclass
+class QueueState:
+    """Mutable state of one scheduler queue."""
+
+    jobs: int = 0
+    max_jobs: int = 100
+    dispatch_type: str = "immediate"
+
+
+class QueueProvider(FunctionProvider):
+    """Publishes a job-queue service (Figure 3's queue object)."""
+
+    def __init__(
+        self,
+        hostname: str,
+        queue_name: str = "default",
+        state: Optional[QueueState] = None,
+        cache_ttl: float = 10.0,
+        scheme: str = "gram",
+        base: Optional[DN | str] = None,
+    ):
+        self.hostname = hostname
+        self.queue_name = queue_name
+        self.state = state or QueueState()
+        self.scheme = scheme
+        self.base = DN.of(base) if base is not None else DN.parse(f"hn={hostname}")
+        super().__init__(
+            name=f"queue-{hostname}-{queue_name}",
+            fn=self._read,
+            namespace=self.base,
+            cache_ttl=cache_ttl,
+        )
+
+    def _read(self) -> List[Entry]:
+        return [
+            Entry(
+                self.base.child(f"queue={self.queue_name}"),
+                objectclass=["service", "queue"],
+                queue=self.queue_name,
+                url=f"{self.scheme}://{self.hostname}/{self.queue_name}",
+                dispatchtype=self.state.dispatch_type,
+                jobcount=self.state.jobs,
+                maxjobs=self.state.max_jobs,
+            )
+        ]

@@ -1,0 +1,44 @@
+"""LDAP substrate: data model, query language, and wire protocol.
+
+The paper adopts LDAP "as a data model, query language, and protocol,
+not an implementation vehicle" (§4.1); this package is our from-scratch
+implementation of the subset MDS-2 exercises.
+"""
+
+from .attributes import AttributeValues, rule_for
+from .dit import DIT, DitError, EntryExists, NoSuchEntry, Scope, SizeLimitExceeded
+from .dn import DN, RDN, DNError
+from .entry import Entry
+from .filter import Filter, FilterError, parse as parse_filter
+from .ldif import format_ldif, parse_ldif
+from .referral import chase_referrals, search_following_referrals
+from .schema import GRID_SCHEMA, ObjectClass, Schema, SchemaError
+from .url import LdapUrl, LdapUrlError
+
+__all__ = [
+    "AttributeValues",
+    "rule_for",
+    "DIT",
+    "DitError",
+    "EntryExists",
+    "NoSuchEntry",
+    "Scope",
+    "SizeLimitExceeded",
+    "DN",
+    "RDN",
+    "DNError",
+    "Entry",
+    "Filter",
+    "FilterError",
+    "parse_filter",
+    "format_ldif",
+    "parse_ldif",
+    "chase_referrals",
+    "search_following_referrals",
+    "GRID_SCHEMA",
+    "ObjectClass",
+    "Schema",
+    "SchemaError",
+    "LdapUrl",
+    "LdapUrlError",
+]

@@ -1,0 +1,244 @@
+"""Attribute values and matching rules.
+
+LDAP attributes are typed, multi-valued, and compared under a *matching
+rule*.  MDS-2 data (Figure 3 of the paper) mixes free-text values
+(``system: mips irix``), numbers (``load5: 3.2``), sizes (``free: 33515
+MB``) and URLs.  We implement the three matching rules the paper's data
+model needs:
+
+* ``caseIgnoreMatch`` — default for directory strings: case-insensitive,
+  internal runs of whitespace collapsed;
+* ``integerMatch`` / ``numericMatch`` — numeric comparison when both sides
+  parse as numbers (so ``load5 >= 2.5`` orders numerically, not
+  lexically);
+* ``caseExactMatch`` — for URLs and DNs stored as values.
+
+Values are stored as strings on the wire (LDAP transmits octet strings)
+and coerced for comparison.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = [
+    "normalize_attr_name",
+    "normalize_value",
+    "numeric_value",
+    "MatchingRule",
+    "CaseIgnoreMatch",
+    "CaseExactMatch",
+    "NumericMatch",
+    "rule_for",
+    "AttributeValues",
+]
+
+_WS = re.compile(r"\s+")
+
+# Pattern for values like "33515 MB" / "1.5 GB" that should order by size.
+_SIZE = re.compile(
+    r"^\s*(-?\d+(?:\.\d+)?)\s*(b|kb|mb|gb|tb|pb)?\s*$", re.IGNORECASE
+)
+_UNIT_SCALE = {
+    None: 1.0,
+    "b": 1.0,
+    "kb": 1024.0,
+    "mb": 1024.0**2,
+    "gb": 1024.0**3,
+    "tb": 1024.0**4,
+    "pb": 1024.0**5,
+}
+
+
+def normalize_attr_name(name: str) -> str:
+    """Attribute descriptors are case-insensitive (RFC 4512)."""
+    return name.strip().lower()
+
+
+def normalize_value(value: str) -> str:
+    """caseIgnore normalization: trim, collapse whitespace, lowercase."""
+    return _WS.sub(" ", value.strip()).lower()
+
+
+def numeric_value(value: str) -> Optional[float]:
+    """Parse a numeric or size-with-unit value, or None."""
+    m = _SIZE.match(value)
+    if not m:
+        return None
+    unit = m.group(2)
+    return float(m.group(1)) * _UNIT_SCALE[unit.lower() if unit else None]
+
+
+class MatchingRule:
+    """Equality and ordering semantics for one attribute type."""
+
+    name = "abstract"
+
+    def normalize(self, value: str) -> str:
+        raise NotImplementedError
+
+    def equals(self, a: str, b: str) -> bool:
+        return self.normalize(a) == self.normalize(b)
+
+    def compare(self, a: str, b: str) -> int:
+        """Three-way compare: negative, zero, positive."""
+        na, nb = self.normalize(a), self.normalize(b)
+        return (na > nb) - (na < nb)
+
+    def substring_haystack(self, value: str) -> str:
+        """The string that substring filters match against."""
+        return self.normalize(value)
+
+
+class CaseIgnoreMatch(MatchingRule):
+    """Default directoryString rule: case/whitespace-insensitive, with
+    numeric comparison when both operands parse as numbers."""
+
+    name = "caseIgnoreMatch"
+
+    def normalize(self, value: str) -> str:
+        return normalize_value(value)
+
+    def compare(self, a: str, b: str) -> int:
+        # Numeric comparison when both sides are numbers/sizes; this is
+        # what makes "(load5<=2.0)" behave the way grid brokers expect.
+        fa, fb = numeric_value(a), numeric_value(b)
+        if fa is not None and fb is not None:
+            return (fa > fb) - (fa < fb)
+        return super().compare(a, b)
+
+
+class CaseExactMatch(MatchingRule):
+    """Case-sensitive matching for URLs and DN-valued attributes."""
+
+    name = "caseExactMatch"
+
+    def normalize(self, value: str) -> str:
+        return _WS.sub(" ", value.strip())
+
+
+class NumericMatch(MatchingRule):
+    """Numeric equality/ordering with canonicalized values
+    (so \"3.20\" equals \"3.2\" and \"1 GB\" exceeds \"900 MB\")."""
+
+    name = "numericMatch"
+
+    def normalize(self, value: str) -> str:
+        f = numeric_value(value)
+        if f is None:
+            return normalize_value(value)
+        # Canonical form so equality works across "3.20" vs "3.2".
+        return repr(f)
+
+    def compare(self, a: str, b: str) -> int:
+        fa, fb = numeric_value(a), numeric_value(b)
+        if fa is not None and fb is not None:
+            return (fa > fb) - (fa < fb)
+        return super().compare(a, b)
+
+
+CASE_IGNORE = CaseIgnoreMatch()
+CASE_EXACT = CaseExactMatch()
+NUMERIC = NumericMatch()
+
+# Attribute types with non-default matching rules.  Everything else uses
+# caseIgnoreMatch, matching OpenLDAP's directoryString default.
+_RULES = {
+    "url": CASE_EXACT,
+    "labeleduri": CASE_EXACT,
+    "ref": CASE_EXACT,
+    "load1": NUMERIC,
+    "load5": NUMERIC,
+    "load15": NUMERIC,
+    "free": NUMERIC,
+    "total": NUMERIC,
+    "cpucount": NUMERIC,
+    "memorysize": NUMERIC,
+    "period": NUMERIC,
+    "bandwidth": NUMERIC,
+    "latency": NUMERIC,
+    "ttl": NUMERIC,
+}
+
+
+def rule_for(attr: str) -> MatchingRule:
+    return _RULES.get(normalize_attr_name(attr), CASE_IGNORE)
+
+
+class AttributeValues:
+    """An ordered, duplicate-free multi-set of values for one attribute.
+
+    LDAP forbids duplicate values under the attribute's equality rule;
+    insertion order is preserved for readable LDIF output.
+    """
+
+    __slots__ = ("attr", "rule", "_values", "_normalized")
+
+    def __init__(self, attr: str, values: Iterable[str] = ()):
+        self.attr = attr
+        self.rule = rule_for(attr)
+        self._values: List[str] = []
+        self._normalized: set[str] = set()
+        for v in values:
+            self.add(v)
+
+    def add(self, value: str) -> bool:
+        """Add a value; returns False if an equal value was present."""
+        value = str(value)
+        key = self.rule.normalize(value)
+        if key in self._normalized:
+            return False
+        self._normalized.add(key)
+        self._values.append(value)
+        return True
+
+    def remove(self, value: str) -> bool:
+        key = self.rule.normalize(str(value))
+        if key not in self._normalized:
+            return False
+        self._normalized.discard(key)
+        self._values = [v for v in self._values if self.rule.normalize(v) != key]
+        return True
+
+    def contains(self, value: str) -> bool:
+        return self.rule.normalize(str(value)) in self._normalized
+
+    def values(self) -> List[str]:
+        return list(self._values)
+
+    @property
+    def first(self) -> str:
+        return self._values[0]
+
+    def copy(self) -> "AttributeValues":
+        # Clone state directly: re-normalizing through __init__ dominated
+        # the entry-copy profile (every search result copies entries).
+        clone = AttributeValues.__new__(AttributeValues)
+        clone.attr = self.attr
+        clone.rule = self.rule
+        clone._values = list(self._values)
+        clone._normalized = set(self._normalized)
+        return clone
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeValues):
+            return (
+                normalize_attr_name(self.attr) == normalize_attr_name(other.attr)
+                and self._normalized == other._normalized
+            )
+        if isinstance(other, (list, tuple)):
+            return self._normalized == {self.rule.normalize(str(v)) for v in other}
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"AttributeValues({self.attr!r}, {self._values!r})"

@@ -1,0 +1,268 @@
+"""Pluggable server backends — the OpenLDAP-style extension point.
+
+MDS-2 is built as "specialized backends ... plugged into a standard
+protocol interpreter" (§10.1): the GRIS provider framework and the GIIS
+aggregate directory are both backends behind the same LDAP front end.
+A backend receives decoded, authenticated requests and returns entries
+and results; the front end (:mod:`repro.ldap.server`) owns
+authentication, access control, authoritative result filtering, and the
+wire protocol.
+
+:class:`DitBackend` is the reference implementation over a
+:class:`~repro.ldap.dit.DIT`, with change notification hooks driving
+persistent-search subscriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .dit import DIT, DitError, EntryExists, NoSuchEntry, Scope, SizeLimitExceeded
+from .dn import DN
+from .entry import Entry
+from .protocol import (
+    AddRequest,
+    LdapResult,
+    ModifyRequest,
+    ResultCode,
+    SearchRequest,
+)
+from .schema import SchemaError
+
+__all__ = [
+    "RequestContext",
+    "SearchOutcome",
+    "ChangeType",
+    "Subscription",
+    "Backend",
+    "DitBackend",
+]
+
+
+@dataclass
+class RequestContext:
+    """Who is asking, when, and with which request controls."""
+
+    identity: str = "anonymous"
+    now: float = 0.0
+    peer: Optional[Tuple[str, int]] = None
+    # Raw request controls, so backends can honor ones the front end
+    # does not consume itself (e.g. the GIIS chaining-depth control).
+    controls: Tuple = ()
+
+
+@dataclass
+class SearchOutcome:
+    """What a backend hands back for one search."""
+
+    entries: List[Entry] = field(default_factory=list)
+    referrals: List[str] = field(default_factory=list)
+    result: LdapResult = field(default_factory=LdapResult)
+
+
+class ChangeType:
+    """Persistent-search change types (draft-ietf-ldapext-psearch)."""
+
+    ADD = 1
+    DELETE = 2
+    MODIFY = 4
+    ALL = ADD | DELETE | MODIFY
+
+
+class Subscription:
+    """Handle for one persistent-search registration."""
+
+    def __init__(self, cancel: Callable[[], None]):
+        self._cancel = cancel
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.active = False
+            self._cancel()
+
+
+# Signature of the push callback handed to Backend.subscribe: the backend
+# calls it with (entry, change_type) for every matching change.
+ChangeCallback = Callable[[Entry, int], None]
+
+
+class Backend:
+    """Interface every server backend implements.
+
+    The default write/subscribe implementations refuse, so read-only
+    information providers only implement :meth:`search`.
+
+    Backends that gather results from *remote* services (the GIIS
+    chaining to its registered providers, §10.4) override
+    :meth:`search_async` instead: the front end always drives searches
+    through it, and the default bridges to the synchronous
+    :meth:`search`.
+    """
+
+    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        raise NotImplementedError
+
+    def naming_contexts(self) -> List[str]:
+        """Suffixes this backend serves (advertised in the root DSE)."""
+        return []
+
+    def search_async(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        done: Callable[[SearchOutcome], None],
+    ) -> None:
+        done(self.search(req, ctx))
+
+    def add(self, req: AddRequest, ctx: RequestContext) -> LdapResult:
+        return LdapResult(ResultCode.UNWILLING_TO_PERFORM, message="read-only backend")
+
+    def modify(self, req: ModifyRequest, ctx: RequestContext) -> LdapResult:
+        return LdapResult(ResultCode.UNWILLING_TO_PERFORM, message="read-only backend")
+
+    def delete(self, dn: str, ctx: RequestContext) -> LdapResult:
+        return LdapResult(ResultCode.UNWILLING_TO_PERFORM, message="read-only backend")
+
+    def subscribe(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        push: ChangeCallback,
+        change_types: int = ChangeType.ALL,
+    ) -> Optional[Subscription]:
+        """Register for change notification; None = unsupported."""
+        return None
+
+
+class DitBackend(Backend):
+    """A backend over an in-process DIT with change notification."""
+
+    def __init__(self, dit: Optional[DIT] = None):
+        # NB: an empty DIT is falsy (__len__), so test identity, not truth.
+        self.dit = dit if dit is not None else DIT()
+        self._subscriptions: Dict[int, Tuple[SearchRequest, int, ChangeCallback]] = {}
+        self._next_sub = 0
+
+    # -- reads ---------------------------------------------------------------
+
+    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        try:
+            base = req.base_dn()
+        except Exception:
+            return SearchOutcome(
+                result=LdapResult(ResultCode.PROTOCOL_ERROR, message="bad base DN")
+            )
+        try:
+            # The front end applies the authoritative filter after access
+            # control; the backend pre-filters as an optimization but may
+            # return supersets (e.g. cached providers, §10.3).
+            entries = self.dit.search(base, req.scope, req.filter, attrs=None)
+        except NoSuchEntry:
+            return SearchOutcome(
+                result=LdapResult(
+                    ResultCode.NO_SUCH_OBJECT, matched_dn=str(base)
+                )
+            )
+        except SizeLimitExceeded:
+            return SearchOutcome(
+                result=LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED)
+            )
+        return SearchOutcome(entries=entries)
+
+    # -- writes --------------------------------------------------------------
+
+    def add(self, req: AddRequest, ctx: RequestContext) -> LdapResult:
+        entry = req.to_entry()
+        try:
+            self.dit.add(entry)
+        except EntryExists:
+            return LdapResult(ResultCode.ENTRY_ALREADY_EXISTS, matched_dn=req.dn)
+        except SchemaError as exc:
+            return LdapResult(ResultCode.OBJECT_CLASS_VIOLATION, message=str(exc))
+        except DitError as exc:
+            return LdapResult(ResultCode.OTHER, message=str(exc))
+        self._notify(entry, ChangeType.ADD)
+        return LdapResult()
+
+    def modify(self, req: ModifyRequest, ctx: RequestContext) -> LdapResult:
+        def apply(entry: Entry) -> None:
+            for kind, attr, values in req.changes:
+                if kind == ModifyRequest.OP_ADD:
+                    for v in values:
+                        entry.add_value(attr, v)
+                elif kind == ModifyRequest.OP_DELETE:
+                    if values:
+                        for v in values:
+                            entry.remove_value(attr, v)
+                    else:
+                        entry.remove_attr(attr)
+                elif kind == ModifyRequest.OP_REPLACE:
+                    entry.put(attr, list(values))
+                else:
+                    raise DitError(f"unknown modify op {kind}")
+
+        try:
+            updated = self.dit.modify(DN.parse(req.dn), apply)
+        except NoSuchEntry:
+            return LdapResult(ResultCode.NO_SUCH_OBJECT, matched_dn=req.dn)
+        except SchemaError as exc:
+            return LdapResult(ResultCode.OBJECT_CLASS_VIOLATION, message=str(exc))
+        except DitError as exc:
+            return LdapResult(ResultCode.OTHER, message=str(exc))
+        self._notify(updated, ChangeType.MODIFY)
+        return LdapResult()
+
+    def delete(self, dn: str, ctx: RequestContext) -> LdapResult:
+        try:
+            parsed = DN.parse(dn)
+            entry = self.dit.get(parsed)
+            self.dit.delete(parsed)
+        except NoSuchEntry:
+            return LdapResult(ResultCode.NO_SUCH_OBJECT, matched_dn=dn)
+        except DitError as exc:
+            return LdapResult(ResultCode.UNWILLING_TO_PERFORM, message=str(exc))
+        self._notify(entry, ChangeType.DELETE)
+        return LdapResult()
+
+    # -- subscriptions ----------------------------------------------------------
+
+    def subscribe(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        push: ChangeCallback,
+        change_types: int = ChangeType.ALL,
+    ) -> Subscription:
+        self._next_sub += 1
+        key = self._next_sub
+        self._subscriptions[key] = (req, change_types, push)
+        return Subscription(lambda: self._subscriptions.pop(key, None))
+
+    def _notify(self, entry: Entry, change: int) -> None:
+        for req, change_types, push in list(self._subscriptions.values()):
+            if not change_types & change:
+                continue
+            try:
+                base = req.base_dn()
+            except Exception:
+                continue
+            if not _in_scope(entry.dn, base, req.scope):
+                continue
+            # DELETE notifications match on scope only: the entry's final
+            # attribute state is gone, so the filter cannot be applied.
+            if change != ChangeType.DELETE and not req.filter.matches(entry):
+                continue
+            push(entry.copy(), change)
+
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+
+def _in_scope(dn: DN, base: DN, scope: Scope) -> bool:
+    if scope == Scope.BASE:
+        return dn == base
+    if scope == Scope.ONELEVEL:
+        return not dn.is_root() and dn.parent() == base
+    return dn.is_within(base)

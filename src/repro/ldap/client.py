@@ -1,0 +1,398 @@
+"""LDAP client: the consumer side of GRIP.
+
+The client is callback-driven so the same code runs on the simulator
+(single-threaded, virtual time) and over TCP (reader threads).  Async
+methods take completion callbacks; blocking convenience wrappers
+(:meth:`LdapClient.search`, etc.) are provided for real transports and
+for simulator use via a *driver* — a callable that pumps the simulation
+until the operation completes.
+
+Subscriptions (persistent search) deliver
+:class:`~repro.ldap.entry.Entry` changes until cancelled; cancel sends
+an Abandon.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..net.transport import Connection, ConnectionClosed
+from .backend import ChangeType
+from .dit import Scope
+from .dn import DN
+from .entry import Entry
+from .filter import Filter, parse as parse_filter
+from .protocol import (
+    AbandonRequest,
+    AddRequest,
+    AddResponse,
+    BindRequest,
+    BindResponse,
+    Control,
+    DeleteRequest,
+    DeleteResponse,
+    ExtendedRequest,
+    ExtendedResponse,
+    LdapMessage,
+    LdapResult,
+    ModifyRequest,
+    ModifyResponse,
+    ProtocolError,
+    ResultCode,
+    SearchRequest,
+    SearchResultDone,
+    SearchResultEntry,
+    SearchResultReference,
+    UnbindRequest,
+    decode_message,
+    encode_message,
+)
+from .psearch import EntryChangeNotification, PersistentSearchControl
+
+__all__ = ["LdapError", "SearchResult", "SubscriptionHandle", "LdapClient"]
+
+
+class LdapError(Exception):
+    """A non-success LDAP result, or a transport failure."""
+
+    def __init__(self, result: LdapResult):
+        super().__init__(result.describe())
+        self.result = result
+
+    @classmethod
+    def transport(cls, message: str) -> "LdapError":
+        return cls(LdapResult(ResultCode.OTHER, message=message))
+
+
+@dataclass
+class SearchResult:
+    """Everything one search returned."""
+
+    entries: List[Entry] = field(default_factory=list)
+    referrals: List[str] = field(default_factory=list)
+    result: LdapResult = field(default_factory=LdapResult)
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class SubscriptionHandle:
+    """A live persistent search; cancel() abandons it."""
+
+    def __init__(self, client: "LdapClient", msg_id: int):
+        self._client = client
+        self._msg_id = msg_id
+        self.active = True
+
+    def cancel(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self._client._abandon(self._msg_id)
+
+
+class _Pending:
+    """Server-reply bookkeeping for one outstanding message id."""
+
+    __slots__ = ("kind", "acc", "on_done", "on_change", "event")
+
+    def __init__(self, kind: str, on_done=None, on_change=None):
+        self.kind = kind
+        self.acc = SearchResult()
+        self.on_done = on_done
+        self.on_change = on_change
+        self.event: Optional[threading.Event] = None
+
+
+# A driver pumps progress while a blocking wrapper waits: for the
+# simulator pass e.g. ``sim.run_for`` bound to small steps; for TCP the
+# default None blocks on a threading.Event.
+Driver = Callable[[], None]
+
+
+class LdapClient:
+    """One LDAP connection with request/response correlation."""
+
+    def __init__(self, conn: Connection, driver: Optional[Driver] = None):
+        self.conn = conn
+        self.driver = driver
+        self._next_id = 0
+        self._pending: Dict[int, _Pending] = {}
+        self._lock = threading.Lock()
+        self.identity: Optional[str] = None
+        self.closed = False
+        conn.set_close_handler(self._on_close)
+        conn.set_receiver(self._on_message)
+
+    # -- low-level ----------------------------------------------------------
+
+    def _allocate(self, pending: _Pending) -> int:
+        with self._lock:
+            self._next_id += 1
+            self._pending[self._next_id] = pending
+            return self._next_id
+
+    def _send(self, message: LdapMessage) -> None:
+        try:
+            self.conn.send(encode_message(message))
+        except ConnectionClosed as exc:
+            self._fail_all(str(exc))
+            raise LdapError.transport(str(exc)) from exc
+
+    def _on_close(self) -> None:
+        self._fail_all("connection closed")
+
+    def _fail_all(self, why: str) -> None:
+        self.closed = True
+        with self._lock:
+            pending, self._pending = dict(self._pending), {}
+        failure = LdapResult(ResultCode.OTHER, message=why)
+        for p in pending.values():
+            p.acc.result = failure
+            if p.on_done:
+                p.on_done(p.acc)
+            if p.event:
+                p.event.set()
+
+    def _abandon(self, msg_id: int) -> None:
+        with self._lock:
+            self._pending.pop(msg_id, None)
+        if not self.closed:
+            try:
+                self._send(LdapMessage(0, AbandonRequest(msg_id)))
+            except LdapError:
+                pass
+
+    def _on_message(self, raw: bytes) -> None:
+        try:
+            message = decode_message(raw)
+        except ProtocolError:
+            self.conn.close()
+            return
+        with self._lock:
+            pending = self._pending.get(message.message_id)
+        if pending is None:
+            return
+        op = message.op
+        if isinstance(op, SearchResultEntry):
+            if pending.kind == "subscribe" and pending.on_change is not None:
+                ec = EntryChangeNotification.find(message.controls)
+                change = ec.change_type if ec else 0  # 0 = initial state
+                pending.on_change(op.to_entry(), change)
+                return
+            pending.acc.entries.append(op.to_entry())
+            return
+        if isinstance(op, SearchResultReference):
+            pending.acc.referrals.extend(op.uris)
+            return
+        if isinstance(op, SearchResultDone):
+            pending.acc.result = op.result
+        elif isinstance(op, (BindResponse, AddResponse, ModifyResponse, DeleteResponse)):
+            pending.acc.result = op.result
+            if isinstance(op, BindResponse):
+                pending.acc.referrals = [op.server_credentials.decode("latin-1")]
+        elif isinstance(op, ExtendedResponse):
+            pending.acc.result = op.result
+            pending.acc.referrals = [op.value.decode("utf-8", "replace")]
+        else:
+            return
+        with self._lock:
+            self._pending.pop(message.message_id, None)
+        if pending.on_done:
+            pending.on_done(pending.acc)
+        if pending.event:
+            pending.event.set()
+
+    # -- async API ------------------------------------------------------------
+
+    def bind_async(
+        self,
+        on_done: Callable[[SearchResult], None],
+        name: str = "",
+        mechanism: str = "simple",
+        credentials: bytes = b"",
+    ) -> int:
+        pending = _Pending("bind", on_done=on_done)
+        msg_id = self._allocate(pending)
+        self._send(LdapMessage(msg_id, BindRequest(3, name, mechanism, credentials)))
+        return msg_id
+
+    def search_async(
+        self,
+        req: SearchRequest,
+        on_done: Callable[[SearchResult], None],
+        controls: Tuple[Control, ...] = (),
+    ) -> int:
+        pending = _Pending("search", on_done=on_done)
+        msg_id = self._allocate(pending)
+        self._send(LdapMessage(msg_id, req, controls))
+        return msg_id
+
+    def add_async(
+        self, entry: Entry, on_done: Callable[[SearchResult], None]
+    ) -> int:
+        pending = _Pending("add", on_done=on_done)
+        msg_id = self._allocate(pending)
+        self._send(LdapMessage(msg_id, AddRequest.from_entry(entry)))
+        return msg_id
+
+    def modify_async(
+        self,
+        dn: Union[DN, str],
+        changes: Sequence[Tuple[int, str, Sequence[str]]],
+        on_done: Callable[[SearchResult], None],
+    ) -> int:
+        pending = _Pending("modify", on_done=on_done)
+        msg_id = self._allocate(pending)
+        wire = tuple((k, a, tuple(vs)) for k, a, vs in changes)
+        self._send(LdapMessage(msg_id, ModifyRequest(str(dn), wire)))
+        return msg_id
+
+    def delete_async(
+        self, dn: Union[DN, str], on_done: Callable[[SearchResult], None]
+    ) -> int:
+        pending = _Pending("delete", on_done=on_done)
+        msg_id = self._allocate(pending)
+        self._send(LdapMessage(msg_id, DeleteRequest(str(dn))))
+        return msg_id
+
+    def extended_async(
+        self, oid: str, value: bytes, on_done: Callable[[SearchResult], None]
+    ) -> int:
+        pending = _Pending("extended", on_done=on_done)
+        msg_id = self._allocate(pending)
+        self._send(LdapMessage(msg_id, ExtendedRequest(oid, value)))
+        return msg_id
+
+    def subscribe(
+        self,
+        req: SearchRequest,
+        on_change: Callable[[Entry, int], None],
+        changes_only: bool = True,
+        change_types: int = ChangeType.ALL,
+    ) -> SubscriptionHandle:
+        """Open a persistent search (GRIP push mode).
+
+        *on_change* receives ``(entry, change_type)``; entries from the
+        initial result set (when ``changes_only=False``) carry change
+        type 0 since they are state, not changes.
+        """
+        pending = _Pending("subscribe", on_change=on_change)
+        msg_id = self._allocate(pending)
+        psc = PersistentSearchControl(
+            change_types=change_types, changes_only=changes_only
+        )
+        self._send(LdapMessage(msg_id, req, (psc.to_control(),)))
+        return SubscriptionHandle(self, msg_id)
+
+    # -- blocking wrappers ------------------------------------------------------
+
+    def _blocking(self, starter, timeout: float) -> SearchResult:
+        done = threading.Event()
+        box: List[SearchResult] = []
+
+        def on_done(result: SearchResult) -> None:
+            box.append(result)
+            done.set()
+
+        msg_id = starter(on_done)
+        with self._lock:
+            pending = self._pending.get(msg_id)
+        if pending is not None:
+            pending.event = done
+        if self.driver is not None:
+            for _ in range(1_000_000):
+                if done.is_set():
+                    break
+                self.driver()
+        if not done.wait(0 if self.driver is not None else timeout):
+            raise LdapError.transport(f"timeout after {timeout}s")
+        return box[0]
+
+    def bind(
+        self,
+        name: str = "",
+        mechanism: str = "simple",
+        credentials: bytes = b"",
+        timeout: float = 10.0,
+    ) -> LdapResult:
+        out = self._blocking(
+            lambda cb: self.bind_async(cb, name, mechanism, credentials), timeout
+        )
+        if not out.result.ok:
+            raise LdapError(out.result)
+        return out.result
+
+    def search(
+        self,
+        base: Union[DN, str],
+        scope: Scope = Scope.SUBTREE,
+        filter: Union[Filter, str] = "(objectclass=*)",
+        attrs: Sequence[str] = (),
+        size_limit: int = 0,
+        timeout: float = 10.0,
+        check: bool = True,
+    ) -> SearchResult:
+        filt = parse_filter(filter) if isinstance(filter, str) else filter
+        req = SearchRequest(
+            base=str(base),
+            scope=scope,
+            size_limit=size_limit,
+            filter=filt,
+            attributes=tuple(attrs),
+        )
+        out = self._blocking(lambda cb: self.search_async(req, cb), timeout)
+        if check and not out.result.ok:
+            raise LdapError(out.result)
+        return out
+
+    def add(self, entry: Entry, timeout: float = 10.0) -> LdapResult:
+        out = self._blocking(lambda cb: self.add_async(entry, cb), timeout)
+        if not out.result.ok:
+            raise LdapError(out.result)
+        return out.result
+
+    def modify(
+        self,
+        dn: Union[DN, str],
+        changes: Sequence[Tuple[int, str, Sequence[str]]],
+        timeout: float = 10.0,
+    ) -> LdapResult:
+        out = self._blocking(lambda cb: self.modify_async(dn, changes, cb), timeout)
+        if not out.result.ok:
+            raise LdapError(out.result)
+        return out.result
+
+    def delete(self, dn: Union[DN, str], timeout: float = 10.0) -> LdapResult:
+        out = self._blocking(lambda cb: self.delete_async(dn, cb), timeout)
+        if not out.result.ok:
+            raise LdapError(out.result)
+        return out.result
+
+    def whoami(self, timeout: float = 10.0) -> str:
+        from .server import WHOAMI_OID
+
+        out = self._blocking(
+            lambda cb: self.extended_async(WHOAMI_OID, b"", cb), timeout
+        )
+        if not out.result.ok:
+            raise LdapError(out.result)
+        return out.referrals[0] if out.referrals else ""
+
+    def unbind(self) -> None:
+        if not self.closed:
+            try:
+                self.conn.send(encode_message(LdapMessage(0, UnbindRequest())))
+            except ConnectionClosed:
+                pass
+        self.conn.close()
+        self.closed = True

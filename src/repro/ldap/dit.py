@@ -1,0 +1,257 @@
+"""Directory Information Tree: the hierarchical entry store.
+
+LDAP organizes entries in a tree keyed by DN (Figure 3).  The DIT
+supports the three RFC 4511 search scopes — ``BASE`` (the named entry
+only), ``ONELEVEL`` (immediate children), ``SUBTREE`` (entry and all
+descendants) — plus size limits, attribute selection, and optional
+schema validation on write.
+
+This store backs the GRIS/GIIS servers when they hold materialized data;
+providers that generate entries lazily plug in at the backend layer
+instead (paper §4.1: "there is no requirement that an information
+provider explicitly store information about its entity(s)").
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
+
+from .dn import DN, DNError
+from .entry import Entry
+from .filter import Filter
+from .schema import Schema
+
+__all__ = ["Scope", "DitError", "NoSuchEntry", "EntryExists", "SizeLimitExceeded", "DIT"]
+
+
+class Scope(enum.IntEnum):
+    """RFC 4511 search scopes (wire values)."""
+
+    BASE = 0
+    ONELEVEL = 1
+    SUBTREE = 2
+
+
+class DitError(Exception):
+    """Base class for DIT operation failures."""
+
+
+class NoSuchEntry(DitError):
+    """The named entry does not exist (LDAP noSuchObject)."""
+
+    def __init__(self, dn: DN):
+        super().__init__(f"no such entry: {dn}")
+        self.dn = dn
+
+
+class EntryExists(DitError):
+    """An add collided with an existing entry (entryAlreadyExists)."""
+
+    def __init__(self, dn: DN):
+        super().__init__(f"entry already exists: {dn}")
+        self.dn = dn
+
+
+class NotAllowedOnNonLeaf(DitError):
+    def __init__(self, dn: DN):
+        super().__init__(f"entry has children: {dn}")
+        self.dn = dn
+
+
+class SizeLimitExceeded(DitError):
+    """A search produced more entries than its size limit allows."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"size limit {limit} exceeded")
+        self.limit = limit
+
+
+class DIT:
+    """A thread-safe hierarchical entry store.
+
+    Entries may be added under any DN; missing intermediate ("glue")
+    nodes are tolerated, as OpenLDAP-backed GRIS instances materialize
+    subtrees piecemeal from providers.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None):
+        self._schema = schema
+        self._lock = threading.RLock()
+        self._entries: Dict[DN, Entry] = {}
+        self._children: Dict[DN, Set[DN]] = {}
+
+    # -- write ops -----------------------------------------------------------
+
+    def add(self, entry: Entry, replace: bool = False) -> None:
+        if self._schema is not None:
+            self._schema.validate(entry)
+        with self._lock:
+            if entry.dn in self._entries and not replace:
+                raise EntryExists(entry.dn)
+            self._entries[entry.dn] = entry.copy()
+            self._link(entry.dn)
+
+    def _link(self, dn: DN) -> None:
+        # Register the whole ancestor chain so subtree traversal crosses
+        # glue nodes (ancestors with no stored entry of their own).
+        cur = dn
+        for parent in dn.ancestors():
+            kids = self._children.setdefault(parent, set())
+            if cur in kids:
+                break
+            kids.add(cur)
+            cur = parent
+
+    def _unlink(self, dn: DN) -> None:
+        # Prune upward: drop parent->child links for chains that hold
+        # neither an entry nor any descendants.
+        cur = dn
+        while not cur.is_root():
+            if cur in self._entries or self._children.get(cur):
+                break
+            parent = cur.parent()
+            kids = self._children.get(parent)
+            if kids:
+                kids.discard(cur)
+                if not kids:
+                    del self._children[parent]
+            cur = parent
+
+    def replace(self, entry: Entry) -> None:
+        self.add(entry, replace=True)
+
+    def delete(self, dn: DN | str, force: bool = False) -> None:
+        dn = DN.of(dn)
+        with self._lock:
+            if dn not in self._entries:
+                raise NoSuchEntry(dn)
+            kids = self._children.get(dn)
+            if kids and not force:
+                raise NotAllowedOnNonLeaf(dn)
+            if force:
+                for kid in list(kids or ()):
+                    if kid in self._entries:
+                        self.delete(kid, force=True)
+                    else:  # glue node: delete the subtree beneath it
+                        for sub in list(self._children.get(kid, ())):
+                            self.delete(sub, force=True)
+            del self._entries[dn]
+            self._unlink(dn)
+
+    def modify(self, dn: DN | str, mutator: Callable[[Entry], None]) -> Entry:
+        """Apply *mutator* to a copy of the entry and store it back."""
+        dn = DN.of(dn)
+        with self._lock:
+            current = self._entries.get(dn)
+            if current is None:
+                raise NoSuchEntry(dn)
+            updated = current.copy()
+            mutator(updated)
+            updated.dn = dn  # DN is immutable under modify
+            if self._schema is not None:
+                self._schema.validate(updated)
+            self._entries[dn] = updated
+            return updated.copy()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._children.clear()
+
+    # -- read ops -------------------------------------------------------------
+
+    def get(self, dn: DN | str) -> Entry:
+        dn = DN.of(dn)
+        with self._lock:
+            entry = self._entries.get(dn)
+            if entry is None:
+                raise NoSuchEntry(dn)
+            return entry.copy()
+
+    def exists(self, dn: DN | str) -> bool:
+        with self._lock:
+            return DN.of(dn) in self._entries
+
+    def children(self, dn: DN | str) -> List[DN]:
+        with self._lock:
+            return sorted(
+                self._children.get(DN.of(dn), ()), key=lambda d: str(d).lower()
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def dns(self) -> List[DN]:
+        with self._lock:
+            return list(self._entries)
+
+    def search(
+        self,
+        base: DN | str,
+        scope: Scope = Scope.SUBTREE,
+        filt: Optional[Filter] = None,
+        attrs: Optional[Sequence[str]] = None,
+        size_limit: int = 0,
+    ) -> List[Entry]:
+        """Scoped, filtered search returning projected entry copies.
+
+        A missing base yields an empty result for ONELEVEL/SUBTREE (the
+        GIIS merges results from many providers, some of which may not
+        hold the subtree) and raises for BASE, matching LDAP semantics.
+        """
+        base = DN.of(base)
+        results: List[Entry] = []
+        with self._lock:
+            for dn in self._candidates(base, scope):
+                entry = self._entries.get(dn)
+                if entry is None:
+                    continue
+                if filt is not None and not filt.matches(entry):
+                    continue
+                results.append(entry.project(attrs))
+                if size_limit and len(results) > size_limit:
+                    raise SizeLimitExceeded(size_limit)
+        results.sort(key=lambda e: (len(e.dn), str(e.dn).lower()))
+        return results
+
+    def _candidates(self, base: DN, scope: Scope) -> Iterator[DN]:
+        if scope == Scope.BASE:
+            if base not in self._entries:
+                raise NoSuchEntry(base)
+            yield base
+            return
+        if scope == Scope.ONELEVEL:
+            yield from self._children.get(base, ())
+            return
+        # SUBTREE: breadth-first from base.  The base entry itself may be
+        # a glue node with no stored entry; descend regardless.
+        stack = [base]
+        if base in self._entries:
+            yield base
+        while stack:
+            cur = stack.pop()
+            for kid in self._children.get(cur, ()):
+                yield kid
+                stack.append(kid)
+
+    # -- bulk -----------------------------------------------------------------
+
+    def load(self, entries: Sequence[Entry], replace: bool = True) -> int:
+        """Add many entries (parents before children not required)."""
+        count = 0
+        for e in sorted(entries, key=lambda e: len(e.dn)):
+            self.add(e, replace=replace)
+            count += 1
+        return count
+
+    def dump(self) -> List[Entry]:
+        with self._lock:
+            return [
+                self._entries[dn].copy()
+                for dn in sorted(
+                    self._entries, key=lambda d: (len(d), str(d).lower())
+                )
+            ]

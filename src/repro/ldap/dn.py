@@ -1,0 +1,274 @@
+"""Distinguished names (RFC 4514 subset).
+
+The LDAP data model names every entry with a *distinguished name* — a
+sequence of relative distinguished names (RDNs) ordered leaf-first, e.g.
+``perf=load5, hn=hostX, o=O1``.  MDS-2 uses DNs both to name resources
+within a provider and, combined with the provider's own address, to form
+globally unique names (paper §4.1).
+
+This module implements parsing with RFC 4514 escaping (``\\,`` ``\\=`` and
+``\\xx`` hex pairs), normalization (case-insensitive attribute types and
+values, whitespace trimming), and the hierarchy operations the DIT needs
+(parent, ancestry tests, relative naming).  Multi-valued RDNs
+(``a=1+b=2``) are supported since LDAP allows them, though MDS-2 data
+never needs more than one AVA per RDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["DNError", "RDN", "DN"]
+
+
+class DNError(ValueError):
+    """Raised on malformed DN strings."""
+
+
+_ESCAPED_CHARS = set(',+"\\<>;=#')
+
+
+def _escape_value(value: str) -> str:
+    out: List[str] = []
+    for i, ch in enumerate(value):
+        if ch in _ESCAPED_CHARS:
+            out.append("\\" + ch)
+        elif ch in (" ",) and (i == 0 or i == len(value) - 1):
+            out.append("\\" + ch)
+        elif ord(ch) < 0x20:
+            out.append("\\%02x" % ord(ch))
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _split_unescaped(text: str, seps: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(piece, separator)`` splitting on unescaped separator chars.
+
+    The final piece is yielded with an empty separator.
+    """
+    buf: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise DNError("dangling escape at end of DN")
+            buf.append(text[i : i + 2])
+            i += 2
+            continue
+        if ch in seps:
+            yield "".join(buf), ch
+            buf = []
+            i += 1
+            continue
+        buf.append(ch)
+        i += 1
+    yield "".join(buf), ""
+
+
+def _unescape(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(value):
+            raise DNError("dangling escape")
+        nxt = value[i + 1]
+        if nxt in _ESCAPED_CHARS or nxt == " ":
+            out.append(nxt)
+            i += 2
+            continue
+        if i + 2 < len(value) + 1 and _is_hex(value[i + 1 : i + 3]):
+            out.append(chr(int(value[i + 1 : i + 3], 16)))
+            i += 3
+            continue
+        raise DNError(f"invalid escape \\{nxt!r}")
+    return "".join(out)
+
+
+def _is_hex(s: str) -> bool:
+    return len(s) == 2 and all(c in "0123456789abcdefABCDEF" for c in s)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class RDN:
+    """A relative distinguished name: one or more attribute-value pairs."""
+
+    avas: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.avas:
+            raise DNError("empty RDN")
+        for attr, _ in self.avas:
+            if not attr or not attr.replace("-", "").replace(".", "").isalnum():
+                raise DNError(f"invalid attribute type {attr!r}")
+
+    @classmethod
+    def single(cls, attr: str, value: str) -> "RDN":
+        return cls(((attr, value),))
+
+    @classmethod
+    def parse(cls, text: str) -> "RDN":
+        avas: List[Tuple[str, str]] = []
+        for piece, _sep in _split_unescaped(text, "+"):
+            parts = list(_split_unescaped(piece, "="))
+            if len(parts) != 2:
+                raise DNError(f"RDN component {piece!r} must be attr=value")
+            attr = parts[0][0].strip()
+            value = _unescape(parts[1][0].strip())
+            if not attr:
+                raise DNError(f"missing attribute type in {piece!r}")
+            avas.append((attr, value))
+        return cls(tuple(avas))
+
+    @property
+    def attr(self) -> str:
+        """Attribute type of the first (usually only) AVA."""
+        return self.avas[0][0]
+
+    @property
+    def value(self) -> str:
+        """Value of the first (usually only) AVA."""
+        return self.avas[0][1]
+
+    def normalized(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(
+            sorted((a.lower(), " ".join(v.lower().split())) for a, v in self.avas)
+        )
+
+    def __str__(self) -> str:
+        return "+".join(f"{a}={_escape_value(v)}" for a, v in self.avas)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RDN):
+            return NotImplemented
+        return self.normalized() == other.normalized()
+
+    def __lt__(self, other: "RDN") -> bool:
+        return self.normalized() < other.normalized()
+
+    def __hash__(self) -> int:
+        return hash(self.normalized())
+
+
+@dataclass(frozen=True)
+class DN:
+    """An LDAP distinguished name, leaf RDN first.
+
+    ``DN.parse("perf=load5, hn=hostX")`` names the ``perf=load5`` entry
+    directly under ``hn=hostX``.  The empty DN (``DN.root()``) is the DIT
+    root suffix.
+    """
+
+    rdns: Tuple[RDN, ...] = ()
+
+    @classmethod
+    def root(cls) -> "DN":
+        return cls(())
+
+    @classmethod
+    def parse(cls, text: str) -> "DN":
+        text = text.strip()
+        if not text:
+            return cls.root()
+        rdns = []
+        for piece, _sep in _split_unescaped(text, ",;"):
+            piece = piece.strip()
+            if not piece:
+                raise DNError(f"empty RDN in {text!r}")
+            rdns.append(RDN.parse(piece))
+        return cls(tuple(rdns))
+
+    @classmethod
+    def of(cls, value: "DN | str") -> "DN":
+        return value if isinstance(value, DN) else cls.parse(value)
+
+    def is_root(self) -> bool:
+        return not self.rdns
+
+    @property
+    def rdn(self) -> RDN:
+        if not self.rdns:
+            raise DNError("root DN has no RDN")
+        return self.rdns[0]
+
+    def parent(self) -> "DN":
+        if not self.rdns:
+            raise DNError("root DN has no parent")
+        return DN(self.rdns[1:])
+
+    def child(self, rdn: RDN | str) -> "DN":
+        if isinstance(rdn, str):
+            rdn = RDN.parse(rdn)
+        return DN((rdn,) + self.rdns)
+
+    def is_descendant_of(self, ancestor: "DN") -> bool:
+        """True if *self* is strictly below *ancestor*."""
+        n = len(ancestor.rdns)
+        if len(self.rdns) <= n:
+            return False
+        return DN(self.rdns[len(self.rdns) - n :]) == ancestor
+
+    def is_within(self, ancestor: "DN") -> bool:
+        """True if *self* equals *ancestor* or is below it."""
+        return self == ancestor or self.is_descendant_of(ancestor)
+
+    def depth_below(self, ancestor: "DN") -> int:
+        """Number of RDN levels between *self* and *ancestor* (0 if equal)."""
+        if not self.is_within(ancestor):
+            raise DNError(f"{self} is not within {ancestor}")
+        return len(self.rdns) - len(ancestor.rdns)
+
+    def relative_to(self, suffix: "DN") -> Tuple[RDN, ...]:
+        """RDNs of *self* below *suffix*, leaf first."""
+        if not self.is_within(suffix):
+            raise DNError(f"{self} is not within {suffix}")
+        return self.rdns[: len(self.rdns) - len(suffix.rdns)]
+
+    def ancestors(self) -> Iterator["DN"]:
+        """Yield parent, grandparent, ..., root."""
+        dn = self
+        while not dn.is_root():
+            dn = dn.parent()
+            yield dn
+
+    def normalized(self) -> Tuple[Tuple[Tuple[str, str], ...], ...]:
+        return tuple(r.normalized() for r in self.rdns)
+
+    def __str__(self) -> str:
+        return ", ".join(str(r) for r in self.rdns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DN):
+            return NotImplemented
+        return self.normalized() == other.normalized()
+
+    def __hash__(self) -> int:
+        return hash(self.normalized())
+
+    def __len__(self) -> int:
+        return len(self.rdns)
+
+
+def common_suffix(dns: Sequence[DN] | Iterable[DN]) -> DN:
+    """Longest DN that every DN in *dns* is within (the shared suffix)."""
+    dns = list(dns)
+    if not dns:
+        return DN.root()
+    # Compare suffix-first (reversed RDN order).
+    rev = [list(reversed(d.rdns)) for d in dns]
+    out: List[RDN] = []
+    for level in zip(*rev):
+        if all(r == level[0] for r in level[1:]):
+            out.append(level[0])
+        else:
+            break
+    return DN(tuple(reversed(out)))

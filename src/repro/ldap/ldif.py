@@ -1,0 +1,132 @@
+"""LDIF (LDAP Data Interchange Format, RFC 2849 subset).
+
+GRIS instances are configured with static host information from files,
+and operators inspect directory contents as text; LDIF is the standard
+format for both.  Supports multi-record files, comments, line folding,
+and base64 values (``attr:: ...``) for unsafe strings.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Iterable, Iterator, List
+
+from .entry import Entry
+
+__all__ = ["LdifError", "parse_ldif", "format_ldif", "format_entry"]
+
+_SAFE_INIT = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+)
+
+
+class LdifError(ValueError):
+    """Raised on malformed LDIF input."""
+
+
+def _needs_base64(value: str) -> bool:
+    if value == "":
+        return False
+    if value[0] in (" ", ":", "<") or value != value.strip():
+        return True
+    try:
+        raw = value.encode("ascii")
+    except UnicodeEncodeError:
+        return True
+    return any(b < 0x20 or b == 0x7F for b in raw)
+
+
+def _fold(line: str, width: int = 76) -> Iterator[str]:
+    if len(line) <= width:
+        yield line
+        return
+    yield line[:width]
+    pos = width
+    while pos < len(line):
+        yield " " + line[pos : pos + width - 1]
+        pos += width - 1
+
+
+def format_entry(entry: Entry) -> str:
+    """Serialize one entry as an LDIF record (no trailing blank line)."""
+    lines: List[str] = []
+    dn_text = str(entry.dn)
+    if _needs_base64(dn_text):
+        lines.extend(_fold("dn:: " + base64.b64encode(dn_text.encode()).decode()))
+    else:
+        lines.extend(_fold("dn: " + dn_text))
+    for attr, values in entry.items():
+        for value in values:
+            if _needs_base64(value):
+                encoded = base64.b64encode(value.encode("utf-8")).decode()
+                lines.extend(_fold(f"{attr}:: {encoded}"))
+            else:
+                lines.extend(_fold(f"{attr}: {value}"))
+    return "\n".join(lines)
+
+
+def format_ldif(entries: Iterable[Entry]) -> str:
+    """Serialize entries as an LDIF document."""
+    return "\n\n".join(format_entry(e) for e in entries) + "\n"
+
+
+def _unfold(text: str) -> Iterator[str]:
+    current: List[str] = []
+    for raw in text.splitlines():
+        if raw.startswith(" ") and current:
+            current.append(raw[1:])
+            continue
+        if current:
+            yield "".join(current)
+        current = [raw]
+    if current:
+        yield "".join(current)
+
+
+def parse_ldif(text: str) -> List[Entry]:
+    """Parse an LDIF document into entries."""
+    entries: List[Entry] = []
+    record: List[str] = []
+
+    def flush() -> None:
+        if not record:
+            return
+        entries.append(_parse_record(record))
+        record.clear()
+
+    for line in _unfold(text):
+        if line.startswith("#"):
+            continue
+        if not line.strip():
+            flush()
+            continue
+        record.append(line)
+    flush()
+    return entries
+
+
+def _parse_record(lines: List[str]) -> Entry:
+    if not lines[0].lower().startswith("dn:"):
+        raise LdifError(f"record must start with dn:, got {lines[0]!r}")
+    dn_text = _parse_value(lines[0][3:])
+    entry = Entry(dn_text)
+    for line in lines[1:]:
+        if ":" not in line:
+            raise LdifError(f"malformed LDIF line {line!r}")
+        attr, rest = line.split(":", 1)
+        attr = attr.strip()
+        if not attr or not all(c in _SAFE_INIT or c in "-._;" for c in attr):
+            raise LdifError(f"invalid attribute name {attr!r}")
+        entry.add_value(attr, _parse_value(rest))
+    return entry
+
+
+def _parse_value(rest: str) -> str:
+    if rest.startswith(":"):
+        try:
+            return base64.b64decode(rest[1:].strip(), validate=True).decode("utf-8")
+        except Exception as exc:  # noqa: BLE001 - normalize to LdifError
+            raise LdifError(f"bad base64 value: {exc}") from exc
+    if rest.startswith("<"):
+        raise LdifError("URL-valued LDIF attributes are not supported")
+    return rest[1:] if rest.startswith(" ") else rest

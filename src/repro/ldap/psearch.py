@@ -1,0 +1,96 @@
+"""Persistent search: GRIP's subscription mode.
+
+The paper adopts the LDAP "persistent search" extension [32] so that
+"an initial subscription request requests subsequent asynchronous
+delivery" (§6).  A client attaches the persistent-search control to a
+SearchRequest; the server keeps the search open and pushes a
+SearchResultEntry whenever a matching entry is added, modified, or
+deleted, each tagged with an Entry Change Notification control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from . import ber
+from .ber import TlvReader
+from .backend import ChangeType
+from .protocol import Control
+
+__all__ = [
+    "PSEARCH_OID",
+    "ENTRY_CHANGE_OID",
+    "PersistentSearchControl",
+    "EntryChangeNotification",
+]
+
+# OIDs from draft-ietf-ldapext-psearch-03 (reference [32] of the paper).
+PSEARCH_OID = "2.16.840.1.113730.3.4.3"
+ENTRY_CHANGE_OID = "2.16.840.1.113730.3.4.7"
+
+
+@dataclass(frozen=True)
+class PersistentSearchControl:
+    """Request control: which changes to stream.
+
+    *changes_only* suppresses the initial result set; *return_ecs* asks
+    for Entry Change Notification controls on pushed entries.
+    """
+
+    change_types: int = ChangeType.ALL
+    changes_only: bool = False
+    return_ecs: bool = True
+
+    def to_control(self, critical: bool = True) -> Control:
+        value = ber.encode_sequence(
+            [
+                ber.encode_integer(self.change_types),
+                ber.encode_boolean(self.changes_only),
+                ber.encode_boolean(self.return_ecs),
+            ]
+        )
+        return Control(PSEARCH_OID, critical, value)
+
+    @classmethod
+    def from_control(cls, control: Control) -> "PersistentSearchControl":
+        r = TlvReader(control.value)
+        seq = r.read_sequence()
+        change_types = seq.read_integer()
+        changes_only = seq.read_boolean()
+        return_ecs = seq.read_boolean()
+        seq.expect_end()
+        r.expect_end()
+        return cls(change_types, changes_only, return_ecs)
+
+    @classmethod
+    def find(cls, controls) -> Optional["PersistentSearchControl"]:
+        for control in controls:
+            if control.oid == PSEARCH_OID:
+                return cls.from_control(control)
+        return None
+
+
+@dataclass(frozen=True)
+class EntryChangeNotification:
+    """Response control: what kind of change produced this entry."""
+
+    change_type: int
+
+    def to_control(self) -> Control:
+        value = ber.encode_sequence([ber.encode_enumerated(self.change_type)])
+        return Control(ENTRY_CHANGE_OID, False, value)
+
+    @classmethod
+    def from_control(cls, control: Control) -> "EntryChangeNotification":
+        r = TlvReader(control.value)
+        seq = r.read_sequence()
+        change_type = seq.read_enumerated()
+        return cls(change_type)
+
+    @classmethod
+    def find(cls, controls) -> Optional["EntryChangeNotification"]:
+        for control in controls:
+            if control.oid == ENTRY_CHANGE_OID:
+                return cls.from_control(control)
+        return None

@@ -1,0 +1,102 @@
+"""Client-side referral chasing (paper §10.4).
+
+When a directory cannot (or will not) proxy data, it returns "the name
+of the information provider directly to the client in the form of a
+LDAP URL using the referral mechanisms defined as part of the standard
+LDAP protocol."  The client then contacts the provider itself — which
+also means re-authenticating there, so per-provider access control is
+applied to the *client's* identity, not the directory's (§7).
+
+:func:`chase_referrals` performs that follow-up over any dial function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from .client import LdapClient, SearchResult
+from .dit import Scope
+from .dn import DN
+from .entry import Entry
+from .filter import Filter, parse as parse_filter
+from .url import LdapUrl, LdapUrlError
+
+__all__ = ["chase_referrals", "search_following_referrals"]
+
+# Dial a referral target; returns a ready (possibly bound) client.
+Dial = Callable[[LdapUrl], LdapClient]
+
+
+def chase_referrals(
+    initial: SearchResult,
+    dial: Dial,
+    filter: Union[Filter, str] = "(objectclass=*)",
+    scope: Scope = Scope.SUBTREE,
+    attrs: Sequence[str] = (),
+    max_hops: int = 8,
+    timeout: float = 10.0,
+) -> SearchResult:
+    """Resolve *initial*'s referrals into entries.
+
+    Each referral URL is dialled and searched (base = the URL's DN,
+    falling back to the given scope/filter when the URL doesn't carry
+    its own).  Referrals returned by referred-to servers are chased
+    recursively up to *max_hops*; entries are deduplicated by DN.
+    Unreachable targets are skipped — partial results, per §2.2.
+    """
+    merged: Dict[DN, Entry] = {e.dn: e for e in initial.entries}
+    visited: Set[str] = set()
+    frontier: List[str] = list(initial.referrals)
+    hops = 0
+    while frontier and hops < max_hops:
+        hops += 1
+        next_frontier: List[str] = []
+        for uri in frontier:
+            if uri in visited:
+                continue
+            visited.add(uri)
+            try:
+                url = LdapUrl.parse(uri)
+            except LdapUrlError:
+                continue
+            try:
+                client = dial(url)
+            except Exception:  # noqa: BLE001 - dead provider: partial results
+                continue
+            try:
+                out = client.search(
+                    url.dn,
+                    url.scope if url.scope is not None else scope,
+                    url.filter if url.filter is not None else filter,
+                    attrs=tuple(url.attrs) if url.attrs else tuple(attrs),
+                    timeout=timeout,
+                    check=False,
+                )
+            except Exception:  # noqa: BLE001
+                continue
+            for entry in out.entries:
+                merged.setdefault(entry.dn, entry)
+            next_frontier.extend(out.referrals)
+        frontier = next_frontier
+    entries = sorted(merged.values(), key=lambda e: (len(e.dn), str(e.dn).lower()))
+    return SearchResult(entries=entries, referrals=frontier, result=initial.result)
+
+
+def search_following_referrals(
+    client: LdapClient,
+    dial: Dial,
+    base: Union[DN, str],
+    scope: Scope = Scope.SUBTREE,
+    filter: Union[Filter, str] = "(objectclass=*)",
+    attrs: Sequence[str] = (),
+    max_hops: int = 8,
+    timeout: float = 10.0,
+) -> SearchResult:
+    """One search against *client*, with referral chasing."""
+    initial = client.search(
+        base, scope, filter, attrs=attrs, timeout=timeout, check=False
+    )
+    return chase_referrals(
+        initial, dial, filter=filter, scope=scope, attrs=attrs,
+        max_hops=max_hops, timeout=timeout,
+    )

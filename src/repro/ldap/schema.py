@@ -1,0 +1,262 @@
+"""Object-class schema: typed entity descriptions (paper §8, Figure 3).
+
+The paper argues for "a convenient and extensible mechanism for defining
+information types" so that entities sharing major characteristics have
+comparable descriptions.  This module provides a small schema system:
+object classes with required/optional attributes and single inheritance,
+a registry, and validation.  The built-in ``GRID_SCHEMA`` covers every
+object class the paper's Figure 3 and the MDS-2 providers use.
+
+Schema enforcement is optional (the paper notes the Condor Matchmaker
+works without one); the DIT accepts a schema but defaults to none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from .attributes import normalize_attr_name
+from .entry import Entry
+
+__all__ = ["ObjectClass", "Schema", "SchemaError", "GRID_SCHEMA"]
+
+
+class SchemaError(ValueError):
+    """Raised when an entry violates its declared object classes."""
+
+
+@dataclass(frozen=True)
+class ObjectClass:
+    """Definition of one object class.
+
+    ``must`` attributes are required on any entry carrying the class;
+    ``may`` attributes are permitted.  ``superior`` names a parent class
+    whose must/may sets are inherited.
+    """
+
+    name: str
+    must: FrozenSet[str] = frozenset()
+    may: FrozenSet[str] = frozenset()
+    superior: Optional[str] = None
+    abstract: bool = False
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        must: Iterable[str] = (),
+        may: Iterable[str] = (),
+        superior: Optional[str] = None,
+        abstract: bool = False,
+    ) -> "ObjectClass":
+        return cls(
+            name=name,
+            must=frozenset(normalize_attr_name(a) for a in must),
+            may=frozenset(normalize_attr_name(a) for a in may),
+            superior=superior,
+            abstract=abstract,
+        )
+
+
+# Attributes every MDS entry may carry: naming and currency metadata (§2.1).
+_COMMON_MAY = (
+    "objectclass",
+    "mds-timestamp",
+    "mds-validto",
+    "description",
+    "owner",
+)
+
+
+class Schema:
+    """A registry of object classes with validation."""
+
+    def __init__(self, classes: Iterable[ObjectClass] = ()):
+        self._classes: Dict[str, ObjectClass] = {}
+        for oc in classes:
+            self.register(oc)
+
+    def register(self, oc: ObjectClass) -> None:
+        key = oc.name.lower()
+        if key in self._classes:
+            raise SchemaError(f"duplicate object class {oc.name!r}")
+        if oc.superior is not None and oc.superior.lower() not in self._classes:
+            raise SchemaError(
+                f"object class {oc.name!r} extends unknown {oc.superior!r}"
+            )
+        self._classes[key] = oc
+
+    def get(self, name: str) -> ObjectClass:
+        try:
+            return self._classes[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown object class {name!r}") from None
+
+    def knows(self, name: str) -> bool:
+        return name.lower() in self._classes
+
+    def class_names(self) -> List[str]:
+        return [oc.name for oc in self._classes.values()]
+
+    def lineage(self, name: str) -> List[ObjectClass]:
+        """The class and all its ancestors, most-derived first."""
+        out: List[ObjectClass] = []
+        seen: Set[str] = set()
+        cur: Optional[str] = name
+        while cur is not None:
+            key = cur.lower()
+            if key in seen:
+                raise SchemaError(f"inheritance cycle at {cur!r}")
+            seen.add(key)
+            oc = self.get(cur)
+            out.append(oc)
+            cur = oc.superior
+        return out
+
+    def effective_must(self, names: Iterable[str]) -> Set[str]:
+        must: Set[str] = set()
+        for name in names:
+            for oc in self.lineage(name):
+                must |= oc.must
+        return must
+
+    def effective_may(self, names: Iterable[str]) -> Set[str]:
+        may: Set[str] = set(normalize_attr_name(a) for a in _COMMON_MAY)
+        for name in names:
+            for oc in self.lineage(name):
+                may |= oc.may | oc.must
+        return may
+
+    def validate(self, entry: Entry) -> None:
+        """Raise :class:`SchemaError` if *entry* violates the schema."""
+        classes = entry.object_classes
+        if not classes:
+            raise SchemaError(f"{entry.dn}: entry has no objectclass")
+        for name in classes:
+            oc = self.get(name)
+            if oc.abstract and len(classes) == 1:
+                raise SchemaError(
+                    f"{entry.dn}: abstract class {name!r} cannot stand alone"
+                )
+        must = self.effective_must(classes)
+        may = self.effective_may(classes)
+        present = {normalize_attr_name(a) for a in entry.attribute_names()}
+        missing = must - present
+        if missing:
+            raise SchemaError(
+                f"{entry.dn}: missing required attributes {sorted(missing)}"
+            )
+        extra = present - may
+        if extra:
+            raise SchemaError(
+                f"{entry.dn}: attributes {sorted(extra)} not allowed by "
+                f"classes {classes}"
+            )
+
+    def is_valid(self, entry: Entry) -> bool:
+        try:
+            self.validate(entry)
+            return True
+        except SchemaError:
+            return False
+
+
+def _grid_schema() -> Schema:
+    s = Schema()
+    # Abstract roots.
+    s.register(ObjectClass.make("top", may=("cn",), abstract=True))
+    s.register(
+        ObjectClass.make(
+            "organization", must=("o",), may=("l", "seealso"), superior="top"
+        )
+    )
+    s.register(
+        ObjectClass.make(
+            "organizationalunit", must=("ou",), may=("l", "seealso"), superior="top"
+        )
+    )
+    # Figure 3 classes.
+    s.register(
+        ObjectClass.make(
+            "computer",
+            must=("hn",),
+            may=(
+                "system",
+                "osversion",
+                "cputype",
+                "cpucount",
+                "memorysize",
+                "architecture",
+                "manufacturer",
+            ),
+            superior="top",
+        )
+    )
+    s.register(
+        ObjectClass.make("service", must=("url",), may=("protocol",), superior="top")
+    )
+    s.register(
+        ObjectClass.make(
+            "queue",
+            must=("queue",),
+            may=("dispatchtype", "maxjobs", "jobcount"),
+            superior="service",
+        )
+    )
+    s.register(ObjectClass.make("perf", must=("perf",), superior="top"))
+    s.register(
+        ObjectClass.make(
+            "loadaverage",
+            must=("period",),
+            may=("load1", "load5", "load15"),
+            superior="perf",
+        )
+    )
+    s.register(ObjectClass.make("storage", must=("store",), superior="top"))
+    s.register(
+        ObjectClass.make(
+            "filesystem",
+            must=("path",),
+            may=("free", "total", "readonly"),
+            superior="storage",
+        )
+    )
+    # Networking / NWS entities (§4.1's non-enumerable namespace).
+    s.register(
+        ObjectClass.make(
+            "networklink",
+            must=("src", "dst"),
+            may=("bandwidth", "latency", "forecastmethod", "measured"),
+            superior="top",
+        )
+    )
+    # Registrations and running computations.
+    s.register(
+        ObjectClass.make(
+            "giisregistration",
+            must=("url",),
+            may=("ttl", "notificationtype", "regsource"),
+            superior="service",
+        )
+    )
+    s.register(
+        ObjectClass.make(
+            "application",
+            must=("appname",),
+            may=("status", "progress", "resource", "accuracy"),
+            superior="top",
+        )
+    )
+    s.register(
+        ObjectClass.make(
+            "replica",
+            must=("lfn", "store"),
+            may=("size", "checksum"),
+            superior="top",
+        )
+    )
+    return s
+
+
+GRID_SCHEMA = _grid_schema()

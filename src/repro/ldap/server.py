@@ -1,0 +1,444 @@
+"""The LDAP server front end — MDS-2's "standard protocol interpreter".
+
+Per §10.1 of the paper, "the interpreter handles all authentication,
+data formatting, query interpretation, results filtering, network
+connection management, and dispatch to the appropriate backend", and
+per §10.3 result filtering "is not a performance optimization, but a
+necessary step to ensure that the protocol's search semantics are
+implemented correctly" — backends (cached providers especially) may
+return supersets.
+
+Responsibilities here:
+
+* decode/encode LDAPMessages on any :class:`~repro.net.transport.Connection`;
+* binds via a pluggable :class:`~repro.security.sasl.Authenticator`;
+* per-request access control via an :class:`~repro.security.acl.AccessPolicy`
+  (filter evaluation happens on the *policy-visible* entry, so restricted
+  attributes are neither returned nor searchable — no oracle leaks);
+* authoritative filter matching, attribute selection, size limits;
+* persistent-search subscriptions and Abandon;
+* dispatch of everything else to the :class:`~repro.ldap.backend.Backend`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.clock import Clock, WallClock
+from ..net.transport import Connection, ConnectionClosed
+from ..security.acl import ANONYMOUS, AccessPolicy, open_policy
+from ..security.gsi import AuthError
+from ..security.sasl import AnonymousOnly, Authenticator
+from .backend import Backend, ChangeType, RequestContext, Subscription
+from .dit import Scope
+from .dn import DN
+from .entry import Entry
+from .protocol import (
+    AbandonRequest,
+    AddRequest,
+    AddResponse,
+    BindRequest,
+    BindResponse,
+    Control,
+    DeleteRequest,
+    DeleteResponse,
+    ExtendedRequest,
+    ExtendedResponse,
+    LdapMessage,
+    LdapResult,
+    ModifyRequest,
+    ModifyResponse,
+    ProtocolError,
+    ResultCode,
+    SearchRequest,
+    SearchResultDone,
+    SearchResultEntry,
+    SearchResultReference,
+    UnbindRequest,
+    decode_message,
+    encode_message,
+)
+from .psearch import EntryChangeNotification, PersistentSearchControl
+
+__all__ = ["LdapServer", "WHOAMI_OID"]
+
+WHOAMI_OID = "1.3.6.1.4.1.4203.1.11.3"
+VENDOR_NAME = "repro-mds2"
+
+
+class LdapServer:
+    """A transport-agnostic LDAP server.
+
+    Attach to any listener via :meth:`handle_connection`::
+
+        server = LdapServer(backend)
+        node.listen(2135, server.handle_connection)       # simulator
+        endpoint.listen(2135, server.handle_connection)   # real TCP
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        authenticator: Optional[Authenticator] = None,
+        policy: Optional[AccessPolicy] = None,
+        clock: Optional[Clock] = None,
+        allow_anonymous_writes: bool = True,
+        name: str = "ldap-server",
+    ):
+        self.backend = backend
+        self.authenticator = authenticator or AnonymousOnly()
+        self.policy = policy or open_policy()
+        self.clock = clock or WallClock()
+        self.allow_anonymous_writes = allow_anonymous_writes
+        self.name = name
+        self.stats = _ServerStats()
+
+    def handle_connection(self, conn: Connection) -> None:
+        _ServerConnection(self, conn)
+
+
+class _ServerStats:
+    def __init__(self) -> None:
+        self.connections = 0
+        self.searches = 0
+        self.binds = 0
+        self.adds = 0
+        self.modifies = 0
+        self.deletes = 0
+        self.entries_returned = 0
+        self.entries_suppressed = 0
+        self.protocol_errors = 0
+
+
+class _ServerConnection:
+    """Per-connection protocol state machine."""
+
+    def __init__(self, server: LdapServer, conn: Connection):
+        self.server = server
+        self.conn = conn
+        self.identity = ANONYMOUS
+        self._lock = threading.Lock()  # serializes dispatch on TCP threads
+        self._subscriptions: Dict[int, Subscription] = {}
+        server.stats.connections += 1
+        conn.set_close_handler(self._on_close)
+        conn.set_receiver(self._on_message)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send(self, message: LdapMessage) -> None:
+        try:
+            self.conn.send(encode_message(message))
+        except ConnectionClosed:
+            self._on_close()
+
+    def _on_close(self) -> None:
+        for sub in list(self._subscriptions.values()):
+            sub.cancel()
+        self._subscriptions.clear()
+
+    def _context(self) -> RequestContext:
+        return RequestContext(
+            identity=self.identity,
+            now=self.server.clock.now(),
+            peer=self.conn.peer,
+        )
+
+    def _on_message(self, raw: bytes) -> None:
+        try:
+            message = decode_message(raw)
+        except ProtocolError:
+            self.server.stats.protocol_errors += 1
+            self.conn.close()
+            self._on_close()
+            return
+        with self._lock:
+            try:
+                self._dispatch(message)
+            except Exception as exc:  # noqa: BLE001 - never kill the server
+                self._send_error_for(message, exc)
+
+    def _send_error_for(self, message: LdapMessage, exc: Exception) -> None:
+        result = LdapResult(ResultCode.OTHER, message=f"internal error: {exc}")
+        op = message.op
+        if isinstance(op, SearchRequest):
+            self._send(LdapMessage(message.message_id, SearchResultDone(result)))
+        elif isinstance(op, BindRequest):
+            self._send(LdapMessage(message.message_id, BindResponse(result)))
+        elif isinstance(op, AddRequest):
+            self._send(LdapMessage(message.message_id, AddResponse(result)))
+        elif isinstance(op, ModifyRequest):
+            self._send(LdapMessage(message.message_id, ModifyResponse(result)))
+        elif isinstance(op, DeleteRequest):
+            self._send(LdapMessage(message.message_id, DeleteResponse(result)))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, message: LdapMessage) -> None:
+        op = message.op
+        if isinstance(op, BindRequest):
+            self._handle_bind(message.message_id, op)
+        elif isinstance(op, UnbindRequest):
+            self._on_close()
+            self.conn.close()
+        elif isinstance(op, SearchRequest):
+            self._handle_search(message.message_id, op, message.controls)
+        elif isinstance(op, AddRequest):
+            self._handle_write(
+                message.message_id,
+                AddResponse,
+                lambda ctx: self.server.backend.add(op, ctx),
+                "adds",
+            )
+        elif isinstance(op, ModifyRequest):
+            self._handle_write(
+                message.message_id,
+                ModifyResponse,
+                lambda ctx: self.server.backend.modify(op, ctx),
+                "modifies",
+            )
+        elif isinstance(op, DeleteRequest):
+            self._handle_write(
+                message.message_id,
+                DeleteResponse,
+                lambda ctx: self.server.backend.delete(op.dn, ctx),
+                "deletes",
+            )
+        elif isinstance(op, AbandonRequest):
+            sub = self._subscriptions.pop(op.message_id, None)
+            if sub is not None:
+                sub.cancel()
+        elif isinstance(op, ExtendedRequest):
+            self._handle_extended(message.message_id, op)
+        else:
+            # A response op arriving at a server is a protocol violation.
+            self.server.stats.protocol_errors += 1
+            self.conn.close()
+            self._on_close()
+
+    def _handle_bind(self, msg_id: int, op: BindRequest) -> None:
+        self.server.stats.binds += 1
+        try:
+            outcome = self.server.authenticator.authenticate(
+                op.name, op.mechanism, op.credentials, self.server.clock.now()
+            )
+        except AuthError as exc:
+            self.identity = ANONYMOUS
+            self._send(
+                LdapMessage(
+                    msg_id,
+                    BindResponse(
+                        LdapResult(ResultCode.INVALID_CREDENTIALS, message=str(exc))
+                    ),
+                )
+            )
+            return
+        self.identity = outcome.identity
+        self._send(
+            LdapMessage(
+                msg_id,
+                BindResponse(LdapResult(), outcome.server_credentials),
+            )
+        )
+
+    def _handle_write(
+        self,
+        msg_id: int,
+        response_cls,
+        action: Callable[[RequestContext], LdapResult],
+        stat: str,
+    ) -> None:
+        setattr(self.server.stats, stat, getattr(self.server.stats, stat) + 1)
+        if self.identity == ANONYMOUS and not self.server.allow_anonymous_writes:
+            result = LdapResult(
+                ResultCode.INSUFFICIENT_ACCESS_RIGHTS,
+                message="writes require authentication",
+            )
+        else:
+            result = action(self._context())
+        self._send(LdapMessage(msg_id, response_cls(result)))
+
+    def _handle_extended(self, msg_id: int, op: ExtendedRequest) -> None:
+        if op.oid == WHOAMI_OID:
+            self._send(
+                LdapMessage(
+                    msg_id,
+                    ExtendedResponse(
+                        LdapResult(), op.oid, self.identity.encode("utf-8")
+                    ),
+                )
+            )
+            return
+        self._send(
+            LdapMessage(
+                msg_id,
+                ExtendedResponse(
+                    LdapResult(
+                        ResultCode.PROTOCOL_ERROR,
+                        message=f"unsupported extended op {op.oid}",
+                    )
+                ),
+            )
+        )
+
+    # -- search ---------------------------------------------------------------
+
+    def _visible(self, req: SearchRequest, entry: Entry) -> Optional[Entry]:
+        """Access control + authoritative filter + attribute selection.
+
+        The filter is evaluated against the policy-visible entry so a
+        query cannot probe values of attributes it may not read.
+        """
+        visible = self.server.policy.filter_entry(self.identity, entry)
+        if visible is None:
+            self.server.stats.entries_suppressed += 1
+            return None
+        if not req.filter.matches(visible):
+            return None
+        return visible.project(req.wants())
+
+    def _root_dse(self) -> Entry:
+        """The server-descriptive entry at the empty DN (RFC 4512 §5.1).
+
+        Lets clients discover which suffixes a server holds — the
+        automated end of the §9 configuration story.
+        """
+        from .psearch import PSEARCH_OID
+
+        dse = Entry(DN.root(), objectclass=["top", "extensibleobject"])
+        contexts = self.server.backend.naming_contexts()
+        if contexts:
+            dse.put("namingcontexts", contexts)
+        dse.put("supportedcontrol", [PSEARCH_OID])
+        dse.put("supportedextension", [WHOAMI_OID])
+        dse.put("vendorname", VENDOR_NAME)
+        dse.put("servername", self.server.name)
+        return dse
+
+    def _wire_entry(self, req: SearchRequest, entry: Entry) -> SearchResultEntry:
+        sre = SearchResultEntry.from_entry(entry)
+        if req.types_only:
+            sre = SearchResultEntry(
+                sre.dn, tuple((attr, ()) for attr, _ in sre.attributes)
+            )
+        return sre
+
+    def _handle_search(
+        self, msg_id: int, req: SearchRequest, controls: Tuple[Control, ...]
+    ) -> None:
+        self.server.stats.searches += 1
+
+        # Root DSE: BASE search at the empty DN describes the server.
+        if req.scope == Scope.BASE and not req.base.strip():
+            dse = self._root_dse()
+            if req.filter.matches(dse):
+                self.server.stats.entries_returned += 1
+                self._send(
+                    LdapMessage(
+                        msg_id, self._wire_entry(req, dse.project(req.wants()))
+                    )
+                )
+            self._send(LdapMessage(msg_id, SearchResultDone(LdapResult())))
+            return
+        try:
+            psc = PersistentSearchControl.find(controls)
+        except Exception:
+            self._send(
+                LdapMessage(
+                    msg_id,
+                    SearchResultDone(
+                        LdapResult(
+                            ResultCode.PROTOCOL_ERROR,
+                            message="malformed persistent search control",
+                        )
+                    ),
+                )
+            )
+            return
+
+        ctx = self._context()
+        ctx.controls = controls
+
+        def after_initial() -> None:
+            if psc is not None:
+                sub = self.server.backend.subscribe(
+                    req, ctx, self._pusher(msg_id, req, psc), psc.change_types
+                )
+                if sub is None:
+                    self._send(
+                        LdapMessage(
+                            msg_id,
+                            SearchResultDone(
+                                LdapResult(
+                                    ResultCode.UNWILLING_TO_PERFORM,
+                                    message="subscriptions not supported by backend",
+                                )
+                            ),
+                        )
+                    )
+                    return
+                self._subscriptions[msg_id] = sub
+                # No SearchResultDone: the search stays open until Abandon.
+                return
+            self._send(LdapMessage(msg_id, SearchResultDone(LdapResult())))
+
+        def finish(outcome) -> None:
+            if not outcome.result.ok:
+                self._send(LdapMessage(msg_id, SearchResultDone(outcome.result)))
+                return
+            sent = 0
+            for entry in outcome.entries:
+                visible = self._visible(req, entry)
+                if visible is None:
+                    continue
+                if req.size_limit and sent >= req.size_limit:
+                    self._send(
+                        LdapMessage(
+                            msg_id,
+                            SearchResultDone(
+                                LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED)
+                            ),
+                        )
+                    )
+                    return
+                self.server.stats.entries_returned += 1
+                sent += 1
+                self._send(LdapMessage(msg_id, self._wire_entry(req, visible)))
+            for uri in outcome.referrals:
+                self._send(LdapMessage(msg_id, SearchResultReference((uri,))))
+            after_initial()
+
+        if psc is not None and psc.changes_only:
+            after_initial()
+        else:
+            self.server.backend.search_async(req, ctx, finish)
+
+    def _pusher(
+        self, msg_id: int, req: SearchRequest, psc: PersistentSearchControl
+    ):
+        def push(entry: Entry, change: int) -> None:
+            if change == ChangeType.DELETE:
+                # Deletes can't be filter-matched; report DN visibility only.
+                visible = self.server.policy.filter_entry(self.identity, entry)
+                if visible is None:
+                    return
+                projected = visible.project(req.wants())
+            else:
+                projected = self._visible(req, entry)
+                if projected is None:
+                    return
+            controls: Tuple[Control, ...] = ()
+            if psc.return_ecs:
+                controls = (EntryChangeNotification(change).to_control(),)
+            try:
+                self.conn.send(
+                    encode_message(
+                        LdapMessage(msg_id, self._wire_entry(req, projected), controls)
+                    )
+                )
+            except ConnectionClosed:
+                sub = self._subscriptions.pop(msg_id, None)
+                if sub is not None:
+                    sub.cancel()
+
+        return push

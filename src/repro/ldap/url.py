@@ -1,0 +1,118 @@
+"""LDAP URLs (RFC 4516 subset).
+
+The paper uses LDAP URLs in two roles:
+
+* globally unique names — "globally unique names are defined by
+  combination of [the] name of information within the scope of the
+  provider and the name of the provider (i.e., an LDAP URL that includes
+  the host name, port number and distinguished name)" (§4.1);
+* referrals — a GIIS that cannot proxy restricted data "return[s] the
+  name of the information provider directly to the client in the form of
+  a LDAP URL" (§10.4).
+
+Format::
+
+    ldap://host:port/dn?attrs?scope?filter
+
+where attrs is comma-separated, scope is ``base|one|sub``, and the DN,
+attributes and filter are percent-encoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+from urllib.parse import quote, unquote
+
+from .dit import Scope
+from .dn import DN
+
+__all__ = ["LdapUrlError", "LdapUrl"]
+
+_SCOPE_NAMES = {Scope.BASE: "base", Scope.ONELEVEL: "one", Scope.SUBTREE: "sub"}
+_SCOPE_VALUES = {v: k for k, v in _SCOPE_NAMES.items()}
+
+DEFAULT_PORT = 389
+
+
+class LdapUrlError(ValueError):
+    """Raised on malformed LDAP URLs."""
+
+
+@dataclass(frozen=True)
+class LdapUrl:
+    """A parsed LDAP URL."""
+
+    host: str
+    port: int = DEFAULT_PORT
+    dn: DN = field(default_factory=DN.root)
+    attrs: Tuple[str, ...] = ()
+    scope: Optional[Scope] = None
+    filter: Optional[str] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @classmethod
+    def for_provider(cls, host: str, port: int, dn: DN | str = "") -> "LdapUrl":
+        """The globally unique name of *dn* at a given provider (§4.1)."""
+        return cls(host=host, port=port, dn=DN.of(dn))
+
+    def with_dn(self, dn: DN | str) -> "LdapUrl":
+        return LdapUrl(self.host, self.port, DN.of(dn), self.attrs, self.scope, self.filter)
+
+    def __str__(self) -> str:
+        out = f"ldap://{self.host}"
+        if self.port != DEFAULT_PORT:
+            out += f":{self.port}"
+        out += "/" + quote(str(self.dn), safe="=,+ ")
+        trailer = ""
+        if self.filter is not None:
+            trailer = "?" + quote(self.filter, safe="()=*&|!<>~")
+        if self.scope is not None or trailer:
+            trailer = "?" + (_SCOPE_NAMES[self.scope] if self.scope is not None else "") + trailer
+        if self.attrs or trailer:
+            trailer = "?" + ",".join(quote(a, safe="") for a in self.attrs) + trailer
+        return out + trailer
+
+    @classmethod
+    def parse(cls, text: str) -> "LdapUrl":
+        text = text.strip()
+        if not text.startswith("ldap://"):
+            raise LdapUrlError(f"not an ldap URL: {text!r}")
+        rest = text[len("ldap://") :]
+        if "/" in rest:
+            authority, path = rest.split("/", 1)
+        else:
+            authority, path = rest, ""
+        if not authority:
+            raise LdapUrlError("missing host")
+        if ":" in authority:
+            host, port_text = authority.rsplit(":", 1)
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise LdapUrlError(f"bad port {port_text!r}") from None
+            if not 0 < port < 65536:
+                raise LdapUrlError(f"port {port} out of range")
+        else:
+            host, port = authority, DEFAULT_PORT
+
+        parts = path.split("?")
+        if len(parts) > 4:
+            raise LdapUrlError("too many '?' sections")
+        dn = DN.parse(unquote(parts[0])) if parts[0] else DN.root()
+        attrs: Tuple[str, ...] = ()
+        scope: Optional[Scope] = None
+        filt: Optional[str] = None
+        if len(parts) > 1 and parts[1]:
+            attrs = tuple(unquote(a) for a in parts[1].split(",") if a)
+        if len(parts) > 2 and parts[2]:
+            try:
+                scope = _SCOPE_VALUES[parts[2].lower()]
+            except KeyError:
+                raise LdapUrlError(f"bad scope {parts[2]!r}") from None
+        if len(parts) > 3 and parts[3]:
+            filt = unquote(parts[3])
+        return cls(host=host, port=port, dn=dn, attrs=attrs, scope=scope, filter=filt)

@@ -1,0 +1,44 @@
+"""Distributed substrate: clocks, discrete-event simulation, transports.
+
+One :class:`~repro.net.transport.Endpoint` interface with two
+implementations — a deterministic simulator (:mod:`repro.net.simnet`)
+for the partition/loss experiments, and real TCP/UDP
+(:mod:`repro.net.tcp`) proving the wire protocol is real.
+"""
+
+from .clock import Clock, TimerHandle, WallClock
+from .links import LAN, LOCAL, WAN, LinkModel
+from .sim import SimulationError, Simulator
+from .simnet import SimConnection, SimNetwork, SimNode
+from .tcp import TcpConnection, TcpEndpoint
+from .transport import (
+    Address,
+    Connection,
+    ConnectionClosed,
+    ConnectionHandler,
+    Endpoint,
+    TransportError,
+)
+
+__all__ = [
+    "Clock",
+    "TimerHandle",
+    "WallClock",
+    "LAN",
+    "LOCAL",
+    "WAN",
+    "LinkModel",
+    "SimulationError",
+    "Simulator",
+    "SimConnection",
+    "SimNetwork",
+    "SimNode",
+    "TcpConnection",
+    "TcpEndpoint",
+    "Address",
+    "Connection",
+    "ConnectionClosed",
+    "ConnectionHandler",
+    "Endpoint",
+    "TransportError",
+]

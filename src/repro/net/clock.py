@@ -1,0 +1,56 @@
+"""Clock abstraction: simulated vs. wall time.
+
+Every time-dependent component (soft-state registries, caches, refresh
+loops, failure detectors) takes a :class:`Clock` so the same code runs
+deterministically on the discrete-event simulator and in real time over
+TCP.  This is the key to reproducing Figures 1 and 4 exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Callable, Optional
+
+__all__ = ["Clock", "WallClock", "TimerHandle"]
+
+
+class TimerHandle:
+    """Cancellation handle for a scheduled callback."""
+
+    __slots__ = ("_cancel", "cancelled")
+
+    def __init__(self, cancel: Callable[[], None]):
+        self._cancel = cancel
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._cancel()
+
+
+class Clock:
+    """Interface: current time plus delayed-callback scheduling."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time via :mod:`time` and :class:`threading.Timer`."""
+
+    def now(self) -> float:
+        return _time.monotonic()
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        timer = threading.Timer(max(0.0, delay), fn)
+        timer.daemon = True
+        timer.start()
+        return TimerHandle(timer.cancel)
+
+    def sleep(self, seconds: float) -> None:
+        _time.sleep(seconds)

@@ -1,0 +1,59 @@
+"""Link models: latency, jitter, loss, and administrative state.
+
+Each simulated message delivery samples one :class:`LinkModel`.  Loss is
+Bernoulli per message; latency is base + uniform jitter; a link that is
+administratively ``down`` (or crosses a partition boundary — see
+:mod:`repro.net.simnet`) delivers nothing.  These are the knobs the
+Figure 4 and §4.3 experiments sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["LinkModel", "LOCAL", "LAN", "WAN"]
+
+
+@dataclass
+class LinkModel:
+    """Per-message delivery characteristics of a network path."""
+
+    latency: float = 0.001
+    jitter: float = 0.0
+    loss: float = 0.0
+    bandwidth: Optional[float] = None  # bytes/second; None = infinite
+    up: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss {self.loss} not in [0, 1]")
+        if self.latency < 0 or self.jitter < 0:
+            raise ValueError("latency/jitter must be non-negative")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def delivers(self, rng: random.Random) -> bool:
+        """Sample whether one message survives the link."""
+        if not self.up:
+            return False
+        return self.loss == 0.0 or rng.random() >= self.loss
+
+    def delay(self, rng: random.Random, nbytes: int = 0) -> float:
+        """Sample one-way delay for a message of *nbytes*."""
+        d = self.latency
+        if self.jitter:
+            d += rng.random() * self.jitter
+        if self.bandwidth is not None and nbytes:
+            d += nbytes / self.bandwidth
+        return d
+
+    def copy(self) -> "LinkModel":
+        return LinkModel(self.latency, self.jitter, self.loss, self.bandwidth, self.up)
+
+
+# Convenience presets used throughout the testbed.
+LOCAL = LinkModel(latency=0.0001, jitter=0.0)
+LAN = LinkModel(latency=0.0005, jitter=0.0002)
+WAN = LinkModel(latency=0.040, jitter=0.010, loss=0.01)

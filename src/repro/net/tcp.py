@@ -1,0 +1,234 @@
+"""Real TCP/UDP transport implementing the same Endpoint interface.
+
+Messages are framed with a 4-byte big-endian length prefix so the
+message-preserving :class:`~repro.net.transport.Connection` contract
+holds over a byte stream.  Datagrams map onto UDP.  This transport backs
+the integration tests and the protocol-engine benchmark (E12), proving
+the LDAP/GRIP/GRRP stack speaks a real wire protocol, not just simulated
+function calls.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Callable, Dict, List, Optional
+
+from .transport import (
+    Address,
+    Connection,
+    ConnectionClosed,
+    ConnectionHandler,
+    TransportError,
+)
+
+__all__ = ["TcpConnection", "TcpEndpoint", "MAX_FRAME"]
+
+_HEADER = struct.Struct("!I")
+MAX_FRAME = 64 * 1024 * 1024  # defensive bound on frame size
+
+
+def _send_frame(sock: socket.socket, message: bytes) -> None:
+    if len(message) > MAX_FRAME:
+        raise TransportError(f"frame of {len(message)} bytes exceeds {MAX_FRAME}")
+    sock.sendall(_HEADER.pack(len(message)) + message)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+class TcpConnection:
+    """A framed TCP connection with a reader thread."""
+
+    def __init__(self, sock: socket.socket):
+        # Request/response exchanges are many small frames; Nagle +
+        # delayed ACK would add ~40ms to every multi-message response.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._receiver: Optional[Callable[[bytes], None]] = None
+        self._close_handler: Optional[Callable[[], None]] = None
+        self._inbox: List[bytes] = []
+        self._closed = False
+        self._local: Address = sock.getsockname()[:2]
+        self._peer: Address = sock.getpeername()[:2]
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    @property
+    def peer(self) -> Address:
+        return self._peer
+
+    @property
+    def local(self) -> Address:
+        return self._local
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosed(f"connection to {self._peer} closed")
+        try:
+            with self._send_lock:
+                _send_frame(self._sock, message)
+        except OSError as exc:
+            self._mark_closed()
+            raise ConnectionClosed(str(exc)) from exc
+
+    def set_receiver(self, callback: Callable[[bytes], None]) -> None:
+        with self._state_lock:
+            self._receiver = callback
+            backlog, self._inbox = self._inbox, []
+        for message in backlog:
+            callback(message)
+
+    def set_close_handler(self, callback: Callable[[], None]) -> None:
+        fire = False
+        with self._state_lock:
+            self._close_handler = callback
+            fire = self._closed
+        if fire:
+            callback()
+
+    def close(self) -> None:
+        self._mark_closed()
+
+    def _mark_closed(self) -> None:
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            handler = self._close_handler
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        if handler:
+            handler()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                header = _recv_exact(self._sock, _HEADER.size)
+                if header is None:
+                    break
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME:
+                    break
+                payload = _recv_exact(self._sock, length)
+                if payload is None:
+                    break
+                with self._state_lock:
+                    receiver = self._receiver
+                    if receiver is None:
+                        self._inbox.append(payload)
+                        continue
+                receiver(payload)
+        except OSError:
+            pass
+        finally:
+            self._mark_closed()
+
+
+class TcpEndpoint:
+    """Endpoint over the loopback (or any) interface."""
+
+    def __init__(self, host: str = "127.0.0.1"):
+        self.host = host
+        self._servers: List[socket.socket] = []
+        self._udp_socks: Dict[int, socket.socket] = {}
+        self._udp_send_lock = threading.Lock()
+        self._udp_send: Optional[socket.socket] = None
+        self._closing = False
+        self._bound_ports: Dict[int, int] = {}
+
+    @property
+    def address(self) -> Address:
+        return (self.host, 0)
+
+    def listen(self, port: int, handler: ConnectionHandler) -> int:
+        """Start a TCP listener; returns the bound port (for port=0)."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self.host, port))
+        server.listen(64)
+        bound = server.getsockname()[1]
+        self._servers.append(server)
+
+        def accept_loop() -> None:
+            while not self._closing:
+                try:
+                    sock, _addr = server.accept()
+                except OSError:
+                    break
+                handler(TcpConnection(sock))
+
+        threading.Thread(target=accept_loop, daemon=True).start()
+        return bound
+
+    def connect(self, remote: Address) -> Connection:
+        try:
+            sock = socket.create_connection(remote, timeout=5.0)
+            sock.settimeout(None)
+        except OSError as exc:
+            raise ConnectionClosed(f"cannot connect to {remote}: {exc}") from exc
+        return TcpConnection(sock)
+
+    # -- datagrams ----------------------------------------------------------
+
+    def on_datagram(
+        self, port: int, handler: Callable[[Address, bytes], None]
+    ) -> int:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, port))
+        bound = sock.getsockname()[1]
+        self._udp_socks[bound] = sock
+
+        def read_loop() -> None:
+            while not self._closing:
+                try:
+                    payload, addr = sock.recvfrom(65536)
+                except OSError:
+                    break
+                handler(addr[:2], payload)
+
+        threading.Thread(target=read_loop, daemon=True).start()
+        return bound
+
+    def send_datagram(self, remote: Address, payload: bytes) -> None:
+        with self._udp_send_lock:
+            if self._udp_send is None:
+                self._udp_send = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                self._udp_send.sendto(payload, remote)
+            except OSError:
+                pass  # datagrams are fire-and-forget
+
+    def close(self) -> None:
+        self._closing = True
+        for server in self._servers:
+            try:
+                server.close()
+            except OSError:
+                pass
+        for sock in self._udp_socks.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._udp_send is not None:
+            self._udp_send.close()

@@ -1,0 +1,87 @@
+"""Transport interfaces shared by the simulator and real TCP.
+
+Two delivery styles, mirroring the paper's protocol split:
+
+* :class:`Connection` — reliable, ordered, message-preserving channels
+  carrying GRIP (LDAP) request/response exchanges;
+* datagrams — unreliable one-shot messages, the transport GRRP "is
+  designed to run over" (§4.3).  Nodes expose ``send_datagram`` and a
+  registered datagram handler.
+
+Servers implement :class:`ConnectionHandler`; the same handler object
+serves simulated and TCP endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Tuple
+
+__all__ = [
+    "Address",
+    "TransportError",
+    "ConnectionClosed",
+    "Connection",
+    "ConnectionHandler",
+    "Endpoint",
+]
+
+Address = Tuple[str, int]
+
+
+class TransportError(Exception):
+    """Base class for transport failures."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer (or the network) closed the connection."""
+
+
+class Connection(Protocol):
+    """A bidirectional, ordered, message-preserving channel."""
+
+    @property
+    def peer(self) -> Address: ...
+
+    @property
+    def local(self) -> Address: ...
+
+    def send(self, message: bytes) -> None:
+        """Queue one message for delivery to the peer."""
+
+    def set_receiver(self, callback: Callable[[bytes], None]) -> None:
+        """Install the inbound-message callback."""
+
+    def set_close_handler(self, callback: Callable[[], None]) -> None:
+        """Install a callback fired once when the connection dies."""
+
+    def close(self) -> None: ...
+
+    @property
+    def closed(self) -> bool: ...
+
+
+class ConnectionHandler(Protocol):
+    """Server-side acceptor: invoked once per inbound connection."""
+
+    def __call__(self, conn: Connection) -> None: ...
+
+
+class Endpoint(Protocol):
+    """A network attachment point (simulated node or TCP stack wrapper).
+
+    Provides client connects, server listeners, and unreliable datagrams.
+    """
+
+    @property
+    def address(self) -> Address: ...
+
+    def connect(self, remote: Address) -> Connection: ...
+
+    def listen(self, port: int, handler: ConnectionHandler) -> None: ...
+
+    def send_datagram(self, remote: Address, payload: bytes) -> None: ...
+
+    def on_datagram(
+        self, port: int, handler: Callable[[Address, bytes], None]
+    ) -> None: ...

@@ -1,0 +1,70 @@
+"""GSI substitute: RSA signatures, certificates, ACLs, SASL binds.
+
+Behavioural stand-in for the Grid Security Infrastructure the paper
+integrates (§7, §10.2): real asymmetric signatures and chain validation
+(textbook RSA — see DESIGN.md for the substitution rationale), proxy
+delegation, mutual-auth bind tokens, signed GRRP messages, and the four
+provider/directory trust postures as access policies.
+"""
+
+from .acl import (
+    ANONYMOUS,
+    AccessPolicy,
+    AccessRule,
+    Groups,
+    attribute_restricted_policy,
+    authenticated_policy,
+    existence_only_policy,
+    open_policy,
+)
+from .certs import (
+    CertError,
+    Certificate,
+    CertificateAuthority,
+    Credential,
+    credential_from_json,
+    credential_to_json,
+    verify_chain,
+)
+from .gsi import (
+    AuthError,
+    TrustStore,
+    make_token,
+    sign_message,
+    verify_message,
+    verify_token,
+)
+from .rsa import KeyPair, PrivateKey, PublicKey, generate_keypair
+from .sasl import AnonymousOnly, Authenticator, BindOutcome, GsiAuthenticator
+
+__all__ = [
+    "ANONYMOUS",
+    "AccessPolicy",
+    "AccessRule",
+    "Groups",
+    "attribute_restricted_policy",
+    "authenticated_policy",
+    "existence_only_policy",
+    "open_policy",
+    "CertError",
+    "Certificate",
+    "CertificateAuthority",
+    "Credential",
+    "credential_from_json",
+    "credential_to_json",
+    "verify_chain",
+    "AuthError",
+    "TrustStore",
+    "make_token",
+    "sign_message",
+    "verify_message",
+    "verify_token",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "generate_keypair",
+    "AnonymousOnly",
+    "Authenticator",
+    "BindOutcome",
+    "GsiAuthenticator",
+]

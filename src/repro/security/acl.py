@@ -1,0 +1,222 @@
+"""Access control for directory information.
+
+The paper (§7) requires that "an information provider may specify, for
+each piece of information that it maintains, the credentials that must
+be presented to access that information", supporting identity-based
+access control lists and group capabilities.  This module implements:
+
+* :class:`AccessPolicy` — an ordered rule list evaluated per attribute,
+  scoped by subtree, with identity/group/anonymous subjects;
+* the four §7 provider/directory trust postures as policy constructors
+  (:func:`open_policy`, :func:`existence_only_policy`, ...);
+* entry filtering used by the server before results leave the process.
+
+Subjects: ``"*"`` (anyone, including anonymous), ``"authenticated"``
+(any non-anonymous identity), ``"group:<name>"`` (membership via
+:class:`Groups`), or an exact identity string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ldap.attributes import normalize_attr_name
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+
+__all__ = [
+    "ANONYMOUS",
+    "Groups",
+    "AccessRule",
+    "AccessPolicy",
+    "open_policy",
+    "authenticated_policy",
+    "existence_only_policy",
+    "attribute_restricted_policy",
+]
+
+ANONYMOUS = "anonymous"
+
+# Attributes that remain visible under existence-only policies: enough to
+# enumerate entries but reveal no characteristics (§7 third mode).
+_EXISTENCE_ATTRS = frozenset({"objectclass"})
+
+
+class Groups:
+    """Group membership, the capability groups of [27] in the paper."""
+
+    def __init__(self, members: Optional[Dict[str, Iterable[str]]] = None):
+        self._groups: Dict[str, Set[str]] = {}
+        for name, ids in (members or {}).items():
+            self._groups[name] = set(ids)
+
+    def add(self, group: str, identity: str) -> None:
+        self._groups.setdefault(group, set()).add(identity)
+
+    def remove(self, group: str, identity: str) -> None:
+        self._groups.get(group, set()).discard(identity)
+
+    def is_member(self, group: str, identity: str) -> bool:
+        return identity in self._groups.get(group, ())
+
+
+@dataclass(frozen=True)
+class AccessRule:
+    """One ordered policy rule.
+
+    *subject* selects requestors; *base*/*subtree* scope which entries;
+    *attrs* names the covered attributes (None = all attributes);
+    *allow* grants or denies read access.
+    """
+
+    subject: str
+    allow: bool = True
+    base: Optional[DN] = None
+    attrs: Optional[frozenset] = None
+
+    @classmethod
+    def make(
+        cls,
+        subject: str,
+        allow: bool = True,
+        base: Optional[str] = None,
+        attrs: Optional[Iterable[str]] = None,
+    ) -> "AccessRule":
+        return cls(
+            subject=subject,
+            allow=allow,
+            base=DN.parse(base) if base is not None else None,
+            attrs=(
+                frozenset(normalize_attr_name(a) for a in attrs)
+                if attrs is not None
+                else None
+            ),
+        )
+
+    def subject_matches(self, identity: str, groups: Groups) -> bool:
+        if self.subject == "*":
+            return True
+        if self.subject == "authenticated":
+            return identity != ANONYMOUS
+        if self.subject.startswith("group:"):
+            return groups.is_member(self.subject[len("group:") :], identity)
+        return self.subject == identity
+
+    def covers_entry(self, dn: DN) -> bool:
+        return self.base is None or dn.is_within(self.base)
+
+    def covers_attr(self, attr: str) -> bool:
+        return self.attrs is None or normalize_attr_name(attr) in self.attrs
+
+
+class AccessPolicy:
+    """Ordered-rule access policy with a default decision.
+
+    First matching rule per (identity, entry, attribute) wins.  An entry
+    whose every attribute is denied disappears from results entirely
+    unless *reveal_existence* keeps its skeleton visible (§7's
+    "makes no information known other than its existence").
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AccessRule] = (),
+        default_allow: bool = False,
+        groups: Optional[Groups] = None,
+        reveal_existence: bool = False,
+    ):
+        self.rules: List[AccessRule] = list(rules)
+        self.default_allow = default_allow
+        self.groups = groups or Groups()
+        self.reveal_existence = reveal_existence
+
+    def add_rule(self, rule: AccessRule) -> None:
+        self.rules.append(rule)
+
+    def may_read(self, identity: str, dn: DN, attr: str) -> bool:
+        for rule in self.rules:
+            if (
+                rule.subject_matches(identity, self.groups)
+                and rule.covers_entry(dn)
+                and rule.covers_attr(attr)
+            ):
+                return rule.allow
+        return self.default_allow
+
+    def filter_entry(self, identity: str, entry: Entry) -> Optional[Entry]:
+        """Project *entry* down to what *identity* may read.
+
+        Returns None when nothing (not even existence) is visible.
+        """
+        visible = Entry(entry.dn)
+        any_attr = False
+        for attr, values in entry.items():
+            if self.may_read(identity, entry.dn, attr):
+                for v in values:
+                    visible.add_value(attr, v)
+                any_attr = True
+        if any_attr:
+            return visible
+        if self.reveal_existence:
+            for attr in _EXISTENCE_ATTRS:
+                for v in entry.get(attr):
+                    visible.add_value(attr, v)
+            return visible
+        return None
+
+    def filter_entries(
+        self, identity: str, entries: Iterable[Entry]
+    ) -> List[Entry]:
+        out = []
+        for entry in entries:
+            filtered = self.filter_entry(identity, entry)
+            if filtered is not None:
+                out.append(filtered)
+        return out
+
+    def restricted_attrs(self, identity: str, entry: Entry) -> List[str]:
+        """Attributes of *entry* hidden from *identity* (for referrals)."""
+        return [
+            attr
+            for attr, _ in entry.items()
+            if not self.may_read(identity, entry.dn, attr)
+        ]
+
+
+# -- the four §7 postures -----------------------------------------------------
+
+
+def open_policy() -> AccessPolicy:
+    """No restriction: 'authenticated queries are not required'."""
+    return AccessPolicy([AccessRule.make("*")], default_allow=True)
+
+
+def authenticated_policy() -> AccessPolicy:
+    """Everything visible, but only to authenticated identities."""
+    return AccessPolicy([AccessRule.make("authenticated")])
+
+
+def existence_only_policy() -> AccessPolicy:
+    """Only entry existence is revealed: 'the directory can only
+    enumerate the known resources, with no attribute-based indexing'."""
+    return AccessPolicy([], default_allow=False, reveal_existence=True)
+
+
+def attribute_restricted_policy(
+    public_attrs: Iterable[str],
+    restricted_attrs: Iterable[str],
+    allowed_identities: Iterable[str] = (),
+    groups: Optional[Groups] = None,
+) -> AccessPolicy:
+    """§7's second mode: e.g. OS type public, load average restricted.
+
+    *allowed_identities* (or group subjects) can read the restricted
+    attributes; everyone can read the public ones.
+    """
+    rules = [
+        AccessRule.make(identity, attrs=restricted_attrs)
+        for identity in allowed_identities
+    ]
+    rules.append(AccessRule.make("*", attrs=public_attrs))
+    return AccessPolicy(rules, default_allow=False, groups=groups)

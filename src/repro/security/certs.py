@@ -1,0 +1,298 @@
+"""Certificates, certificate authorities, chains, and proxy credentials.
+
+The GSI substitute's identity layer: an X.509-shaped certificate binds a
+subject name to a public key, signed by an issuer.  Chains terminate at
+a trusted CA (trust anchor).  *Proxy* certificates — GSI's delegation
+mechanism, anticipated in the paper's future work ("extend our security
+models to incorporate capabilities and delegation") — are short-lived
+certs signed by an end-entity key whose subject extends the issuer's
+subject with a ``/proxy`` component; a service holding a proxy acts as
+the delegating identity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .rsa import KeyPair, PrivateKey, PublicKey, generate_keypair
+
+__all__ = [
+    "CertError",
+    "Certificate",
+    "Credential",
+    "CertificateAuthority",
+    "verify_chain",
+]
+
+DEFAULT_LIFETIME = 365 * 24 * 3600.0
+PROXY_LIFETIME = 12 * 3600.0
+
+
+class CertError(Exception):
+    """Raised when certificate validation fails."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of subject name to public key."""
+
+    subject: str
+    issuer: str
+    public_key: PublicKey
+    not_before: float
+    not_after: float
+    is_ca: bool = False
+    is_proxy: bool = False
+    serial: int = 0
+    signature: int = 0
+
+    def tbs_bytes(self) -> bytes:
+        """Canonical to-be-signed byte encoding."""
+        payload = {
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "n": self.public_key.n,
+            "e": self.public_key.e,
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "is_ca": self.is_ca,
+            "is_proxy": self.is_proxy,
+            "serial": self.serial,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    def valid_at(self, now: float) -> bool:
+        return self.not_before <= now <= self.not_after
+
+    def signed_by(self, issuer_key: PublicKey) -> bool:
+        return issuer_key.verify(self.tbs_bytes(), self.signature)
+
+    @property
+    def base_identity(self) -> str:
+        """Subject with proxy components stripped: the delegating identity."""
+        subject = self.subject
+        while subject.endswith("/proxy"):
+            subject = subject[: -len("/proxy")]
+        return subject
+
+
+def _issue(
+    subject: str,
+    issuer: str,
+    issuer_key: PrivateKey,
+    public_key: PublicKey,
+    now: float,
+    lifetime: float,
+    is_ca: bool,
+    is_proxy: bool,
+    serial: int,
+) -> Certificate:
+    cert = Certificate(
+        subject=subject,
+        issuer=issuer,
+        public_key=public_key,
+        not_before=now,
+        not_after=now + lifetime,
+        is_ca=is_ca,
+        is_proxy=is_proxy,
+        serial=serial,
+    )
+    signature = issuer_key.sign(cert.tbs_bytes())
+    return Certificate(
+        **{**cert.__dict__, "signature": signature}  # type: ignore[arg-type]
+    )
+
+
+@dataclass
+class Credential:
+    """A certificate chain plus the private key of its leaf.
+
+    ``chain[0]`` is the leaf (this credential's own cert); subsequent
+    entries are the certs of successive issuers, ending just below (or
+    at) a trust anchor.
+    """
+
+    chain: Tuple[Certificate, ...]
+    key: PrivateKey
+
+    @property
+    def certificate(self) -> Certificate:
+        return self.chain[0]
+
+    @property
+    def identity(self) -> str:
+        return self.certificate.base_identity
+
+    def sign(self, message: bytes) -> int:
+        return self.key.sign(message)
+
+    def delegate(
+        self, now: float, lifetime: float = PROXY_LIFETIME, rng=None, bits: int = 512
+    ) -> "Credential":
+        """Create a proxy credential: new keypair, cert signed by us.
+
+        The proxy's subject is ours plus '/proxy'; verifiers resolve it
+        back to our identity (GSI single sign-on / delegation).
+        """
+        proxy_keys = generate_keypair(bits, rng)
+        cert = _issue(
+            subject=self.certificate.subject + "/proxy",
+            issuer=self.certificate.subject,
+            issuer_key=self.key,
+            public_key=proxy_keys.public,
+            now=now,
+            lifetime=lifetime,
+            is_ca=False,
+            is_proxy=True,
+            serial=0,
+        )
+        return Credential(chain=(cert,) + self.chain, key=proxy_keys.private)
+
+
+class CertificateAuthority:
+    """A trust anchor that issues identity and CA certificates."""
+
+    def __init__(self, name: str, rng=None, bits: int = 512, now: float = 0.0):
+        self.name = name
+        self._keys = generate_keypair(bits, rng)
+        self._serial = 0
+        self.certificate = _issue(
+            subject=name,
+            issuer=name,
+            issuer_key=self._keys.private,
+            public_key=self._keys.public,
+            now=now,
+            lifetime=10 * DEFAULT_LIFETIME,
+            is_ca=True,
+            is_proxy=False,
+            serial=self._next_serial(),
+        )
+
+    def _next_serial(self) -> int:
+        self._serial += 1
+        return self._serial
+
+    def issue(
+        self,
+        subject: str,
+        now: float = 0.0,
+        lifetime: float = DEFAULT_LIFETIME,
+        is_ca: bool = False,
+        rng=None,
+        bits: int = 512,
+    ) -> Credential:
+        """Issue a fresh credential for *subject*."""
+        keys = generate_keypair(bits, rng)
+        cert = _issue(
+            subject=subject,
+            issuer=self.name,
+            issuer_key=self._keys.private,
+            public_key=keys.public,
+            now=now,
+            lifetime=lifetime,
+            is_ca=is_ca,
+            is_proxy=False,
+            serial=self._next_serial(),
+        )
+        return Credential(chain=(cert, self.certificate), key=keys.private)
+
+
+def verify_chain(
+    chain: Sequence[Certificate],
+    trust_anchors: Iterable[Certificate],
+    now: float,
+    max_proxy_depth: int = 8,
+) -> str:
+    """Validate a certificate chain; returns the authenticated identity.
+
+    Checks: temporal validity of every cert, signature of each cert by
+    the next one in the chain, termination at a trust anchor, CA bit on
+    intermediates, and proxy rules (a proxy must be signed by the key of
+    the identity it extends).  Raises :class:`CertError` on any failure.
+    """
+    if not chain:
+        raise CertError("empty certificate chain")
+    anchors: Dict[str, Certificate] = {}
+    for anchor in trust_anchors:
+        anchors[anchor.subject] = anchor
+
+    proxy_depth = 0
+    for idx, cert in enumerate(chain):
+        if not cert.valid_at(now):
+            raise CertError(f"certificate {cert.subject!r} expired or not yet valid")
+        if cert.is_proxy:
+            proxy_depth += 1
+            if proxy_depth > max_proxy_depth:
+                raise CertError("proxy chain too deep")
+            if idx + 1 >= len(chain):
+                raise CertError(f"proxy {cert.subject!r} has no issuer cert in chain")
+            issuer_cert = chain[idx + 1]
+            if cert.subject != issuer_cert.subject + "/proxy":
+                raise CertError(
+                    f"proxy subject {cert.subject!r} does not extend its issuer"
+                )
+            if not cert.signed_by(issuer_cert.public_key):
+                raise CertError(f"bad signature on proxy {cert.subject!r}")
+            continue
+        # Non-proxy: find the issuer, either later in the chain or an anchor.
+        anchor = anchors.get(cert.issuer)
+        if anchor is not None and cert.signed_by(anchor.public_key):
+            # Chain terminates at a trust anchor; all checks passed.
+            return chain[0].base_identity
+        if idx + 1 < len(chain):
+            issuer_cert = chain[idx + 1]
+            if issuer_cert.subject != cert.issuer:
+                raise CertError(
+                    f"chain break: {cert.subject!r} issued by {cert.issuer!r}, "
+                    f"next cert is {issuer_cert.subject!r}"
+                )
+            if not issuer_cert.is_ca:
+                raise CertError(f"issuer {issuer_cert.subject!r} is not a CA")
+            if not cert.signed_by(issuer_cert.public_key):
+                raise CertError(f"bad signature on {cert.subject!r}")
+            continue
+        raise CertError(
+            f"chain does not terminate at a trust anchor (issuer {cert.issuer!r})"
+        )
+    raise CertError("chain has only proxy certificates")
+
+
+# -- credential serialization (deployment: credentials live in files) --------
+
+
+def credential_to_json(credential: Credential) -> str:
+    """Serialize a credential (certificate chain + private key) to JSON.
+
+    The obvious caveat applies: this includes the private key, so treat
+    the output like GSI treats ``userkey.pem``.
+    """
+    import json
+
+    from .gsi import _cert_to_dict  # local import: avoid a module cycle
+
+    return json.dumps(
+        {
+            "chain": [_cert_to_dict(c) for c in credential.chain],
+            "key": {"n": credential.key.n, "d": credential.key.d},
+        },
+        sort_keys=True,
+    )
+
+
+def credential_from_json(text: str) -> Credential:
+    """Inverse of :func:`credential_to_json`."""
+    import json
+
+    from .gsi import _cert_from_dict
+
+    try:
+        data = json.loads(text)
+        chain = tuple(_cert_from_dict(c) for c in data["chain"])
+        key = PrivateKey(int(data["key"]["n"]), int(data["key"]["d"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CertError(f"malformed credential: {exc}") from exc
+    if not chain:
+        raise CertError("credential has no certificates")
+    return Credential(chain=chain, key=key)

@@ -1,0 +1,219 @@
+"""GSI stand-in: authentication tokens and signed messages.
+
+Two mechanisms, matching the paper's two uses of GSI (§7, §10.2):
+
+* **Bind tokens** — carried in the LDAP SASL bind, giving mutual
+  authentication between information consumers and providers.  A token
+  is the sender's certificate chain plus a signature over
+  ``(target, timestamp, nonce)``; the verifier checks the chain to a
+  trust anchor, the signature, and freshness.  The server can answer
+  with its own token for mutual auth.
+* **Signed GRRP messages** — "we can cryptographically sign each GRRP
+  message with the credentials of the registering entity" (§7).
+  :func:`sign_message` / :func:`verify_message` wrap any payload in a
+  signature envelope.
+
+Serialization is JSON: readable, deterministic, and adequate for a
+behavioural reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .certs import CertError, Certificate, Credential, verify_chain
+from .rsa import PublicKey
+
+__all__ = [
+    "AuthError",
+    "AuthToken",
+    "make_token",
+    "verify_token",
+    "sign_message",
+    "verify_message",
+    "TrustStore",
+]
+
+TOKEN_FRESHNESS = 300.0  # seconds a bind token stays acceptable
+
+
+class AuthError(Exception):
+    """Raised when authentication fails."""
+
+
+class TrustStore:
+    """The set of CA certificates a party trusts."""
+
+    def __init__(self, anchors: Iterable[Certificate] = ()):
+        self._anchors: List[Certificate] = list(anchors)
+
+    def add(self, anchor: Certificate) -> None:
+        self._anchors.append(anchor)
+
+    def anchors(self) -> List[Certificate]:
+        return list(self._anchors)
+
+    def verify_chain(self, chain: Sequence[Certificate], now: float) -> str:
+        try:
+            return verify_chain(chain, self._anchors, now)
+        except CertError as exc:
+            raise AuthError(str(exc)) from exc
+
+
+# -- serialization helpers ---------------------------------------------------
+
+
+def _cert_to_dict(cert: Certificate) -> dict:
+    return {
+        "subject": cert.subject,
+        "issuer": cert.issuer,
+        "n": cert.public_key.n,
+        "e": cert.public_key.e,
+        "not_before": cert.not_before,
+        "not_after": cert.not_after,
+        "is_ca": cert.is_ca,
+        "is_proxy": cert.is_proxy,
+        "serial": cert.serial,
+        "signature": cert.signature,
+    }
+
+
+def _cert_from_dict(data: dict) -> Certificate:
+    return Certificate(
+        subject=data["subject"],
+        issuer=data["issuer"],
+        public_key=PublicKey(int(data["n"]), int(data["e"])),
+        not_before=float(data["not_before"]),
+        not_after=float(data["not_after"]),
+        is_ca=bool(data["is_ca"]),
+        is_proxy=bool(data["is_proxy"]),
+        serial=int(data["serial"]),
+        signature=int(data["signature"]),
+    )
+
+
+@dataclass(frozen=True)
+class AuthToken:
+    """A decoded bind token."""
+
+    identity: str
+    chain: Tuple[Certificate, ...]
+    target: str
+    timestamp: float
+    nonce: str
+    signature: int
+
+    def signed_payload(self) -> bytes:
+        return json.dumps(
+            {"target": self.target, "timestamp": self.timestamp, "nonce": self.nonce},
+            sort_keys=True,
+        ).encode("utf-8")
+
+
+def make_token(
+    credential: Credential, target: str, now: float, nonce: str = ""
+) -> bytes:
+    """Build a bind token proving possession of *credential*."""
+    token = AuthToken(
+        identity=credential.identity,
+        chain=credential.chain,
+        target=target,
+        timestamp=now,
+        nonce=nonce,
+        signature=0,
+    )
+    signature = credential.sign(token.signed_payload())
+    payload = {
+        "chain": [_cert_to_dict(c) for c in credential.chain],
+        "target": target,
+        "timestamp": now,
+        "nonce": nonce,
+        "signature": signature,
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def verify_token(
+    raw: bytes,
+    trust: TrustStore,
+    expected_target: str,
+    now: float,
+    freshness: float = TOKEN_FRESHNESS,
+    expected_nonce: Optional[str] = None,
+) -> str:
+    """Verify a bind token; returns the authenticated identity."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+        chain = tuple(_cert_from_dict(c) for c in data["chain"])
+        token = AuthToken(
+            identity="",
+            chain=chain,
+            target=str(data["target"]),
+            timestamp=float(data["timestamp"]),
+            nonce=str(data.get("nonce", "")),
+            signature=int(data["signature"]),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise AuthError(f"malformed auth token: {exc}") from exc
+
+    identity = trust.verify_chain(chain, now)
+    if token.target != expected_target:
+        raise AuthError(
+            f"token targeted {token.target!r}, this service is {expected_target!r}"
+        )
+    if abs(now - token.timestamp) > freshness:
+        raise AuthError(f"token stale: issued at {token.timestamp}, now {now}")
+    if expected_nonce is not None and token.nonce != expected_nonce:
+        raise AuthError("token nonce mismatch")
+    leaf = chain[0]
+    if not leaf.public_key.verify(token.signed_payload(), token.signature):
+        raise AuthError("bad token signature")
+    return identity
+
+
+# -- message signing (GRRP) ---------------------------------------------------
+
+
+def sign_message(credential: Credential, payload: bytes) -> bytes:
+    """Wrap *payload* in a signature envelope."""
+    envelope = {
+        "payload": payload.decode("latin-1"),
+        "chain": [_cert_to_dict(c) for c in credential.chain],
+        "signature": credential.sign(payload),
+    }
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def verify_message(raw: bytes, trust: TrustStore, now: float) -> Tuple[str, bytes]:
+    """Verify an envelope; returns (identity, payload)."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+        payload = data["payload"].encode("latin-1")
+        chain = tuple(_cert_from_dict(c) for c in data["chain"])
+        signature = int(data["signature"])
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise AuthError(f"malformed signed message: {exc}") from exc
+    identity = trust.verify_chain(chain, now)
+    if not chain[0].public_key.verify(payload, signature):
+        raise AuthError("bad message signature")
+    return identity, payload
+
+
+# -- trust store serialization (deployment: CA certs live in files) -----------
+
+
+def trust_store_to_json(trust: TrustStore) -> str:
+    """Serialize a trust store's CA certificates to JSON."""
+    return json.dumps([_cert_to_dict(c) for c in trust.anchors()], sort_keys=True)
+
+
+def trust_store_from_json(text: str) -> TrustStore:
+    """Inverse of :func:`trust_store_to_json`."""
+    try:
+        data = json.loads(text)
+        anchors = [_cert_from_dict(c) for c in data]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise AuthError(f"malformed trust store: {exc}") from exc
+    return TrustStore(anchors)

@@ -1,0 +1,84 @@
+"""Number theory for the RSA stand-in: primality and modular arithmetic.
+
+Pure-Python Miller–Rabin with deterministic witness sets for small
+inputs and random witnesses above, plus prime generation and modular
+inverse.  Key sizes in tests are small (512-bit) so generation stays
+fast; the algorithms themselves are standard.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["is_probable_prime", "generate_prime", "modinv"]
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+
+# Deterministic Miller-Rabin witnesses valid for n < 3.3e24.
+_DETERMINISTIC_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One MR round; True means 'probably prime so far'."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 20, rng: Optional[random.Random] = None) -> bool:
+    """Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < 3_317_044_064_679_887_385_961_981:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
+    else:
+        rng = rng or random.Random()
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
+
+
+def generate_prime(bits: int, rng: Optional[random.Random] = None) -> int:
+    """Generate a random prime of exactly *bits* bits."""
+    if bits < 8:
+        raise ValueError("prime too small to be useful")
+    rng = rng or random.Random()
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # correct size, odd
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse via extended Euclid; raises if gcd(a, m) != 1."""
+    g, x = _egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return x % m
+
+
+def _egcd(a: int, b: int) -> tuple[int, int]:
+    """Returns (gcd, x) with a*x ≡ gcd (mod b)."""
+    x0, x1 = 1, 0
+    while b:
+        q, a, b = a // b, b, a % b
+        x0, x1 = x1, x0 - q * x1
+    return a, x0

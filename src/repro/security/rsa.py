@@ -1,0 +1,85 @@
+"""Textbook RSA signatures over SHA-256 digests.
+
+This is the asymmetric primitive under the GSI stand-in: real key
+generation, real modular-exponentiation signatures, deterministic
+verification — but no padding scheme hardening (no PSS/OAEP) and small
+keys in tests for speed.  The paper's security architecture (§7) needs
+*behaviour* — signed registrations, certificate chains, mutual
+authentication — not production cryptography; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .numtheory import generate_prime, modinv
+
+__all__ = ["PublicKey", "PrivateKey", "KeyPair", "generate_keypair"]
+
+_F4 = 65537
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    n: int
+    e: int
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Check sig^e mod n equals the message digest."""
+        if not 0 < signature < self.n:
+            return False
+        digest = _digest_int(message, self.n)
+        return pow(signature, self.e, self.n) == digest
+
+    def to_dict(self) -> dict:
+        return {"n": self.n, "e": self.e}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PublicKey":
+        return cls(int(data["n"]), int(data["e"]))
+
+    def fingerprint(self) -> str:
+        raw = f"{self.n}:{self.e}".encode()
+        return hashlib.sha256(raw).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    n: int
+    d: int
+
+    def sign(self, message: bytes) -> int:
+        digest = _digest_int(message, self.n)
+        return pow(digest, self.d, self.n)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    public: PublicKey
+    private: PrivateKey
+
+
+def _digest_int(message: bytes, n: int) -> int:
+    """SHA-256 digest as an integer reduced below the modulus."""
+    h = hashlib.sha256(message).digest()
+    return int.from_bytes(h, "big") % n
+
+
+def generate_keypair(bits: int = 512, rng: Optional[random.Random] = None) -> KeyPair:
+    """Generate an RSA keypair with public exponent 65537."""
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _F4 == 0:
+            continue
+        d = modinv(_F4, phi)
+        return KeyPair(PublicKey(n, _F4), PrivateKey(n, d))

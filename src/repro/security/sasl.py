@@ -1,0 +1,97 @@
+"""SASL-style bind authenticators for the LDAP server.
+
+MDS-2.1 loads GSI into OpenLDAP "dynamically" through SASL/GSS-API
+bindings (§10.2).  We mirror the shape: the server owns an
+:class:`Authenticator` that maps a BindRequest's mechanism and
+credentials to an authenticated identity, and the GSI mechanism plugs
+into it without touching the protocol engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .acl import ANONYMOUS
+from .certs import Credential
+from .gsi import AuthError, TrustStore, make_token, verify_token
+
+__all__ = ["BindOutcome", "Authenticator", "AnonymousOnly", "GsiAuthenticator"]
+
+
+class BindOutcome:
+    """Result of a bind attempt."""
+
+    __slots__ = ("identity", "server_credentials")
+
+    def __init__(self, identity: str, server_credentials: bytes = b""):
+        self.identity = identity
+        self.server_credentials = server_credentials
+
+
+class Authenticator:
+    """Interface: authenticate one bind request."""
+
+    def authenticate(
+        self, name: str, mechanism: str, credentials: bytes, now: float
+    ) -> BindOutcome:
+        """Return the authenticated identity or raise AuthError."""
+        raise NotImplementedError
+
+
+class AnonymousOnly(Authenticator):
+    """Accepts only anonymous binds (open providers, §7 fourth mode)."""
+
+    def authenticate(
+        self, name: str, mechanism: str, credentials: bytes, now: float
+    ) -> BindOutcome:
+        if mechanism == "simple" and not credentials:
+            return BindOutcome(ANONYMOUS)
+        raise AuthError(f"mechanism {mechanism!r} not supported here")
+
+
+class GsiAuthenticator(Authenticator):
+    """GSI token binds plus optional simple-password accounts.
+
+    * anonymous simple bind -> ``anonymous``;
+    * simple bind with a password -> looked up in *passwords*;
+    * SASL mechanism ``GSI`` -> token verified against the trust store;
+      when the server holds its own credential, a mutual-auth token is
+      returned in the bind response.
+    """
+
+    MECHANISM = "GSI"
+
+    def __init__(
+        self,
+        trust: TrustStore,
+        service_name: str,
+        server_credential: Optional[Credential] = None,
+        passwords: Optional[Dict[str, Tuple[str, str]]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.trust = trust
+        self.service_name = service_name
+        self.server_credential = server_credential
+        # passwords: bind-name -> (password, identity)
+        self.passwords = dict(passwords or {})
+        self._clock = clock
+
+    def authenticate(
+        self, name: str, mechanism: str, credentials: bytes, now: float
+    ) -> BindOutcome:
+        if self._clock is not None:
+            now = self._clock()
+        if mechanism == "simple":
+            if not credentials:
+                return BindOutcome(ANONYMOUS)
+            want = self.passwords.get(name)
+            if want is None or want[0] != credentials.decode("utf-8", "replace"):
+                raise AuthError(f"invalid credentials for {name!r}")
+            return BindOutcome(want[1])
+        if mechanism == self.MECHANISM:
+            identity = verify_token(credentials, self.trust, self.service_name, now)
+            proof = b""
+            if self.server_credential is not None:
+                proof = make_token(self.server_credential, identity, now)
+            return BindOutcome(identity, proof)
+        raise AuthError(f"mechanism {mechanism!r} not supported")

@@ -1,0 +1,32 @@
+"""Higher-level services built on GRIP/GRRP — the §1 scenarios.
+
+Superscheduler (broker), replica selection, monitoring, troubleshooting,
+application adaptation, and the §8 naming services.
+"""
+
+from .adaptation import AdaptationAction, AdaptationAgent, ManagedApplication
+from .broker import Candidate, JobRequest, Superscheduler
+from .monitor import Alarm, MonitoringService, Watch
+from .naming import NamingAuthority, TypeAuthority, guid
+from .replica import ReplicaCatalogProvider, ReplicaChoice, ReplicaSelector
+from .trouble import Diagnosis, Troubleshooter
+
+__all__ = [
+    "AdaptationAction",
+    "AdaptationAgent",
+    "ManagedApplication",
+    "Candidate",
+    "JobRequest",
+    "Superscheduler",
+    "Alarm",
+    "MonitoringService",
+    "Watch",
+    "NamingAuthority",
+    "TypeAuthority",
+    "guid",
+    "ReplicaCatalogProvider",
+    "ReplicaChoice",
+    "ReplicaSelector",
+    "Diagnosis",
+    "Troubleshooter",
+]

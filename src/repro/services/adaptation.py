@@ -1,0 +1,138 @@
+"""Application adaptation agent (paper §1, fourth scenario).
+
+"An application adaptation agent monitors both a running application
+and external resource availability and modifies application behavior
+(e.g., reduces accuracy, changes algorithms) and/or its resource
+consumption (e.g., migrates to other resources) if, due to changes in
+resource status or application behavior, these changes are thought
+likely to improve performance."
+
+:class:`ManagedApplication` is the application model (publishes its own
+``application`` entry through a provider — applications are information
+sources too); :class:`AdaptationAgent` watches the app's host load and
+applies a simple policy: sustained overload → try to migrate via the
+broker; no better host → degrade accuracy; recovery → restore accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..gris.provider import FunctionProvider
+from ..ldap.dn import DN, RDN
+from ..ldap.entry import Entry
+from .broker import JobRequest, Superscheduler
+
+__all__ = ["AdaptationAction", "ManagedApplication", "AdaptationAgent"]
+
+
+@dataclass(frozen=True)
+class AdaptationAction:
+    kind: str  # 'migrate' | 'reduce-accuracy' | 'restore-accuracy'
+    detail: str
+    when: float
+
+
+class ManagedApplication:
+    """A running application that publishes its status (§3's example
+    "provider for a running application")."""
+
+    def __init__(self, name: str, resource: str, accuracy: float = 1.0):
+        self.name = name
+        self.resource = resource
+        self.accuracy = accuracy
+        self.status = "running"
+        self.progress = 0.0
+        self.migrations = 0
+
+    def provider(self) -> FunctionProvider:
+        return FunctionProvider(
+            f"app-{self.name}",
+            lambda: [self.to_entry()],
+            namespace=f"app={self.name}",
+            cache_ttl=0.0,
+        )
+
+    def to_entry(self) -> Entry:
+        return Entry(
+            DN((RDN.single("app", self.name),)),
+            objectclass="application",
+            appname=self.name,
+            status=self.status,
+            progress=f"{self.progress:.2f}",
+            resource=self.resource,
+            accuracy=f"{self.accuracy:.2f}",
+        )
+
+    def migrate_to(self, resource: str) -> None:
+        self.resource = resource
+        self.migrations += 1
+
+
+class AdaptationAgent:
+    """Load-driven adaptation policy for one application."""
+
+    def __init__(
+        self,
+        clock,
+        application: ManagedApplication,
+        broker: Superscheduler,
+        load_of: Callable[[str], Optional[float]],
+        overload: float = 4.0,
+        comfortable: float = 1.5,
+        patience: int = 2,
+        min_accuracy: float = 0.25,
+        on_action: Optional[Callable[[AdaptationAction], None]] = None,
+    ):
+        self.clock = clock
+        self.application = application
+        self.broker = broker
+        self.load_of = load_of  # current load of a named resource
+        self.overload = overload
+        self.comfortable = comfortable
+        self.patience = patience
+        self.min_accuracy = min_accuracy
+        self.on_action = on_action
+        self.actions: List[AdaptationAction] = []
+        self._overloaded_polls = 0
+
+    def poll(self) -> Optional[AdaptationAction]:
+        """One adaptation decision; call periodically."""
+        app = self.application
+        load = self.load_of(app.resource)
+        if load is None:
+            return None
+        if load < self.overload:
+            self._overloaded_polls = 0
+            if load <= self.comfortable and app.accuracy < 1.0:
+                app.accuracy = min(1.0, app.accuracy * 2)
+                return self._act(
+                    "restore-accuracy", f"load {load:.2f}; accuracy -> {app.accuracy:.2f}"
+                )
+            return None
+        self._overloaded_polls += 1
+        if self._overloaded_polls < self.patience:
+            return None
+        self._overloaded_polls = 0
+        # Try migration first: find a machine clearly better than here.
+        request = JobRequest(max_load5=self.comfortable)
+        best = self.broker.select(request, top_k=1)
+        if best and best[0].host != app.resource:
+            target = best[0].host
+            app.migrate_to(target)
+            return self._act("migrate", f"load {load:.2f}; moved to {target}")
+        # No better machine: degrade accuracy to shed work.
+        if app.accuracy > self.min_accuracy:
+            app.accuracy = max(self.min_accuracy, app.accuracy / 2)
+            return self._act(
+                "reduce-accuracy", f"load {load:.2f}; accuracy -> {app.accuracy:.2f}"
+            )
+        return None
+
+    def _act(self, kind: str, detail: str) -> AdaptationAction:
+        action = AdaptationAction(kind, detail, self.clock.now())
+        self.actions.append(action)
+        if self.on_action:
+            self.on_action(action)
+        return action

@@ -1,0 +1,162 @@
+"""Superscheduler / resource broker (paper §1, second scenario).
+
+"A superscheduler routes computational requests to the 'best' available
+computer in a Grid containing multiple high-end computers, where 'best'
+can encompass issues of architecture, installed software, performance,
+availability, and policy."
+
+The broker implements the §4.1 discovery→enquiry pattern: a *search*
+against an aggregate directory yields a rough candidate set, then
+direct *enquiry* (lookup at the authoritative provider) refreshes the
+dynamic attributes before the final ranking — "following discovery, a
+client can always refresh interesting information by directly
+consulting the authoritative source" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ldap.client import LdapClient
+from ..ldap.dit import Scope
+from ..ldap.entry import Entry
+from ..ldap.filter import parse as parse_filter
+from ..ldap.url import LdapUrl
+
+__all__ = ["JobRequest", "Candidate", "Superscheduler"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """What a job needs from a machine."""
+
+    min_cpus: int = 1
+    max_load5: float = 4.0
+    system: Optional[str] = None  # substring of the OS description
+    # Ranking weight: lower load is better; more CPUs break ties.
+    load_weight: float = 1.0
+    cpu_weight: float = 0.05
+
+
+@dataclass
+class Candidate:
+    """One machine under consideration."""
+
+    host: str
+    entry: Entry
+    load5: Optional[float] = None
+    cpus: int = 0
+    refreshed: bool = False
+
+    def score(self, request: JobRequest) -> float:
+        """Lower is better."""
+        load = self.load5 if self.load5 is not None else 1e9
+        return request.load_weight * load - request.cpu_weight * self.cpus
+
+
+class Superscheduler:
+    """Selects machines through a VO aggregate directory.
+
+    *directory* is a connected client to the GIIS; *dial* opens clients
+    to provider URLs for the refresh step (None disables refresh and the
+    broker trusts the directory's possibly-stale view — the freshness/
+    cost tradeoff of §3 made selectable).
+    """
+
+    def __init__(
+        self,
+        directory: LdapClient,
+        base: str,
+        dial: Optional[Callable[[LdapUrl], LdapClient]] = None,
+    ):
+        self.directory = directory
+        self.base = base
+        self.dial = dial
+        self.queries = 0
+        self.refreshes = 0
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover(self, request: JobRequest) -> List[Candidate]:
+        """Search the directory for machines roughly matching the request."""
+        filt = f"(&(objectclass=computer)(cpucount>={request.min_cpus}))"
+        self.queries += 1
+        out = self.directory.search(self.base, Scope.SUBTREE, filt)
+        candidates = []
+        for entry in out.entries:
+            host = entry.first("hn")
+            if host is None:
+                continue
+            if request.system is not None:
+                system = entry.first("system", "")
+                if request.system.lower() not in system.lower():
+                    continue
+            candidates.append(
+                Candidate(
+                    host=host,
+                    entry=entry,
+                    cpus=int(float(entry.first("cpucount", "0"))),
+                )
+            )
+        return candidates
+
+    def load_of(self, candidate: Candidate) -> Optional[float]:
+        """Fetch load via the directory (may be stale)."""
+        self.queries += 1
+        out = self.directory.search(
+            str(candidate.entry.dn),
+            Scope.SUBTREE,
+            "(objectclass=loadaverage)",
+            check=False,
+        )
+        for entry in out.entries:
+            value = entry.first("load5")
+            if value is not None:
+                return float(value)
+        return None
+
+    def refresh(self, candidate: Candidate) -> None:
+        """Direct enquiry at the authoritative provider (§3)."""
+        if self.dial is None:
+            return
+        url_text = candidate.entry.first("regmeta-url") or None
+        # Provider location: by MDS convention the provider of hn=X is
+        # ldap://X:2135; a production broker would resolve via the
+        # registration entry or a name service.
+        url = LdapUrl.parse(url_text) if url_text else LdapUrl(candidate.host, 2135)
+        try:
+            client = self.dial(url)
+            out = client.search(
+                str(candidate.entry.dn),
+                Scope.SUBTREE,
+                "(objectclass=loadaverage)",
+                check=False,
+            )
+        except Exception:  # noqa: BLE001 - unreachable provider: keep stale view
+            return
+        self.refreshes += 1
+        for entry in out.entries:
+            value = entry.first("load5")
+            if value is not None:
+                candidate.load5 = float(value)
+                candidate.refreshed = True
+
+    # -- selection ------------------------------------------------------------
+
+    def select(
+        self, request: JobRequest, refresh: bool = True, top_k: int = 1
+    ) -> List[Candidate]:
+        """Full brokering pass: discover, refine, rank."""
+        candidates = self.discover(request)
+        for candidate in candidates:
+            candidate.load5 = self.load_of(candidate)
+            if refresh and self.dial is not None:
+                self.refresh(candidate)
+        eligible = [
+            c
+            for c in candidates
+            if c.load5 is not None and c.load5 <= request.max_load5
+        ]
+        eligible.sort(key=lambda c: (c.score(request), c.host))
+        return eligible[:top_k]

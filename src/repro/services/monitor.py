@@ -1,0 +1,147 @@
+"""Monitoring service (paper §6).
+
+"In the case of monitoring, we are more often interested in how
+characteristics vary over time, and so may prefer that the information
+is delivered asynchronously if and when specified conditions are met:
+for example, when an information value changes by a specified amount."
+
+:class:`MonitoringService` consumes GRIP push mode (persistent-search
+subscriptions) over any number of targets, maintains the latest state
+per entry, records time series for watched numeric attributes, and
+fires condition callbacks — change-by-delta and threshold-crossing, the
+two triggers §6 names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ldap.backend import ChangeType
+from ..ldap.client import LdapClient, SubscriptionHandle
+from ..ldap.dit import Scope
+from ..ldap.entry import Entry
+from ..ldap.filter import parse as parse_filter
+from ..ldap.protocol import SearchRequest
+
+__all__ = ["Alarm", "Watch", "MonitoringService"]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One fired condition."""
+
+    dn: str
+    attr: str
+    value: float
+    kind: str  # 'threshold' | 'delta' | 'disappeared'
+    when: float
+
+
+@dataclass
+class Watch:
+    """A condition over one numeric attribute."""
+
+    attr: str
+    threshold: Optional[float] = None  # fire when value >= threshold
+    min_delta: Optional[float] = None  # fire when |change| >= min_delta
+
+    def check(
+        self, dn: str, old: Optional[float], new: float, now: float
+    ) -> List[Alarm]:
+        alarms = []
+        if self.threshold is not None:
+            crossed_up = new >= self.threshold and (old is None or old < self.threshold)
+            if crossed_up:
+                alarms.append(Alarm(dn, self.attr, new, "threshold", now))
+        if self.min_delta is not None and old is not None:
+            if abs(new - old) >= self.min_delta:
+                alarms.append(Alarm(dn, self.attr, new, "delta", now))
+        return alarms
+
+
+class MonitoringService:
+    """Aggregates push-mode GRIP streams into state + alarms."""
+
+    def __init__(self, clock, on_alarm: Optional[Callable[[Alarm], None]] = None):
+        self.clock = clock
+        self.on_alarm = on_alarm
+        self.watches: List[Watch] = []
+        self.state: Dict[str, Entry] = {}
+        self.history: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        self.alarms: List[Alarm] = []
+        self._subscriptions: List[SubscriptionHandle] = []
+        self.updates_received = 0
+
+    def add_watch(self, watch: Watch) -> None:
+        self.watches.append(watch)
+
+    def attach(
+        self,
+        client: LdapClient,
+        base: str,
+        filter_text: str = "(objectclass=*)",
+        changes_only: bool = False,
+    ) -> SubscriptionHandle:
+        """Subscribe to one target (a GRIS or GIIS)."""
+        req = SearchRequest(
+            base=base, scope=Scope.SUBTREE, filter=parse_filter(filter_text)
+        )
+        handle = client.subscribe(req, self._on_change, changes_only=changes_only)
+        self._subscriptions.append(handle)
+        return handle
+
+    def detach_all(self) -> None:
+        for handle in self._subscriptions:
+            handle.cancel()
+        self._subscriptions.clear()
+
+    # -- stream intake ----------------------------------------------------------
+
+    def _on_change(self, entry: Entry, change: int) -> None:
+        self.updates_received += 1
+        now = self.clock.now()
+        dn = str(entry.dn)
+        if change == ChangeType.DELETE:
+            if dn in self.state:
+                del self.state[dn]
+                alarm = Alarm(dn, "", 0.0, "disappeared", now)
+                self._fire(alarm)
+            return
+        previous = self.state.get(dn)
+        self.state[dn] = entry
+        for watch in self.watches:
+            raw = entry.first(watch.attr)
+            if raw is None:
+                continue
+            try:
+                new = float(raw)
+            except ValueError:
+                continue
+            old = None
+            if previous is not None:
+                old_raw = previous.first(watch.attr)
+                if old_raw is not None:
+                    try:
+                        old = float(old_raw)
+                    except ValueError:
+                        old = None
+            self.history.setdefault((dn, watch.attr.lower()), []).append((now, new))
+            for alarm in watch.check(dn, old, new, now):
+                self._fire(alarm)
+
+    def _fire(self, alarm: Alarm) -> None:
+        self.alarms.append(alarm)
+        if self.on_alarm:
+            self.on_alarm(alarm)
+
+    # -- queries ---------------------------------------------------------------
+
+    def latest(self, dn: str) -> Optional[Entry]:
+        return self.state.get(dn)
+
+    def series(self, dn: str, attr: str) -> List[Tuple[float, float]]:
+        return list(self.history.get((dn, attr.lower()), ()))
+
+    def monitored_count(self) -> int:
+        return len(self.state)

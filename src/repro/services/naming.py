@@ -1,0 +1,104 @@
+"""Unique-name generation (paper §8).
+
+Both approaches the paper describes:
+
+* :class:`NamingAuthority` — "naming services responsible solely for
+  generating names guaranteed to be unique within the scope that the
+  naming service operates", organized hierarchically for scalability
+  (delegate sub-scopes to child authorities);
+* :func:`guid` — "assign names at random from a large name space, hence
+  obtaining a name that is highly likely to be unique", with no
+  structural information (so not usable to scope searches — pair with a
+  hierarchy for that, as §8 suggests).
+
+Plus :class:`TypeAuthority` for the §8 type-name registry ("a
+convenient and extensible mechanism for defining information types").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+__all__ = ["NamingAuthority", "guid", "TypeAuthority"]
+
+
+class NamingAuthority:
+    """Issues names unique within its scope; delegates sub-scopes."""
+
+    def __init__(self, scope: str, parent: Optional["NamingAuthority"] = None):
+        self.scope = scope
+        self.parent = parent
+        self._counter = 0
+        self._issued: set = set()
+        self._children: Dict[str, "NamingAuthority"] = {}
+
+    @property
+    def full_scope(self) -> str:
+        if self.parent is None:
+            return self.scope
+        return f"{self.parent.full_scope}/{self.scope}"
+
+    def issue(self, hint: str = "entity") -> str:
+        """A fresh name, unique within this authority forever."""
+        while True:
+            self._counter += 1
+            name = f"{self.full_scope}/{hint}-{self._counter}"
+            if name not in self._issued:
+                self._issued.add(name)
+                return name
+
+    def claim(self, name: str) -> bool:
+        """Reserve a specific name; False if already taken."""
+        full = f"{self.full_scope}/{name}"
+        if full in self._issued:
+            return False
+        self._issued.add(full)
+        return True
+
+    def delegate(self, sub_scope: str) -> "NamingAuthority":
+        """A child authority: the hierarchical organization of §8."""
+        if sub_scope in self._children:
+            return self._children[sub_scope]
+        if not self.claim(sub_scope):
+            raise ValueError(f"scope {sub_scope!r} collides with an issued name")
+        child = NamingAuthority(sub_scope, parent=self)
+        self._children[sub_scope] = child
+        return child
+
+    def issued_count(self) -> int:
+        return len(self._issued)
+
+
+def guid(rng: Optional[random.Random] = None) -> str:
+    """A 128-bit random identifier (the GUID approach of §8)."""
+    rng = rng or random.Random()
+    return f"{rng.getrandbits(128):032x}"
+
+
+class TypeAuthority:
+    """Registers and resolves type names for entity descriptions (§8).
+
+    Types here are object-class definitions; registering the same name
+    with a different definition is a conflict, supporting "standard
+    formats for entity descriptions" across a VO.
+    """
+
+    def __init__(self):
+        self._types: Dict[str, dict] = {}
+
+    def register(self, name: str, definition: dict) -> bool:
+        """True if registered or identical; False on conflict."""
+        key = name.lower()
+        existing = self._types.get(key)
+        if existing is None:
+            self._types[key] = dict(definition)
+            return True
+        return existing == definition
+
+    def resolve(self, name: str) -> Optional[dict]:
+        found = self._types.get(name.lower())
+        return dict(found) if found is not None else None
+
+    def names(self) -> List[str]:
+        return sorted(self._types)

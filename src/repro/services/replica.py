@@ -1,0 +1,167 @@
+"""Replica selection service (paper §1, third scenario).
+
+"A replica selection service within a data grid responds to requests
+for the 'best' copy of files that are replicated on multiple storage
+systems.  Here, information sources can once again include system
+configuration, instantaneous performance, and predictions, but for
+storage systems and networks rather than computers."
+
+Pieces:
+
+* :class:`ReplicaCatalogProvider` — a GRIS provider publishing
+  ``replica`` entries (logical file name → storage system);
+* :class:`ReplicaSelector` — discovers the replicas of a logical file
+  through the directory, then ranks them by predicted transfer time
+  using NWS bandwidth forecasts between the consumer and each store
+  (the non-enumerable network-pairs namespace of §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gris.provider import FunctionProvider
+from ..ldap.client import LdapClient
+from ..ldap.dit import Scope
+from ..ldap.dn import DN, RDN
+from ..ldap.entry import Entry
+from ..ldap.filter import escape_value
+
+__all__ = ["ReplicaCatalogProvider", "ReplicaChoice", "ReplicaSelector"]
+
+
+class ReplicaCatalogProvider(FunctionProvider):
+    """Publishes the replica catalog as ``replica`` entries.
+
+    The catalog maps a logical file name (LFN) to the storage hosts
+    holding copies; mutate :attr:`catalog` to add/drop replicas.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Dict[str, List[Tuple[str, int]]]] = None,
+        namespace: str = "rc=catalog",
+        cache_ttl: float = 30.0,
+    ):
+        self.catalog: Dict[str, List[Tuple[str, int]]] = dict(catalog or {})
+        self._namespace_dn = DN.parse(namespace)
+        super().__init__(
+            "replica-catalog", self._read, namespace=namespace, cache_ttl=cache_ttl
+        )
+
+    def add_replica(self, lfn: str, store_host: str, size: int) -> None:
+        self.catalog.setdefault(lfn, []).append((store_host, size))
+
+    def drop_replica(self, lfn: str, store_host: str) -> None:
+        self.catalog[lfn] = [
+            (h, s) for h, s in self.catalog.get(lfn, []) if h != store_host
+        ]
+
+    def _read(self) -> List[Entry]:
+        out = []
+        for lfn, copies in sorted(self.catalog.items()):
+            for host, size in copies:
+                out.append(
+                    Entry(
+                        DN(
+                            (RDN.single("replica", f"{lfn}@{host}"),)
+                            + self._namespace_dn.rdns
+                        ),
+                        objectclass="replica",
+                        lfn=lfn,
+                        store=host,
+                        size=size,
+                    )
+                )
+        return out
+
+
+@dataclass
+class ReplicaChoice:
+    """One ranked replica."""
+
+    store_host: str
+    size: int
+    bandwidth: Optional[float]  # forecast, MB/s
+    predicted_seconds: float
+
+    def __repr__(self) -> str:
+        bw = f"{self.bandwidth:.1f}" if self.bandwidth is not None else "?"
+        return (
+            f"ReplicaChoice({self.store_host}, {self.size}B, bw={bw}, "
+            f"eta={self.predicted_seconds:.2f}s)"
+        )
+
+
+class ReplicaSelector:
+    """Ranks replicas by predicted transfer time to a consumer host."""
+
+    def __init__(
+        self,
+        directory: LdapClient,
+        base: str,
+        network_base: str,
+        consumer_host: str,
+    ):
+        self.directory = directory
+        self.base = base
+        self.network_base = network_base
+        self.consumer_host = consumer_host
+
+    def replicas_of(self, lfn: str) -> List[Tuple[str, int]]:
+        out = self.directory.search(
+            self.base,
+            Scope.SUBTREE,
+            f"(&(objectclass=replica)(lfn={escape_value(lfn)}))",
+            check=False,
+        )
+        found = []
+        for entry in out.entries:
+            store = entry.first("store")
+            if store:
+                found.append((store, int(float(entry.first("size", "0")))))
+        return found
+
+    def bandwidth_to(self, store_host: str) -> Optional[float]:
+        """Forecast bandwidth store -> consumer via the network provider.
+
+        This is a lazy GRIP query over the non-enumerable namespace:
+        the filter pins both endpoints (§4.1).
+        """
+        out = self.directory.search(
+            self.network_base,
+            Scope.SUBTREE,
+            f"(&(objectclass=networklink)(src={escape_value(store_host)})"
+            f"(dst={escape_value(self.consumer_host)}))",
+            check=False,
+        )
+        for entry in out.entries:
+            value = entry.first("bandwidth")
+            if value is not None:
+                return float(value)
+        return None
+
+    def select(self, lfn: str) -> List[ReplicaChoice]:
+        """All replicas of *lfn*, best (fastest predicted fetch) first."""
+        choices = []
+        for store, size in self.replicas_of(lfn):
+            bandwidth = self.bandwidth_to(store)
+            if bandwidth and bandwidth > 0:
+                eta = size / (bandwidth * 1024 * 1024)
+            else:
+                eta = float("inf")
+            choices.append(
+                ReplicaChoice(
+                    store_host=store,
+                    size=size,
+                    bandwidth=bandwidth,
+                    predicted_seconds=eta,
+                )
+            )
+        choices.sort(key=lambda c: (c.predicted_seconds, c.store_host))
+        return choices
+
+    def best(self, lfn: str) -> Optional[ReplicaChoice]:
+        ranked = self.select(lfn)
+        return ranked[0] if ranked else None

@@ -1,0 +1,166 @@
+"""Troubleshooting service (paper §1, fifth scenario).
+
+"A troubleshooting service monitors Grid resources, looking for
+anomalous behaviors such as excessive load or extended failure of
+critical services.  Here, the information sources can be arbitrary; the
+information that is of interest is determined by troubleshooter
+heuristics and can be highly dynamic."
+
+The heuristics implemented:
+
+* **sustained overload** — a watched load attribute above a threshold
+  for N consecutive observations (a single spike is not anomalous);
+* **extended failure** — a registered service suspected by the GRRP
+  failure detector for longer than a grace period;
+* **flapping** — a service that oscillates between alive and suspected
+  more than K times within a window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..grip.failure import FailureDetector, SuspicionEvent
+from .monitor import MonitoringService
+
+__all__ = ["Diagnosis", "Troubleshooter"]
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One reported anomaly."""
+
+    subject: str
+    kind: str  # 'sustained-overload' | 'extended-failure' | 'flapping'
+    detail: str
+    when: float
+
+
+class Troubleshooter:
+    """Heuristic anomaly detection over monitoring + failure streams."""
+
+    def __init__(
+        self,
+        clock,
+        monitor: MonitoringService,
+        detector: Optional[FailureDetector] = None,
+        load_attr: str = "load5",
+        overload_threshold: float = 4.0,
+        overload_run: int = 3,
+        failure_grace: float = 60.0,
+        flap_window: float = 300.0,
+        flap_count: int = 4,
+        on_diagnosis: Optional[Callable[[Diagnosis], None]] = None,
+    ):
+        self.clock = clock
+        self.monitor = monitor
+        self.detector = detector
+        self.load_attr = load_attr
+        self.overload_threshold = overload_threshold
+        self.overload_run = overload_run
+        self.failure_grace = failure_grace
+        self.flap_window = flap_window
+        self.flap_count = flap_count
+        self.on_diagnosis = on_diagnosis
+        self.diagnoses: List[Diagnosis] = []
+        self._overload_runs: Dict[str, int] = {}
+        self._reported_overload: set = set()
+        self._suspected_since: Dict[str, float] = {}
+        self._reported_failure: set = set()
+        self._transitions: Dict[str, List[float]] = {}
+        if detector is not None:
+            previous = detector.on_suspect
+            detector.on_suspect = self._chain(previous)
+
+    def _chain(self, previous):
+        def handler(event: SuspicionEvent) -> None:
+            if previous:
+                previous(event)
+            self.on_suspicion(event)
+
+        return handler
+
+    # -- heuristics --------------------------------------------------------------
+
+    def poll(self) -> List[Diagnosis]:
+        """Run the periodic heuristics; returns new diagnoses."""
+        fresh: List[Diagnosis] = []
+        fresh.extend(self._check_overload())
+        fresh.extend(self._check_extended_failures())
+        return fresh
+
+    def _check_overload(self) -> List[Diagnosis]:
+        fresh = []
+        now = self.clock.now()
+        for dn, entry in self.monitor.state.items():
+            raw = entry.first(self.load_attr)
+            if raw is None:
+                continue
+            try:
+                value = float(raw)
+            except ValueError:
+                continue
+            if value >= self.overload_threshold:
+                run = self._overload_runs.get(dn, 0) + 1
+                self._overload_runs[dn] = run
+                if run >= self.overload_run and dn not in self._reported_overload:
+                    self._reported_overload.add(dn)
+                    fresh.append(
+                        self._report(
+                            dn,
+                            "sustained-overload",
+                            f"{self.load_attr}={value:.2f} for {run} samples",
+                            now,
+                        )
+                    )
+            else:
+                self._overload_runs[dn] = 0
+                self._reported_overload.discard(dn)
+        return fresh
+
+    def on_suspicion(self, event: SuspicionEvent) -> None:
+        """Failure-detector transition intake (wired automatically)."""
+        transitions = self._transitions.setdefault(event.producer, [])
+        transitions.append(event.when)
+        cutoff = event.when - self.flap_window
+        self._transitions[event.producer] = [t for t in transitions if t >= cutoff]
+        if event.suspected:
+            self._suspected_since.setdefault(event.producer, event.when)
+        else:
+            self._suspected_since.pop(event.producer, None)
+            self._reported_failure.discard(event.producer)
+        if len(self._transitions[event.producer]) >= self.flap_count:
+            self._report(
+                event.producer,
+                "flapping",
+                f"{len(self._transitions[event.producer])} state changes "
+                f"within {self.flap_window:.0f}s",
+                event.when,
+            )
+            self._transitions[event.producer] = []
+
+    def _check_extended_failures(self) -> List[Diagnosis]:
+        fresh = []
+        now = self.clock.now()
+        for producer, since in self._suspected_since.items():
+            if producer in self._reported_failure:
+                continue
+            if now - since >= self.failure_grace:
+                self._reported_failure.add(producer)
+                fresh.append(
+                    self._report(
+                        producer,
+                        "extended-failure",
+                        f"unresponsive for {now - since:.0f}s",
+                        now,
+                    )
+                )
+        return fresh
+
+    def _report(self, subject: str, kind: str, detail: str, when: float) -> Diagnosis:
+        diagnosis = Diagnosis(subject, kind, detail, when)
+        self.diagnoses.append(diagnosis)
+        if self.on_diagnosis:
+            self.on_diagnosis(diagnosis)
+        return diagnosis

@@ -1,0 +1,18 @@
+"""Testbed: VO deployment, workloads, and measurement for experiments."""
+
+from .metrics import LatencyTimer, Series, StalenessProbe, fmt_table
+from .vo import LDAP_PORT, Deployment, GridTestbed
+from .workload import ChurnProcess, QueryMix, poisson_arrivals
+
+__all__ = [
+    "LatencyTimer",
+    "Series",
+    "StalenessProbe",
+    "fmt_table",
+    "LDAP_PORT",
+    "Deployment",
+    "GridTestbed",
+    "ChurnProcess",
+    "QueryMix",
+    "poisson_arrivals",
+]

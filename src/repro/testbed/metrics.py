@@ -1,0 +1,133 @@
+"""Measurement helpers for the experiments.
+
+Latency is measured in *virtual* time: a blocking client call driven by
+the simulator advances the clock by exactly the protocol's propagation
+and processing delays, so ``sim.now()`` before/after a call is the
+query's true latency in the modelled network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "LatencyTimer", "StalenessProbe", "fmt_row", "fmt_table"]
+
+
+@dataclass
+class Series:
+    """A sample accumulator with the summary stats the reports print."""
+
+    name: str = ""
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    @property
+    def stddev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    def percentile(self, p: float) -> float:
+        if not self.values:
+            return math.nan
+        data = sorted(self.values)
+        k = (len(data) - 1) * p / 100.0
+        lo, hi = int(math.floor(k)), int(math.ceil(k))
+        if lo == hi:
+            return data[lo]
+        return data[lo] + (data[hi] - data[lo]) * (k - lo)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+
+class LatencyTimer:
+    """Times blocks of virtual (or wall) time against a clock."""
+
+    def __init__(self, clock, series: Optional[Series] = None):
+        self.clock = clock
+        self.series = series or Series()
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "LatencyTimer":
+        self._start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.series.add(self.clock.now() - self._start)
+        self._start = None
+
+
+class StalenessProbe:
+    """Compares delivered information timestamps against 'now'.
+
+    Staleness of an entry is ``now - mds-timestamp`` — how old the
+    delivered state is, the §2.1 currency question.
+    """
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.series = Series("staleness")
+
+    def observe_entry(self, entry) -> Optional[float]:
+        ts = entry.timestamp()
+        if ts is None:
+            return None
+        staleness = self.clock.now() - ts
+        self.series.add(staleness)
+        return staleness
+
+    def observe_entries(self, entries) -> None:
+        for entry in entries:
+            self.observe_entry(entry)
+
+
+def fmt_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    out = []
+    for cell, width in zip(cells, widths):
+        text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+        out.append(text.rjust(width))
+    return "  ".join(out)
+
+
+def fmt_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table (the bench harness report format)."""
+    widths = [len(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for i, cell in enumerate(row):
+            text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            cells.append(text)
+            widths[i] = max(widths[i], len(text))
+        rendered.append(cells)
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Testbed: deploy GRIS/GIIS services on the simulated network.
+
+Builds the virtual-organization scenes of Figures 1, 2, 4 and 5: hosts
+running GRIS information providers, GIIS aggregate directories
+(optionally replicated), GRRP registration streams over either
+transport, and clients anywhere on the network.  Everything is driven
+by one seeded :class:`~repro.net.sim.Simulator`, so experiments replay
+deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..giis.core import GiisBackend
+from ..giis.hierarchy import (
+    GRRP_DATAGRAM_PORT,
+    DatagramGrrpSender,
+    LdapGrrpSender,
+    make_registrant,
+)
+from ..grip.registration import Registrant
+from ..gris.core import GrisBackend
+from ..gris.host import (
+    DynamicHostProvider,
+    HostConfig,
+    SimulatedLoadSensor,
+    StaticHostProvider,
+)
+from ..gris.provider import InformationProvider
+from ..gris.storage import QueueProvider, StorageProvider
+from ..ldap.backend import Backend
+from ..ldap.client import LdapClient
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.server import LdapServer
+from ..ldap.url import LdapUrl
+from ..net.links import LinkModel
+from ..net.sim import Simulator
+from ..net.simnet import SimNetwork, SimNode
+from ..security.acl import AccessPolicy
+from ..security.sasl import Authenticator
+
+__all__ = ["LDAP_PORT", "Deployment", "GridTestbed"]
+
+LDAP_PORT = 2135  # the historical MDS port
+
+
+@dataclass
+class Deployment:
+    """One service (GRIS or GIIS) running on a testbed host."""
+
+    host: str
+    node: SimNode
+    backend: Backend
+    server: LdapServer
+    url: LdapUrl
+    suffix: DN
+    registrants: List[Registrant] = field(default_factory=list)
+
+    def stop_registrations(self) -> None:
+        for registrant in self.registrants:
+            registrant.stop()
+
+
+class GridTestbed:
+    """A simulated grid: network + services + clients."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_link: Optional[LinkModel] = None,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.net = SimNetwork(self.sim, default_link=default_link)
+        self.rng = random.Random(seed ^ 0x5EED)
+        self.deployments: Dict[str, Deployment] = {}
+
+    # -- nodes -----------------------------------------------------------------
+
+    def host(self, name: str, site: Optional[str] = None) -> SimNode:
+        try:
+            return self.net.node(name)
+        except Exception:
+            return self.net.add_node(name, site=site)
+
+    def connector_from(self, host: str) -> Callable[[LdapUrl], object]:
+        """A Connector dialing service URLs from *host*."""
+        node = self.host(host)
+        return lambda url: node.connect((url.host, url.port))
+
+    # -- GRIS ------------------------------------------------------------------
+
+    def add_gris(
+        self,
+        host: str,
+        suffix: DN | str,
+        providers: Sequence[InformationProvider] = (),
+        site: Optional[str] = None,
+        port: int = LDAP_PORT,
+        policy: Optional[AccessPolicy] = None,
+        authenticator: Optional[Authenticator] = None,
+        suffix_entry: Optional[Entry] = None,
+    ) -> Deployment:
+        node = self.host(host, site)
+        backend = GrisBackend(suffix, clock=self.sim)
+        for provider in providers:
+            backend.add_provider(provider)
+        if suffix_entry is not None:
+            backend.set_suffix_entry(suffix_entry)
+        server = LdapServer(
+            backend,
+            clock=self.sim,
+            policy=policy,
+            authenticator=authenticator,
+            name=f"gris-{host}",
+        )
+        node.listen(port, server.handle_connection)
+        deployment = Deployment(
+            host=host,
+            node=node,
+            backend=backend,
+            server=server,
+            url=LdapUrl(host, port),
+            suffix=DN.of(suffix),
+        )
+        self.deployments[f"{host}:{port}"] = deployment
+        return deployment
+
+    def standard_gris(
+        self,
+        host: str,
+        suffix: DN | str,
+        cpu_count: int = 4,
+        load_mean: float = 1.0,
+        site: Optional[str] = None,
+        load_ttl: float = 15.0,
+        **kwargs,
+    ) -> Deployment:
+        """A GRIS with the standard MDS provider set for one machine."""
+        sensor = SimulatedLoadSensor(
+            random.Random(self.rng.getrandbits(32)), mean=load_mean
+        )
+        # The GRIS suffix is the host's own entry (the per-machine MDS
+        # deployment), so every provider is rooted at base "".
+        providers = [
+            StaticHostProvider(HostConfig(host, cpu_count=cpu_count), base=""),
+            DynamicHostProvider(host, sensor, cache_ttl=load_ttl, base=""),
+            StorageProvider(
+                host,
+                "scratch",
+                f"/disks/{host}",
+                lambda: (10 * 1024**3, 20 * 1024**3),
+                base="",
+            ),
+            QueueProvider(host, base=""),
+        ]
+        deployment = self.add_gris(host, suffix, providers, site=site, **kwargs)
+        deployment.sensor = sensor  # type: ignore[attr-defined]
+        return deployment
+
+    # -- GIIS ------------------------------------------------------------------
+
+    def add_giis(
+        self,
+        host: str,
+        suffix: DN | str,
+        site: Optional[str] = None,
+        port: int = LDAP_PORT,
+        mode: str = "chain",
+        vo_name: str = "",
+        registration_grace: float = 0.0,
+        purge_interval: Optional[float] = 10.0,
+        child_timeout: float = 5.0,
+        cache_ttl: float = 0.0,
+        accept=None,
+        policy: Optional[AccessPolicy] = None,
+        authenticator: Optional[Authenticator] = None,
+        datagram_grrp: bool = True,
+        credential=None,
+        **backend_kwargs,
+    ) -> Deployment:
+        node = self.host(host, site)
+        url = LdapUrl(host, port, DN.of(suffix))
+        backend = GiisBackend(
+            suffix=suffix,
+            clock=self.sim,
+            connector=self.connector_from(host),
+            url=url,
+            mode=mode,
+            vo_name=vo_name or host,
+            registration_grace=registration_grace,
+            purge_interval=purge_interval,
+            child_timeout=child_timeout,
+            cache_ttl=cache_ttl,
+            accept=accept,
+            credential=credential,
+            **backend_kwargs,
+        )
+        if purge_interval is not None:
+            backend.registry.start()
+        server = LdapServer(
+            backend,
+            clock=self.sim,
+            policy=policy,
+            authenticator=authenticator,
+            name=f"giis-{host}",
+        )
+        node.listen(port, server.handle_connection)
+        if datagram_grrp:
+            node.on_datagram(GRRP_DATAGRAM_PORT, backend.handle_grrp_datagram)
+        deployment = Deployment(
+            host=host,
+            node=node,
+            backend=backend,
+            server=server,
+            url=url,
+            suffix=DN.of(suffix),
+        )
+        self.deployments[f"{host}:{port}"] = deployment
+        return deployment
+
+    # -- registration ------------------------------------------------------------
+
+    def register(
+        self,
+        child: Deployment,
+        parent: Deployment,
+        interval: float = 30.0,
+        ttl: float = 90.0,
+        transport: str = "ldap",
+        name: str = "",
+        vo: str = "",
+        jitter: float = 0.0,
+    ) -> Registrant:
+        """Start a GRRP refresh stream child -> parent directory."""
+        if transport == "ldap":
+            send = LdapGrrpSender(self.connector_from(child.host))
+            directory = str(parent.url)
+        elif transport == "datagram":
+            send = DatagramGrrpSender(child.node)
+            directory = parent.host
+        else:
+            raise ValueError(f"unknown GRRP transport {transport!r}")
+        registrant = make_registrant(
+            self.sim,
+            child.url,
+            child.suffix,
+            send,
+            interval=interval,
+            ttl=ttl,
+            name=name or child.host,
+            vo=vo,
+            jitter=jitter,
+            rng=random.Random(self.rng.getrandbits(32)),
+        )
+        registrant.register_with(directory)
+        child.registrants.append(registrant)
+        return registrant
+
+    # -- clients ----------------------------------------------------------------
+
+    def client(self, from_host: str, service: Deployment | LdapUrl) -> LdapClient:
+        """A blocking-capable LDAP client driven by the simulator."""
+        url = service.url if isinstance(service, Deployment) else service
+        node = self.host(from_host)
+        conn = node.connect((url.host, url.port))
+        return LdapClient(conn, driver=self.sim.step)
+
+    def run(self, duration: float) -> None:
+        self.sim.run_for(duration)

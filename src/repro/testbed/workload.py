@@ -1,0 +1,153 @@
+"""Synthetic workload generators for the experiments.
+
+Query mixes, resource churn, and load-regime changes — the knobs the
+benchmark sweeps turn.  All randomness comes from seeded generators so
+runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..ldap.dit import Scope
+from ..ldap.filter import parse as parse_filter
+from ..ldap.protocol import SearchRequest
+
+__all__ = ["QueryMix", "ChurnProcess", "poisson_arrivals"]
+
+
+@dataclass
+class QueryMix:
+    """Random discovery queries over a host population.
+
+    Mirrors the §1 scenarios: broker-style qualitative searches
+    (load/cpu thresholds), name lookups of specific hosts, and broad
+    inventory sweeps.
+    """
+
+    rng: random.Random
+    hosts: Sequence[str]
+    base: str = ""
+
+    def lookup(self) -> SearchRequest:
+        host = self.rng.choice(list(self.hosts))
+        return SearchRequest(
+            base=self.base,
+            scope=Scope.SUBTREE,
+            filter=parse_filter(f"(hn={host})"),
+        )
+
+    def broker_query(self) -> SearchRequest:
+        load = self.rng.choice(["0.5", "1.0", "2.0", "4.0"])
+        cpus = self.rng.choice([1, 2, 4, 8])
+        return SearchRequest(
+            base=self.base,
+            scope=Scope.SUBTREE,
+            filter=parse_filter(
+                f"(&(objectclass=computer)(cpucount>={cpus}))"
+            )
+            if self.rng.random() < 0.5
+            else parse_filter(
+                f"(&(objectclass=loadaverage)(load5<={load}))"
+            ),
+        )
+
+    def inventory(self) -> SearchRequest:
+        return SearchRequest(
+            base=self.base,
+            scope=Scope.SUBTREE,
+            filter=parse_filter("(objectclass=computer)"),
+        )
+
+    def next_query(self) -> SearchRequest:
+        roll = self.rng.random()
+        if roll < 0.4:
+            return self.lookup()
+        if roll < 0.8:
+            return self.broker_query()
+        return self.inventory()
+
+
+class ChurnProcess:
+    """Drives providers joining and leaving a VO over time.
+
+    Each tick either starts a stopped registrant or stops a running one,
+    exercising the soft-state machinery the way "highly dynamic"
+    VO membership (§1) does.
+    """
+
+    def __init__(
+        self,
+        clock,
+        registrants,  # list of (Registrant, directory address)
+        rng: random.Random,
+        interval: float = 30.0,
+        leave_probability: float = 0.5,
+        silent_leave_probability: float = 0.5,
+    ):
+        self.clock = clock
+        self.registrants = list(registrants)
+        self.rng = rng
+        self.interval = interval
+        self.leave_probability = leave_probability
+        self.silent_leave_probability = silent_leave_probability
+        self._timer = None
+        self.joins = 0
+        self.leaves = 0
+
+    def start(self) -> None:
+        self._schedule()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _schedule(self) -> None:
+        delay = self.rng.expovariate(1.0 / self.interval)
+        self._timer = self.clock.call_later(delay, self._tick)
+
+    def _tick(self) -> None:
+        registrant, directory = self.rng.choice(self.registrants)
+        if directory in registrant.directories():
+            if self.rng.random() < self.leave_probability:
+                # Silent leaves (crashes) exercise expiry; polite leaves
+                # exercise explicit unregister.
+                notify = self.rng.random() >= self.silent_leave_probability
+                registrant.deregister_from(directory, notify=notify)
+                self.leaves += 1
+        else:
+            registrant.register_with(directory)
+            self.joins += 1
+        self._schedule()
+
+
+def poisson_arrivals(
+    clock,
+    rate: float,
+    action: Callable[[], None],
+    rng: random.Random,
+    until: Optional[float] = None,
+) -> Callable[[], None]:
+    """Schedule *action* as a Poisson process; returns a stop function."""
+    stopped = {"flag": False}
+
+    def arrive() -> None:
+        if stopped["flag"]:
+            return
+        if until is not None and clock.now() >= until:
+            return
+        action()
+        schedule()
+
+    def schedule() -> None:
+        clock.call_later(rng.expovariate(rate), arrive)
+
+    schedule()
+
+    def stop() -> None:
+        stopped["flag"] = True
+
+    return stop

@@ -1,0 +1,11 @@
+"""Command-line tools: the grid-info-search / grid-info-server pair.
+
+These mirror the Globus deployment commands (``grid-info-search`` was
+how operators queried MDS): a client CLI printing LDIF and a server CLI
+that runs a GRIS from a configuration file over real TCP.
+"""
+
+from .grid_info_search import main as search_main
+from .grid_info_server import main as server_main
+
+__all__ = ["search_main", "server_main"]

@@ -1,0 +1,101 @@
+"""grid-info-server: run a GRIS from a configuration file over TCP.
+
+::
+
+    grid-info-server --config gris.json --port 2135
+
+Starts the LDAP front end with the configured providers and, if the
+config lists registrations, sustains GRRP streams (carried as LDAP Add
+operations) toward those directories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from typing import Optional, Sequence
+
+from ..giis.hierarchy import LdapGrrpSender, make_registrant
+from ..gris.config import ConfigError, build_gris, load_config
+from ..ldap.server import LdapServer
+from ..ldap.url import LdapUrl
+from ..net.clock import WallClock
+from ..net.tcp import TcpEndpoint
+
+__all__ = ["main", "start_server"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grid-info-server",
+        description="Run a Grid Resource Information Service (GRIS).",
+    )
+    parser.add_argument("--config", required=True, help="JSON configuration file")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("-p", "--port", type=int, default=2135, help="bind port (0=ephemeral)")
+    parser.add_argument(
+        "--advertise-host",
+        default=None,
+        help="hostname to advertise in registrations (default: bind address)",
+    )
+    return parser
+
+
+def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
+                 advertise_host: Optional[str] = None):
+    """Start everything; returns (endpoint, bound_port, registrants, server)."""
+    clock = WallClock()
+    config = load_config(config_path)
+    gris = build_gris(config, clock=clock)
+    server = LdapServer(gris, clock=clock, name="grid-info-server")
+    endpoint = TcpEndpoint(host)
+    bound = endpoint.listen(port, server.handle_connection)
+
+    registrants = []
+    if config.registrations:
+        sender = LdapGrrpSender(lambda url: endpoint.connect(url.address))
+        service_url = LdapUrl(advertise_host or host, bound, config.suffix)
+        for spec in config.registrations:
+            registrant = make_registrant(
+                clock,
+                service_url,
+                config.suffix,
+                sender,
+                interval=spec.interval,
+                ttl=spec.ttl,
+                name=spec.name,
+                vo=spec.vo,
+            )
+            registrant.register_with(spec.directory)
+            registrants.append(registrant)
+    return endpoint, bound, registrants, server
+
+
+def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        endpoint, bound, registrants, _server = start_server(
+            args.config, args.host, args.port, args.advertise_host
+        )
+    except ConfigError as exc:
+        print(f"grid-info-server: {exc}", file=sys.stderr)
+        return 2
+    print(f"grid-info-server: listening on ldap://{args.host}:{bound}/")
+    if registrants:
+        targets = [d for r in registrants for d in r.directories()]
+        print(f"grid-info-server: registering with {', '.join(targets)}")
+    if run_forever:
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            for registrant in registrants:
+                registrant.stop()
+            endpoint.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""Tests for attribute matching rules and Entry behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap.attributes import (
+    AttributeValues,
+    CASE_EXACT,
+    CASE_IGNORE,
+    NUMERIC,
+    numeric_value,
+    rule_for,
+)
+from repro.ldap.entry import Entry
+
+
+class TestMatchingRules:
+    def test_case_ignore_equality(self):
+        assert CASE_IGNORE.equals("MIPS  Irix", "mips irix")
+
+    def test_case_exact_distinguishes(self):
+        assert not CASE_EXACT.equals("gram://HostX/", "gram://hostx/")
+
+    def test_numeric_equality_across_formats(self):
+        assert NUMERIC.equals("3.20", "3.2")
+
+    def test_numeric_ordering(self):
+        assert NUMERIC.compare("10", "9") > 0  # not lexicographic
+
+    def test_case_ignore_numeric_ordering(self):
+        # caseIgnore falls back to numeric compare for numbers too
+        assert CASE_IGNORE.compare("10", "9") > 0
+
+    def test_size_units(self):
+        assert numeric_value("33515 MB") == 33515 * 1024**2
+        assert numeric_value("1 GB") == 1024**3
+        assert numeric_value("2.5") == 2.5
+        assert numeric_value("not a number") is None
+
+    def test_size_ordering_across_units(self):
+        assert NUMERIC.compare("1 GB", "900 MB") > 0
+
+    def test_rule_selection(self):
+        assert rule_for("load5") is not rule_for("system")
+        assert rule_for("URL").name == "caseExactMatch"
+        assert rule_for("unknown-attr").name == "caseIgnoreMatch"
+
+
+class TestAttributeValues:
+    def test_dedup_under_rule(self):
+        av = AttributeValues("system", ["Linux", "linux", "LINUX"])
+        assert len(av) == 1
+        assert av.first == "Linux"  # first-added form preserved
+
+    def test_remove(self):
+        av = AttributeValues("cn", ["a", "b"])
+        assert av.remove("A")
+        assert av.values() == ["b"]
+        assert not av.remove("zzz")
+
+    def test_contains(self):
+        av = AttributeValues("cn", ["Alpha"])
+        assert av.contains("alpha")
+        assert not av.contains("beta")
+
+    def test_equality_with_list(self):
+        assert AttributeValues("cn", ["A", "b"]) == ["a", "B"]
+
+    def test_copy_is_independent(self):
+        av = AttributeValues("cn", ["a"])
+        cp = av.copy()
+        cp.add("b")
+        assert len(av) == 1
+
+
+class TestEntry:
+    def make(self):
+        return Entry(
+            "hn=hostX, o=O1",
+            objectclass=["computer"],
+            system="mips irix",
+            cpucount=4,
+        )
+
+    def test_construction_kinds(self):
+        e = self.make()
+        assert e.first("system") == "mips irix"
+        assert e.get("cpucount") == ["4"]
+        assert e.object_classes == ["computer"]
+
+    def test_is_a(self):
+        assert self.make().is_a("Computer")
+
+    def test_put_replaces(self):
+        e = self.make()
+        e.put("system", "linux")
+        assert e.get("system") == ["linux"]
+
+    def test_put_empty_removes(self):
+        e = self.make()
+        e.put("system", [])
+        assert not e.has("system")
+
+    def test_add_remove_value(self):
+        e = self.make()
+        assert e.add_value("system", "linux")
+        assert not e.add_value("system", "LINUX")
+        assert e.remove_value("system", "mips  irix".replace("  ", " "))
+        assert e.get("system") == ["linux"]
+
+    def test_remove_last_value_drops_attr(self):
+        e = Entry("cn=x", cn="x")
+        e.remove_value("cn", "x")
+        assert not e.has("cn")
+
+    def test_project_subset(self):
+        e = self.make()
+        p = e.project(["system"])
+        assert p.has("system")
+        assert not p.has("cpucount")
+        assert p.dn == e.dn
+
+    def test_project_star(self):
+        e = self.make()
+        assert e.project(["*"]) == e
+        assert e.project(None) == e
+
+    def test_project_preserves_case_insensitivity(self):
+        e = self.make()
+        assert e.project(["SYSTEM"]).has("system")
+
+    def test_copy_independent(self):
+        e = self.make()
+        c = e.copy()
+        c.put("system", "linux")
+        assert e.first("system") == "mips irix"
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        other = self.make()
+        other.put("cpucount", 8)
+        assert self.make() != other
+
+    def test_stamp_and_staleness(self):
+        e = self.make().stamp(now=100.0, ttl=30.0)
+        assert e.timestamp() == 100.0
+        assert e.valid_to() == 130.0
+        assert not e.is_stale(120.0)
+        assert e.is_stale(131.0)
+
+    def test_stamp_without_ttl(self):
+        e = self.make().stamp(now=100.0)
+        assert e.valid_to() is None
+        assert not e.is_stale(1e9)
+
+    def test_bad_value_type_rejected(self):
+        with pytest.raises(TypeError):
+            Entry("cn=x", cn=object())
+
+
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=8,
+        ),
+        max_size=10,
+    )
+)
+def test_attribute_values_dedup_invariant(values):
+    """No two stored values are equal under the matching rule."""
+    av = AttributeValues("cn", values)
+    normalized = [av.rule.normalize(v) for v in av.values()]
+    assert len(normalized) == len(set(normalized))
+    for v in values:
+        assert av.contains(v)

@@ -1,0 +1,231 @@
+"""Unit tests for the backend layer and persistent-search controls."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap.backend import (
+    Backend,
+    ChangeType,
+    DitBackend,
+    RequestContext,
+    _in_scope,
+)
+from repro.ldap.dit import DIT, Scope
+from repro.ldap.dn import DN
+from repro.ldap.entry import Entry
+from repro.ldap.filter import parse as parse_filter
+from repro.ldap.protocol import (
+    AddRequest,
+    Control,
+    ModifyRequest,
+    ResultCode,
+    SearchRequest,
+)
+from repro.ldap.psearch import (
+    ENTRY_CHANGE_OID,
+    PSEARCH_OID,
+    EntryChangeNotification,
+    PersistentSearchControl,
+)
+from repro.ldap.schema import GRID_SCHEMA
+
+CTX = RequestContext(identity="CN=test")
+
+
+def backend():
+    b = DitBackend(DIT())
+    b.dit.add(Entry("o=Grid", objectclass="organization", o="Grid"))
+    b.dit.add(
+        Entry("hn=a, o=Grid", objectclass="computer", hn="a", load5="1.0")
+    )
+    return b
+
+
+class TestDitBackend:
+    def test_search_ok(self):
+        out = backend().search(
+            SearchRequest(base="o=Grid", scope=Scope.SUBTREE), CTX
+        )
+        assert out.result.ok and len(out.entries) == 2
+
+    def test_search_bad_base(self):
+        out = backend().search(SearchRequest(base="!!!"), CTX)
+        assert out.result.code == ResultCode.PROTOCOL_ERROR
+
+    def test_search_missing_base(self):
+        out = backend().search(
+            SearchRequest(base="o=Nope", scope=Scope.BASE), CTX
+        )
+        assert out.result.code == ResultCode.NO_SUCH_OBJECT
+
+    def test_add_and_duplicate(self):
+        b = backend()
+        req = AddRequest.from_entry(Entry("hn=b, o=Grid", objectclass="computer", hn="b"))
+        assert b.add(req, CTX).ok
+        assert b.add(req, CTX).code == ResultCode.ENTRY_ALREADY_EXISTS
+
+    def test_add_schema_violation(self):
+        b = DitBackend(DIT(schema=GRID_SCHEMA))
+        req = AddRequest.from_entry(Entry("hn=x", objectclass="computer"))
+        assert b.add(req, CTX).code == ResultCode.OBJECT_CLASS_VIOLATION
+
+    def test_modify_unknown_op(self):
+        b = backend()
+        result = b.modify(ModifyRequest("hn=a, o=Grid", ((9, "x", ("v",)),)), CTX)
+        assert result.code == ResultCode.OTHER
+
+    def test_delete_nonleaf(self):
+        b = backend()
+        result = b.delete("o=Grid", CTX)
+        assert result.code == ResultCode.UNWILLING_TO_PERFORM
+
+    def test_base_backend_defaults(self):
+        class Minimal(Backend):
+            def search(self, req, ctx):
+                raise NotImplementedError
+
+        b = Minimal()
+        assert b.add(AddRequest(), CTX).code == ResultCode.UNWILLING_TO_PERFORM
+        assert b.modify(ModifyRequest(), CTX).code == ResultCode.UNWILLING_TO_PERFORM
+        assert b.delete("cn=x", CTX).code == ResultCode.UNWILLING_TO_PERFORM
+        assert b.subscribe(SearchRequest(), CTX, lambda e, c: None) is None
+
+    def test_search_async_default_bridges(self):
+        results = []
+        backend().search_async(
+            SearchRequest(base="o=Grid", scope=Scope.SUBTREE), CTX, results.append
+        )
+        assert len(results) == 1 and results[0].result.ok
+
+
+class TestSubscriptionSemantics:
+    def test_change_type_masking(self):
+        b = backend()
+        changes = []
+        b.subscribe(
+            SearchRequest(base="o=Grid", scope=Scope.SUBTREE),
+            CTX,
+            lambda e, c: changes.append(c),
+            change_types=ChangeType.DELETE,
+        )
+        b.add(AddRequest.from_entry(Entry("hn=c, o=Grid", objectclass="computer", hn="c")), CTX)
+        b.delete("hn=c, o=Grid", CTX)
+        assert changes == [ChangeType.DELETE]
+
+    def test_scope_respected(self):
+        b = backend()
+        changes = []
+        b.subscribe(
+            SearchRequest(base="hn=a, o=Grid", scope=Scope.BASE),
+            CTX,
+            lambda e, c: changes.append(str(e.dn)),
+        )
+        b.add(AddRequest.from_entry(Entry("hn=zz, o=Grid", objectclass="computer", hn="zz")), CTX)
+        b.modify(
+            ModifyRequest("hn=a, o=Grid", ((ModifyRequest.OP_REPLACE, "load5", ("7",)),)),
+            CTX,
+        )
+        assert changes == ["hn=a, o=Grid"]
+
+    def test_filter_respected_for_modify(self):
+        b = backend()
+        changes = []
+        b.subscribe(
+            SearchRequest(
+                base="o=Grid",
+                scope=Scope.SUBTREE,
+                filter=parse_filter("(load5>=5)"),
+            ),
+            CTX,
+            lambda e, c: changes.append(float(e.first("load5"))),
+        )
+        b.modify(
+            ModifyRequest("hn=a, o=Grid", ((ModifyRequest.OP_REPLACE, "load5", ("2",)),)),
+            CTX,
+        )
+        assert changes == []
+        b.modify(
+            ModifyRequest("hn=a, o=Grid", ((ModifyRequest.OP_REPLACE, "load5", ("8",)),)),
+            CTX,
+        )
+        assert changes == [8.0]
+
+    def test_delete_notification_skips_filter(self):
+        # the deleted entry's final state can't be filter-matched
+        b = backend()
+        changes = []
+        b.subscribe(
+            SearchRequest(
+                base="o=Grid",
+                scope=Scope.SUBTREE,
+                filter=parse_filter("(nosuchattr=1)"),
+            ),
+            CTX,
+            lambda e, c: changes.append(c),
+        )
+        b.delete("hn=a, o=Grid", CTX)
+        assert changes == [ChangeType.DELETE]
+
+    def test_cancel_is_idempotent(self):
+        b = backend()
+        sub = b.subscribe(
+            SearchRequest(base="o=Grid", scope=Scope.SUBTREE), CTX, lambda e, c: None
+        )
+        assert b.subscription_count() == 1
+        sub.cancel()
+        sub.cancel()
+        assert b.subscription_count() == 0
+
+
+class TestInScope:
+    def test_base(self):
+        assert _in_scope(DN.parse("a=1"), DN.parse("a=1"), Scope.BASE)
+        assert not _in_scope(DN.parse("b=2, a=1"), DN.parse("a=1"), Scope.BASE)
+
+    def test_onelevel(self):
+        base = DN.parse("a=1")
+        assert _in_scope(DN.parse("b=2, a=1"), base, Scope.ONELEVEL)
+        assert not _in_scope(base, base, Scope.ONELEVEL)
+        assert not _in_scope(DN.parse("c=3, b=2, a=1"), base, Scope.ONELEVEL)
+        assert not _in_scope(DN.root(), base, Scope.ONELEVEL)
+
+    def test_subtree(self):
+        base = DN.parse("a=1")
+        assert _in_scope(base, base, Scope.SUBTREE)
+        assert _in_scope(DN.parse("c=3, b=2, a=1"), base, Scope.SUBTREE)
+        assert not _in_scope(DN.parse("a=2"), base, Scope.SUBTREE)
+
+
+class TestPsearchCodec:
+    def test_request_control_roundtrip(self):
+        psc = PersistentSearchControl(
+            change_types=ChangeType.ADD | ChangeType.DELETE,
+            changes_only=True,
+            return_ecs=False,
+        )
+        control = psc.to_control()
+        assert control.oid == PSEARCH_OID
+        assert PersistentSearchControl.from_control(control) == psc
+
+    def test_find_in_controls(self):
+        psc = PersistentSearchControl()
+        controls = (Control("1.2.3"), psc.to_control())
+        assert PersistentSearchControl.find(controls) == psc
+        assert PersistentSearchControl.find((Control("1.2.3"),)) is None
+
+    def test_entry_change_roundtrip(self):
+        ec = EntryChangeNotification(ChangeType.MODIFY)
+        control = ec.to_control()
+        assert control.oid == ENTRY_CHANGE_OID
+        assert EntryChangeNotification.from_control(control) == ec
+        assert EntryChangeNotification.find((control,)) == ec
+        assert EntryChangeNotification.find(()) is None
+
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_control_roundtrip_property(self, change_types, changes_only, return_ecs):
+        psc = PersistentSearchControl(change_types, changes_only, return_ecs)
+        assert PersistentSearchControl.from_control(psc.to_control()) == psc

@@ -1,0 +1,261 @@
+"""Tests for the MDS-1, multicast, and Bloom-filter baselines."""
+
+import pytest
+
+from repro.baselines import (
+    BloomFilter,
+    CentralDirectory,
+    Mds1Pusher,
+    MulticastDiscoveryClient,
+    MulticastResponder,
+    SummaryIndex,
+)
+from repro.gris import FunctionProvider, HostConfig, StaticHostProvider
+from repro.ldap.client import LdapClient
+from repro.ldap.dit import Scope
+from repro.ldap.entry import Entry
+from repro.ldap.filter import parse as parse_filter
+from repro.net.links import LinkModel
+from repro.net.sim import Simulator
+from repro.net.simnet import SimNetwork
+from repro.testbed import GridTestbed
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bf = BloomFilter(bits=256, hashes=3)
+        bf.add(b"hello")
+        assert b"hello" in bf
+        assert b"world" not in bf
+
+    def test_no_false_negatives(self):
+        bf = BloomFilter(bits=4096, hashes=4)
+        items = [f"item-{i}".encode() for i in range(200)]
+        for item in items:
+            bf.add(item)
+        assert all(item in bf for item in items)
+
+    def test_false_positive_rate_estimate(self):
+        bf = BloomFilter(bits=1024, hashes=4)
+        for i in range(100):
+            bf.add(str(i).encode())
+        rate = bf.false_positive_rate()
+        assert 0.0 < rate < 0.2
+        # empirical check against fresh items
+        hits = sum(1 for i in range(1000, 3000) if str(i).encode() in bf)
+        assert hits / 2000 < rate * 3 + 0.02
+
+    def test_merge(self):
+        a = BloomFilter(bits=256, hashes=3)
+        b = BloomFilter(bits=256, hashes=3)
+        a.add(b"x")
+        b.add(b"y")
+        a.merge(b)
+        assert b"x" in a and b"y" in a
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BloomFilter(256, 3).merge(BloomFilter(512, 3))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=4)
+
+
+class TestSummaryIndex:
+    def entries(self, host, system):
+        return [
+            Entry(f"hn={host}", objectclass="computer", hn=host, system=system)
+        ]
+
+    def test_pruning(self):
+        idx = SummaryIndex()
+        idx.update_child("c1", self.entries("a", "linux"))
+        idx.update_child("c2", self.entries("b", "irix"))
+        got = idx.candidates(parse_filter("(system=linux)"))
+        assert got == ["c1"]
+
+    def test_conjunction(self):
+        idx = SummaryIndex()
+        idx.update_child("c1", self.entries("a", "linux"))
+        got = idx.candidates(parse_filter("(&(system=linux)(hn=a))"))
+        assert got == ["c1"]
+        got = idx.candidates(parse_filter("(&(system=linux)(hn=zz))"))
+        assert got == []
+
+    def test_non_equality_filters_cannot_prune(self):
+        idx = SummaryIndex()
+        idx.update_child("c1", self.entries("a", "linux"))
+        idx.update_child("c2", self.entries("b", "irix"))
+        assert idx.candidates(parse_filter("(load5>=2)")) == ["c1", "c2"]
+        assert idx.candidates(parse_filter("(system=*nux*)")) == ["c1", "c2"]
+
+    def test_drop_child(self):
+        idx = SummaryIndex()
+        idx.update_child("c1", self.entries("a", "linux"))
+        idx.drop_child("c1")
+        assert idx.children() == []
+
+    def test_summary_size_accounting(self):
+        idx = SummaryIndex(bits=2048)
+        idx.update_child("c1", self.entries("a", "linux"))
+        assert idx.summary_bytes() == 2048 // 8
+
+
+class TestMds1Baseline:
+    def build(self, tb: GridTestbed, interval=30.0, n=2):
+        central_node = tb.host("central")
+        central = CentralDirectory(tb.sim)
+        central_node.listen(389, central.server.handle_connection)
+        pushers = []
+        for i in range(n):
+            host = tb.host(f"p{i}")
+            provider = StaticHostProvider(HostConfig(f"p{i}"), base=f"hn=p{i}")
+            conn = host.connect(("central", 389))
+            pusher = Mds1Pusher(
+                tb.sim,
+                LdapClient(conn),
+                "o=Grid",
+                [provider],
+                interval=interval,
+            )
+            pusher.start()
+            pushers.append(pusher)
+        tb.run(1.0)
+        return central, pushers
+
+    def test_pushed_data_queryable(self):
+        tb = GridTestbed(seed=23)
+        central, _ = self.build(tb)
+        client = tb.client("user", __import__("repro.ldap.url", fromlist=["LdapUrl"]).LdapUrl("central", 389))
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert sorted(e.first("hn") for e in out) == ["p0", "p1"]
+
+    def test_periodic_pushes(self):
+        tb = GridTestbed(seed=23)
+        central, pushers = self.build(tb, interval=10.0)
+        tb.run(35.0)
+        assert all(p.pushes == 4 for p in pushers)  # t=0,10,20,30
+
+    def test_staleness_bounded_by_interval(self):
+        tb = GridTestbed(seed=23)
+        loads = {"value": "1.0"}
+        central = CentralDirectory(tb.sim)
+        tb.host("central").listen(389, central.server.handle_connection)
+        provider = FunctionProvider(
+            "dyn",
+            lambda: [
+                Entry("perf=l, hn=p", objectclass="perf", perf="l", load5=loads["value"])
+            ],
+        )
+        conn = tb.host("p").connect(("central", 389))
+        pusher = Mds1Pusher(tb.sim, LdapClient(conn), "o=Grid", [provider], interval=30.0)
+        pusher.start()
+        tb.run(1.0)
+        loads["value"] = "9.0"  # reality changes right after a push
+        tb.run(10.0)
+        from repro.ldap.url import LdapUrl
+
+        client = tb.client("user", LdapUrl("central", 389))
+        out = client.search("o=Grid", filter="(objectclass=perf)")
+        assert out.entries[0].first("load5") == "1.0"  # stale until next push
+        tb.run(25.0)  # next push at t=31
+        out = client.search("o=Grid", filter="(objectclass=perf)")
+        assert out.entries[0].first("load5") == "9.0"
+
+    def test_vanished_entries_deleted(self):
+        tb = GridTestbed(seed=23)
+        entries = {
+            "a": Entry("hn=a", objectclass="computer", hn="a"),
+            "b": Entry("hn=b", objectclass="computer", hn="b"),
+        }
+        central = CentralDirectory(tb.sim)
+        tb.host("central").listen(389, central.server.handle_connection)
+        provider = FunctionProvider("p", lambda: list(entries.values()))
+        conn = tb.host("p").connect(("central", 389))
+        pusher = Mds1Pusher(tb.sim, LdapClient(conn), "o=Grid", [provider], interval=10.0)
+        pusher.start()
+        tb.run(1.0)
+        del entries["b"]
+        tb.run(10.5)
+        from repro.ldap.url import LdapUrl
+
+        client = tb.client("user", LdapUrl("central", 389))
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert [e.first("hn") for e in out] == ["a"]
+
+    def test_update_traffic_flows_without_queries(self):
+        tb = GridTestbed(seed=23)
+        central, pushers = self.build(tb, interval=5.0)
+        before = tb.net.stats.messages
+        tb.run(60.0)  # nobody queries
+        assert tb.net.stats.messages - before >= 20  # pushes keep flowing
+
+
+class TestMulticastDiscovery:
+    def build(self):
+        sim = Simulator(seed=31)
+        net = SimNetwork(sim, default_link=LinkModel(latency=0.01))
+        # site A: client + 2 providers; site B: 1 provider (same VO!)
+        client_node = net.add_node("client", site="A")
+        providers = []
+        for host, site, system in (
+            ("pa1", "A", "linux"),
+            ("pa2", "A", "irix"),
+            ("pb1", "B", "linux"),
+        ):
+            node = net.add_node(host, site=site)
+            entries = [
+                Entry(f"hn={host}", objectclass="computer", hn=host, system=system)
+            ]
+            providers.append(MulticastResponder(node, lambda e=entries: e))
+        client = MulticastDiscoveryClient(client_node, sim)
+        return sim, net, client, providers
+
+    def test_site_scope_finds_local_only(self):
+        sim, net, client, providers = self.build()
+        targeted, results = client.discover("(objectclass=computer)", timeout=1.0)
+        sim.run_until(2.0)
+        found = {e.first("hn") for e in results()}
+        assert found == {"pa1", "pa2"}  # pb1 invisible across sites (§11.2)
+        assert targeted == 2
+
+    def test_global_scope_reaches_everyone(self):
+        sim, net, client, providers = self.build()
+        targeted, results = client.discover(
+            "(objectclass=computer)", timeout=1.0, scope="global"
+        )
+        sim.run_until(2.0)
+        assert {e.first("hn") for e in results()} == {"pa1", "pa2", "pb1"}
+        assert targeted == 3
+
+    def test_filter_applied_at_responder(self):
+        sim, net, client, providers = self.build()
+        _, results = client.discover("(system=linux)", timeout=1.0)
+        sim.run_until(2.0)
+        assert {e.first("hn") for e in results()} == {"pa1"}
+        # non-matching responders stay silent
+        assert providers[1].replies_sent == 0
+
+    def test_every_responder_pays_for_every_query(self):
+        sim, net, client, providers = self.build()
+        for _ in range(10):
+            client.discover("(hn=pa1)", timeout=0.5, scope="global")
+        sim.run_until(10.0)
+        assert all(p.queries_seen == 10 for p in providers)
+
+    def test_on_done_callback(self):
+        sim, net, client, providers = self.build()
+        got = []
+        client.discover(
+            "(objectclass=computer)", timeout=1.0, on_done=lambda es: got.append(es)
+        )
+        sim.run_until(2.0)
+        assert len(got) == 1 and len(got[0]) == 2
+
+    def test_responder_stop(self):
+        sim, net, client, providers = self.build()
+        providers[0].stop()
+        _, results = client.discover("(objectclass=computer)", timeout=1.0)
+        sim.run_until(2.0)
+        assert {e.first("hn") for e in results()} == {"pa2"}

@@ -1,0 +1,118 @@
+"""§9: the three directory-configuration techniques, end to end."""
+
+import pytest
+
+from repro.giis.bootstrap import (
+    SlpDirectoryAdvertiser,
+    discover_directories,
+    discover_via_slp,
+)
+from repro.testbed import GridTestbed
+
+
+def build_hierarchy(tb):
+    root = tb.add_giis("root", "o=Grid", vo_name="Root")
+    vo_a = tb.add_giis("giis-a", "o=A, o=Grid", vo_name="VO-A")
+    vo_b = tb.add_giis("giis-b", "o=B, o=Grid", vo_name="VO-B")
+    tb.register(vo_a, root, name="vo-a")
+    tb.register(vo_b, root, name="vo-b")
+    tb.run(1.0)
+    return root, vo_a, vo_b
+
+
+class TestHierarchicalDiscovery:
+    def test_find_all_directories(self):
+        tb = GridTestbed(seed=51)
+        root, vo_a, vo_b = build_hierarchy(tb)
+        client = tb.client("newcomer", root)
+        urls = discover_directories(client, "o=Grid")
+        hosts = sorted(u.host for u in urls)
+        assert hosts == ["giis-a", "giis-b", "root"]
+
+    def test_find_specific_vo(self):
+        tb = GridTestbed(seed=51)
+        root, *_ = build_hierarchy(tb)
+        client = tb.client("newcomer", root)
+        urls = discover_directories(client, "o=Grid", vo="VO-B")
+        assert [u.host for u in urls] == ["giis-b"]
+
+    def test_discovered_directory_accepts_registration(self):
+        """The full §9 loop: discover the VO directory through the
+        hierarchy, register with it, become discoverable."""
+        tb = GridTestbed(seed=51)
+        root, vo_a, _ = build_hierarchy(tb)
+        client = tb.client("newhost", root)
+        target = discover_directories(client, "o=Grid", vo="VO-A")[0]
+
+        gris = tb.standard_gris("newhost-gris", "hn=newhost-gris, o=A, o=Grid")
+        # register with the *discovered* URL rather than static config
+        deployment = next(
+            d for d in tb.deployments.values() if d.url.host == target.host
+        )
+        tb.register(gris, deployment, name="newhost-gris")
+        tb.run(1.0)
+        found = tb.client("user", vo_a).search(
+            "o=A, o=Grid", filter="(hn=newhost-gris)"
+        )
+        assert len(found) == 1
+
+    def test_no_directories_found(self):
+        tb = GridTestbed(seed=51)
+        gris = tb.standard_gris("lonely", "hn=lonely, o=Grid")
+        client = tb.client("u", gris)
+        assert discover_directories(client, "hn=lonely, o=Grid") == []
+
+
+class TestSlpBootstrap:
+    def test_local_directory_found(self):
+        tb = GridTestbed(seed=52)
+        giis = tb.add_giis("local-giis", "o=Grid", site="campus", vo_name="Campus")
+        advertiser = SlpDirectoryAdvertiser(giis.node, giis.url, "Campus")
+        newcomer = tb.host("laptop", site="campus")
+        targeted, results = discover_via_slp(newcomer, tb.sim, timeout=1.0)
+        tb.run(2.0)
+        urls = results()
+        assert targeted == 1
+        assert len(urls) == 1 and urls[0].host == "local-giis"
+        advertiser.stop()
+
+    def test_cross_site_directory_not_found(self):
+        """Site-scoped SLP only bootstraps *local* directories — the
+        §11.2 limitation that makes SLP a bootstrap aid, not a VO
+        discovery service."""
+        tb = GridTestbed(seed=52)
+        giis = tb.add_giis("remote-giis", "o=Grid", site="far-away")
+        SlpDirectoryAdvertiser(giis.node, giis.url, "Far")
+        newcomer = tb.host("laptop", site="campus")
+        targeted, results = discover_via_slp(newcomer, tb.sim, timeout=1.0)
+        tb.run(2.0)
+        assert targeted == 0
+        assert results() == []
+
+    def test_on_done_callback(self):
+        tb = GridTestbed(seed=52)
+        giis = tb.add_giis("local-giis", "o=Grid", site="campus", vo_name="X")
+        SlpDirectoryAdvertiser(giis.node, giis.url, "X")
+        newcomer = tb.host("laptop", site="campus")
+        got = []
+        discover_via_slp(newcomer, tb.sim, timeout=1.0, on_done=got.append)
+        tb.run(2.0)
+        assert len(got) == 1 and got[0][0].host == "local-giis"
+
+    def test_slp_then_hierarchy(self):
+        """Bootstrap chain: SLP finds the local directory; the hierarchy
+        search from there finds the VO directory to register with."""
+        tb = GridTestbed(seed=53)
+        root = tb.add_giis("root", "o=Grid", site="campus", vo_name="Root")
+        vo = tb.add_giis("vo-dir", "o=VO1, o=Grid", site="campus", vo_name="VO1")
+        tb.register(vo, root, name="vo1")
+        SlpDirectoryAdvertiser(root.node, root.url, "Root")
+        tb.run(1.0)
+
+        laptop = tb.host("laptop", site="campus")
+        _, results = discover_via_slp(laptop, tb.sim, timeout=1.0)
+        tb.run(2.0)
+        entry_point = results()[0]
+        client = tb.client("laptop", entry_point)
+        vo_urls = discover_directories(client, "o=Grid", vo="VO1")
+        assert [u.host for u in vo_urls] == ["vo-dir"]

@@ -1,0 +1,329 @@
+"""Tests for the DIT store, schema validation, LDIF, and LDAP URLs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap import (
+    DIT,
+    DN,
+    Entry,
+    EntryExists,
+    GRID_SCHEMA,
+    LdapUrl,
+    LdapUrlError,
+    NoSuchEntry,
+    ObjectClass,
+    Schema,
+    SchemaError,
+    Scope,
+    SizeLimitExceeded,
+    format_ldif,
+    parse_filter,
+    parse_ldif,
+)
+from repro.ldap.dit import NotAllowedOnNonLeaf
+from repro.ldap.ldif import LdifError, format_entry
+
+
+def figure3_entries():
+    """The hostX subtree from Figure 3 of the paper."""
+    return [
+        Entry("hn=hostX", objectclass="computer", hn="hostX", system="mips irix"),
+        Entry(
+            "queue=default, hn=hostX",
+            objectclass=["service", "queue"],
+            url="gram://hostX/default",
+            queue="default",
+            dispatchtype="immediate",
+        ),
+        Entry(
+            "perf=load5, hn=hostX",
+            objectclass=["perf", "loadaverage"],
+            perf="load5",
+            period=10,
+            load5="3.2",
+        ),
+        Entry(
+            "store=scratch, hn=hostX",
+            objectclass=["storage", "filesystem"],
+            store="scratch",
+            free="33515 MB",
+            path="/disks/scratch1",
+        ),
+    ]
+
+
+class TestDit:
+    def make(self):
+        d = DIT()
+        for e in figure3_entries():
+            d.add(e)
+        return d
+
+    def test_add_get(self):
+        d = self.make()
+        e = d.get("hn=hostX")
+        assert e.first("system") == "mips irix"
+
+    def test_add_duplicate_rejected(self):
+        d = self.make()
+        with pytest.raises(EntryExists):
+            d.add(Entry("hn=hostX", objectclass="computer"))
+
+    def test_replace(self):
+        d = self.make()
+        d.replace(Entry("hn=hostX", objectclass="computer", system="linux"))
+        assert d.get("hn=hostX").first("system") == "linux"
+
+    def test_get_missing(self):
+        with pytest.raises(NoSuchEntry):
+            self.make().get("hn=nope")
+
+    def test_children_sorted(self):
+        kids = self.make().children("hn=hostX")
+        assert [k.rdn.attr for k in kids] == ["perf", "queue", "store"]
+
+    def test_delete_leaf(self):
+        d = self.make()
+        d.delete("perf=load5, hn=hostX")
+        assert not d.exists("perf=load5, hn=hostX")
+
+    def test_delete_nonleaf_requires_force(self):
+        d = self.make()
+        with pytest.raises(NotAllowedOnNonLeaf):
+            d.delete("hn=hostX")
+        d.delete("hn=hostX", force=True)
+        assert len(d) == 0
+
+    def test_modify(self):
+        d = self.make()
+        d.modify("perf=load5, hn=hostX", lambda e: e.put("load5", "1.1"))
+        assert d.get("perf=load5, hn=hostX").first("load5") == "1.1"
+
+    def test_modify_returns_copy(self):
+        d = self.make()
+        out = d.modify("hn=hostX", lambda e: e.put("system", "linux"))
+        out.put("system", "tampered")
+        assert d.get("hn=hostX").first("system") == "linux"
+
+    def test_search_base(self):
+        d = self.make()
+        rs = d.search("hn=hostX", Scope.BASE)
+        assert len(rs) == 1 and rs[0].dn == DN.parse("hn=hostX")
+
+    def test_search_base_missing_raises(self):
+        with pytest.raises(NoSuchEntry):
+            self.make().search("hn=ghost", Scope.BASE)
+
+    def test_search_onelevel(self):
+        rs = self.make().search("hn=hostX", Scope.ONELEVEL)
+        assert len(rs) == 3
+
+    def test_search_subtree(self):
+        rs = self.make().search("hn=hostX", Scope.SUBTREE)
+        assert len(rs) == 4
+
+    def test_search_subtree_from_root(self):
+        rs = self.make().search(DN.root(), Scope.SUBTREE)
+        assert len(rs) == 4
+
+    def test_search_missing_base_subtree_empty(self):
+        assert self.make().search("o=ghost", Scope.SUBTREE) == []
+
+    def test_search_filter(self):
+        rs = self.make().search(
+            DN.root(), Scope.SUBTREE, parse_filter("(objectclass=storage)")
+        )
+        assert len(rs) == 1
+        assert rs[0].first("path") == "/disks/scratch1"
+
+    def test_search_attr_selection(self):
+        rs = self.make().search(
+            "hn=hostX", Scope.BASE, attrs=["objectclass"]
+        )
+        assert rs[0].has("objectclass") and not rs[0].has("system")
+
+    def test_search_size_limit(self):
+        d = self.make()
+        with pytest.raises(SizeLimitExceeded):
+            d.search(DN.root(), Scope.SUBTREE, size_limit=2)
+
+    def test_search_results_are_copies(self):
+        d = self.make()
+        rs = d.search("hn=hostX", Scope.BASE)
+        rs[0].put("system", "tampered")
+        assert d.get("hn=hostX").first("system") == "mips irix"
+
+    def test_glue_nodes(self):
+        # A deep entry without stored ancestors is still reachable.
+        d = DIT()
+        d.add(Entry("a=1, b=2, c=3", objectclass="top", cn="x"))
+        rs = d.search("c=3", Scope.SUBTREE)
+        assert len(rs) == 1
+
+    def test_load_and_dump(self):
+        d = DIT()
+        entries = figure3_entries()
+        assert d.load(entries) == 4
+        assert d.dump()[0].dn == DN.parse("hn=hostX")
+
+    def test_clear(self):
+        d = self.make()
+        d.clear()
+        assert len(d) == 0
+
+
+class TestSchema:
+    def test_figure3_validates(self):
+        for e in figure3_entries():
+            GRID_SCHEMA.validate(e)
+
+    def test_missing_must(self):
+        with pytest.raises(SchemaError, match="missing required"):
+            GRID_SCHEMA.validate(Entry("hn=x", objectclass="computer"))
+
+    def test_disallowed_attr(self):
+        e = Entry("hn=x", objectclass="computer", hn="x", color="red")
+        with pytest.raises(SchemaError, match="not allowed"):
+            GRID_SCHEMA.validate(e)
+
+    def test_no_objectclass(self):
+        with pytest.raises(SchemaError, match="no objectclass"):
+            GRID_SCHEMA.validate(Entry("hn=x", hn="x"))
+
+    def test_unknown_class(self):
+        with pytest.raises(SchemaError, match="unknown object class"):
+            GRID_SCHEMA.validate(Entry("hn=x", objectclass="warpdrive", hn="x"))
+
+    def test_abstract_alone_rejected(self):
+        with pytest.raises(SchemaError, match="abstract"):
+            GRID_SCHEMA.validate(Entry("cn=x", objectclass="top", cn="x"))
+
+    def test_inheritance_pulls_superior_must(self):
+        # queue extends service: url (from service) is required.
+        e = Entry("queue=q, hn=x", objectclass=["service", "queue"], queue="q")
+        with pytest.raises(SchemaError, match="url"):
+            GRID_SCHEMA.validate(e)
+
+    def test_metadata_attrs_always_allowed(self):
+        e = Entry("hn=x", objectclass="computer", hn="x").stamp(now=1.0, ttl=5.0)
+        GRID_SCHEMA.validate(e)
+
+    def test_duplicate_registration_rejected(self):
+        s = Schema([ObjectClass.make("a")])
+        with pytest.raises(SchemaError):
+            s.register(ObjectClass.make("A"))
+
+    def test_unknown_superior_rejected(self):
+        s = Schema()
+        with pytest.raises(SchemaError):
+            s.register(ObjectClass.make("b", superior="nope"))
+
+    def test_dit_with_schema_enforces(self):
+        d = DIT(schema=GRID_SCHEMA)
+        with pytest.raises(SchemaError):
+            d.add(Entry("hn=x", objectclass="computer"))
+        d.add(Entry("hn=x", objectclass="computer", hn="x"))
+
+    def test_is_valid(self):
+        assert GRID_SCHEMA.is_valid(figure3_entries()[0]) is False or True  # exercised
+        assert GRID_SCHEMA.is_valid(Entry("hn=x", hn="x")) is False
+
+
+class TestLdif:
+    def test_roundtrip_figure3(self):
+        entries = figure3_entries()
+        text = format_ldif(entries)
+        back = parse_ldif(text)
+        assert back == entries
+
+    def test_base64_for_unsafe_values(self):
+        e = Entry("cn=x", cn="x", note=" leading space")
+        text = format_entry(e)
+        assert "note:: " in text
+        assert parse_ldif(text)[0].first("note") == " leading space"
+
+    def test_unicode_value(self):
+        e = Entry("cn=x", cn="x", owner="Gaël")
+        assert parse_ldif(format_entry(e))[0].first("owner") == "Gaël"
+
+    def test_long_line_folding(self):
+        e = Entry("cn=x", cn="x", data="v" * 300)
+        text = format_entry(e)
+        assert all(len(line) <= 76 for line in text.splitlines())
+        assert parse_ldif(text)[0].first("data") == "v" * 300
+
+    def test_comments_skipped(self):
+        text = "# comment\ndn: cn=x\ncn: x\n"
+        assert len(parse_ldif(text)) == 1
+
+    def test_multiple_records(self):
+        text = "dn: cn=a\ncn: a\n\ndn: cn=b\ncn: b\n"
+        assert len(parse_ldif(text)) == 2
+
+    def test_record_must_start_with_dn(self):
+        with pytest.raises(LdifError):
+            parse_ldif("cn: x\n")
+
+    def test_bad_base64(self):
+        with pytest.raises(LdifError):
+            parse_ldif("dn: cn=x\ncn:: !!!\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(LdifError):
+            parse_ldif("dn: cn=x\njunkline\n")
+
+
+class TestLdapUrl:
+    def test_basic_roundtrip(self):
+        u = LdapUrl("hostX", 2135, DN.parse("hn=hostX, o=O1"))
+        assert LdapUrl.parse(str(u)) == u
+
+    def test_default_port_omitted(self):
+        u = LdapUrl("h", 389)
+        assert str(u) == "ldap://h/"
+        assert LdapUrl.parse("ldap://h").port == 389
+
+    def test_full_form(self):
+        u = LdapUrl.parse("ldap://h:9999/o=Grid?cn,url?sub?(objectclass=*)")
+        assert u.port == 9999
+        assert u.dn == DN.parse("o=Grid")
+        assert u.attrs == ("cn", "url")
+        assert u.scope == Scope.SUBTREE
+        assert u.filter == "(objectclass=*)"
+        assert LdapUrl.parse(str(u)) == u
+
+    def test_scope_names(self):
+        assert LdapUrl.parse("ldap://h/??base").scope == Scope.BASE
+        assert LdapUrl.parse("ldap://h/??one").scope == Scope.ONELEVEL
+
+    def test_for_provider_unique_name(self):
+        # §4.1: unique name = provider address + DN within provider.
+        a = LdapUrl.for_provider("giis.o1.example", 2135, "hn=R1")
+        b = LdapUrl.for_provider("giis.o2.example", 2135, "hn=R1")
+        assert a != b and a.dn == b.dn
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "http://h/",
+            "ldap://",
+            "ldap://h:notaport/",
+            "ldap://h:0/",
+            "ldap://h/??badscope",
+            "ldap://h/?a?sub?f?extra",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(LdapUrlError):
+            LdapUrl.parse(bad)
+
+    @given(
+        st.text(alphabet="abcdefghijklmnop.-", min_size=1, max_size=20).filter(
+            lambda s: s.strip("-.") == s
+        ),
+        st.integers(min_value=1, max_value=65535),
+    )
+    def test_roundtrip_property(self, host, port):
+        u = LdapUrl(host, port, DN.parse("hn=hostX"))
+        assert LdapUrl.parse(str(u)) == u

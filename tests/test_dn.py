@@ -1,0 +1,170 @@
+"""Unit and property tests for distinguished names."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap.dn import DN, RDN, DNError, common_suffix
+
+
+class TestRdn:
+    def test_parse_simple(self):
+        r = RDN.parse("hn=hostX")
+        assert r.attr == "hn"
+        assert r.value == "hostX"
+
+    def test_case_insensitive_equality(self):
+        assert RDN.parse("HN=HostX") == RDN.parse("hn=hostx")
+
+    def test_whitespace_normalized(self):
+        assert RDN.parse("o=Argonne  National   Lab") == RDN.parse(
+            "o=argonne national lab"
+        )
+
+    def test_multivalued(self):
+        r = RDN.parse("cn=a+sn=b")
+        assert len(r.avas) == 2
+        # order-insensitive equality
+        assert r == RDN.parse("sn=b+cn=a")
+
+    def test_escaped_comma(self):
+        r = RDN.parse(r"cn=Foster\, Ian")
+        assert r.value == "Foster, Ian"
+
+    def test_escaped_hex(self):
+        r = RDN.parse(r"cn=a\2ab")
+        assert r.value == "a*b"
+
+    def test_roundtrip_with_special_chars(self):
+        r = RDN.single("cn", "x=y, z+w")
+        assert RDN.parse(str(r)) == r
+
+    def test_missing_equals(self):
+        with pytest.raises(DNError):
+            RDN.parse("justtext")
+
+    def test_empty_attr(self):
+        with pytest.raises(DNError):
+            RDN.parse("=value")
+
+    def test_bad_attr_chars(self):
+        with pytest.raises(DNError):
+            RDN.parse("a b=c")
+
+
+class TestDn:
+    def test_parse_multi_rdn(self):
+        dn = DN.parse("perf=load5, hn=hostX")
+        assert len(dn) == 2
+        assert dn.rdn.attr == "perf"
+
+    def test_root(self):
+        assert DN.parse("") == DN.root()
+        assert DN.root().is_root()
+
+    def test_str_roundtrip(self):
+        dn = DN.parse("queue=default, hn=hostX, o=O1")
+        assert DN.parse(str(dn)) == dn
+
+    def test_parent_child(self):
+        dn = DN.parse("hn=hostX, o=O1")
+        assert dn.parent() == DN.parse("o=O1")
+        assert DN.parse("o=O1").child("hn=hostX") == dn
+
+    def test_root_parent_raises(self):
+        with pytest.raises(DNError):
+            DN.root().parent()
+
+    def test_descendant(self):
+        child = DN.parse("perf=load5, hn=hostX, o=O1")
+        assert child.is_descendant_of(DN.parse("o=O1"))
+        assert child.is_descendant_of(DN.parse("hn=hostX, o=O1"))
+        assert not child.is_descendant_of(child)
+        assert child.is_within(child)
+        assert child.is_within(DN.root())
+
+    def test_not_descendant_of_sibling(self):
+        assert not DN.parse("hn=a, o=O1").is_descendant_of(DN.parse("o=O2"))
+
+    def test_depth_below(self):
+        dn = DN.parse("perf=load5, hn=hostX, o=O1")
+        assert dn.depth_below(DN.parse("o=O1")) == 2
+        assert dn.depth_below(dn) == 0
+        with pytest.raises(DNError):
+            DN.parse("o=O2").depth_below(DN.parse("o=O1"))
+
+    def test_relative_to(self):
+        dn = DN.parse("hn=hostX, o=O1")
+        rel = dn.relative_to(DN.parse("o=O1"))
+        assert [str(r) for r in rel] == ["hn=hostX"]
+
+    def test_ancestors(self):
+        dn = DN.parse("a=1, b=2, c=3")
+        assert [str(d) for d in dn.ancestors()] == ["b=2, c=3", "c=3", ""]
+
+    def test_case_insensitive_hash(self):
+        a = DN.parse("HN=HostX, O=o1")
+        b = DN.parse("hn=hostx, o=O1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_rdn_rejected(self):
+        with pytest.raises(DNError):
+            DN.parse("a=1,,b=2")
+
+    def test_semicolon_separator(self):
+        assert DN.parse("a=1; b=2") == DN.parse("a=1, b=2")
+
+
+class TestCommonSuffix:
+    def test_shared_org(self):
+        dns = [DN.parse("hn=a, o=O1"), DN.parse("hn=b, o=O1")]
+        assert common_suffix(dns) == DN.parse("o=O1")
+
+    def test_disjoint(self):
+        dns = [DN.parse("o=O1"), DN.parse("o=O2")]
+        assert common_suffix(dns) == DN.root()
+
+    def test_empty_list(self):
+        assert common_suffix([]) == DN.root()
+
+    def test_single(self):
+        dn = DN.parse("a=1, b=2")
+        assert common_suffix([dn]) == dn
+
+
+_attr = st.sampled_from(["cn", "hn", "o", "ou", "perf", "queue", "store"])
+_value = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and s.strip() != "")
+
+
+@st.composite
+def _dns(draw):
+    n = draw(st.integers(min_value=0, max_value=4))
+    rdns = tuple(
+        RDN.single(draw(_attr), draw(_value)) for _ in range(n)
+    )
+    return DN(rdns)
+
+
+class TestDnProperties:
+    @given(_dns())
+    def test_str_parse_roundtrip(self, dn):
+        assert DN.parse(str(dn)) == dn
+
+    @given(_dns(), _dns())
+    def test_concatenation_is_within(self, a, b):
+        joined = DN(a.rdns + b.rdns)
+        assert joined.is_within(b)
+
+    @given(_dns())
+    def test_parent_of_child_is_self(self, dn):
+        child = dn.child(RDN.single("cn", "x"))
+        assert child.parent() == dn
+
+    @given(_dns())
+    def test_normalization_idempotent(self, dn):
+        reparsed = DN.parse(str(dn))
+        assert reparsed.normalized() == dn.normalized()

@@ -1,0 +1,40 @@
+"""Regression guard: every example script runs cleanly end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES.glob("*.py")),
+    ids=lambda name: name,
+)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "superscheduler.py",
+        "replica_selection.py",
+        "monitoring_troubleshooting.py",
+        "partitioned_vo.py",
+        "hierarchical_vo.py",
+    } <= names

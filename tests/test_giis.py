@@ -1,0 +1,396 @@
+"""Tests for the GIIS: GRRP intake, chaining, referrals, hierarchy."""
+
+import pytest
+
+from repro.giis import GiisBackend, NameIndex
+from repro.grip.messages import GrrpMessage, NotificationType
+from repro.ldap.backend import RequestContext
+from repro.ldap.client import LdapError
+from repro.ldap.dit import Scope
+from repro.ldap.protocol import AddRequest, ResultCode, SearchRequest
+from repro.ldap.entry import Entry
+from repro.ldap.url import LdapUrl
+from repro.net.sim import Simulator
+from repro.testbed import GridTestbed
+
+CTX = RequestContext(identity="CN=tester")
+
+
+def reg_msg(url="ldap://gris1:2135/", suffix="hn=r1, o=O1", ts=0.0, ttl=60.0, **meta):
+    metadata = {"suffix": suffix}
+    metadata.update(meta)
+    return GrrpMessage(
+        service_url=url,
+        timestamp=ts,
+        valid_until=ts + ttl,
+        metadata=metadata,
+    )
+
+
+class TestGrrpIntake:
+    def test_register_via_ldap_add(self):
+        sim = Simulator()
+        giis = GiisBackend("o=Grid", clock=sim)
+        entry = reg_msg().to_entry("o=Grid")
+        result = giis.add(AddRequest.from_entry(entry), CTX)
+        assert result.ok
+        assert giis.registry.is_registered("ldap://gris1:2135/")
+        reg = giis.registry.lookup("ldap://gris1:2135/")
+        assert reg.source_identity == "CN=tester"
+
+    def test_non_registration_add_refused(self):
+        sim = Simulator()
+        giis = GiisBackend("o=Grid", clock=sim)
+        entry = Entry("hn=x, o=Grid", objectclass="computer", hn="x")
+        result = giis.add(AddRequest.from_entry(entry), CTX)
+        assert result.code == ResultCode.UNWILLING_TO_PERFORM
+
+    def test_membership_policy_refusal(self):
+        sim = Simulator()
+        giis = GiisBackend(
+            "o=Grid", clock=sim, accept=lambda m, i: m.metadata.get("vo") == "A"
+        )
+        ok = giis.add(AddRequest.from_entry(reg_msg(vo="A").to_entry("o=Grid")), CTX)
+        assert ok.ok
+        bad = giis.add(
+            AddRequest.from_entry(
+                reg_msg(url="ldap://other:2135/", vo="B").to_entry("o=Grid")
+            ),
+            CTX,
+        )
+        assert bad.code == ResultCode.INSUFFICIENT_ACCESS_RIGHTS
+
+    def test_datagram_intake(self):
+        sim = Simulator()
+        giis = GiisBackend("o=Grid", clock=sim)
+        giis.handle_grrp_datagram(("gris1", 0), reg_msg().to_bytes())
+        assert len(giis.registry) == 1
+        giis.handle_grrp_datagram(("gris1", 0), b"garbage")  # ignored
+        assert len(giis.registry) == 1
+
+    def test_unregister(self):
+        sim = Simulator()
+        giis = GiisBackend("o=Grid", clock=sim)
+        giis.apply_grrp(reg_msg())
+        giis.apply_grrp(
+            reg_msg(ts=1.0, ttl=0.0).__class__(
+                service_url="ldap://gris1:2135/",
+                notification_type=NotificationType.UNREGISTER,
+                timestamp=1.0,
+                valid_until=1.0,
+            )
+        )
+        assert len(giis.registry) == 0
+
+    def test_local_entries_expose_membership(self):
+        sim = Simulator()
+        giis = GiisBackend(
+            "o=Grid", clock=sim, url=LdapUrl("giis", 2135, "o=Grid"), vo_name="VO-X"
+        )
+        giis.apply_grrp(reg_msg())
+        entries = giis.local_entries()
+        assert len(entries) == 2
+        assert entries[0].dn == giis.suffix
+        assert "VO-X" in entries[0].first("description")
+        assert entries[1].first("url") == "ldap://gris1:2135/"
+
+    def test_name_index_wiring(self):
+        sim = Simulator()
+        giis = GiisBackend("o=Grid", clock=sim)
+        index = NameIndex()
+        giis.add_index(index)
+        giis.apply_grrp(reg_msg(name="r1"))
+        assert index.resolve("r1") == "ldap://gris1:2135/"
+        sim.run_until(61.0)
+        giis.registry.sweep()
+        assert index.resolve("r1") is None
+
+
+def build_vo(tb: GridTestbed, n_gris: int = 2, **giis_kwargs):
+    """One GIIS with *n_gris* registered standard GRIS children."""
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO-A", **giis_kwargs)
+    children = []
+    for i in range(n_gris):
+        host = f"r{i}"
+        gris = tb.standard_gris(host, f"hn={host}, o=Grid", load_mean=0.5 + i)
+        tb.register(gris, giis, interval=20.0, ttl=60.0, name=host)
+        children.append(gris)
+    tb.run(1.0)  # let first registrations land
+    return giis, children
+
+
+class TestChaining:
+    def test_vo_wide_search(self):
+        tb = GridTestbed(seed=1)
+        giis, children = build_vo(tb, n_gris=3)
+        client = tb.client("user", giis)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert sorted(e.first("hn") for e in out) == ["r0", "r1", "r2"]
+
+    def test_merged_view_includes_registrations_and_data(self):
+        tb = GridTestbed(seed=1)
+        giis, _ = build_vo(tb, n_gris=1)
+        client = tb.client("user", giis)
+        out = client.search("o=Grid")
+        dns = {str(e.dn) for e in out}
+        assert "o=Grid" in dns
+        assert any(dn.startswith("regid=") for dn in dns)
+        assert "hn=r0, o=Grid" in dns
+        assert "queue=default, hn=r0, o=Grid" in dns
+
+    def test_scoped_search_hits_one_child(self):
+        tb = GridTestbed(seed=1)
+        giis, children = build_vo(tb, n_gris=3)
+        client = tb.client("user", giis)
+        before = giis.backend.stats_chained
+        out = client.search("hn=r1, o=Grid", filter="(objectclass=computer)")
+        assert len(out) == 1
+        assert giis.backend.stats_chained - before == 1  # namespace pruning
+
+    def test_attribute_selection_through_chain(self):
+        tb = GridTestbed(seed=1)
+        giis, _ = build_vo(tb)
+        client = tb.client("user", giis)
+        out = client.search(
+            "o=Grid", filter="(objectclass=computer)", attrs=["hn"]
+        )
+        assert all(e.has("hn") and not e.has("cpucount") for e in out)
+
+    def test_filter_on_dynamic_attrs(self):
+        tb = GridTestbed(seed=1)
+        giis, _ = build_vo(tb, n_gris=4)
+        client = tb.client("user", giis)
+        out = client.search(
+            "o=Grid", filter="(&(objectclass=loadaverage)(load5<=100))"
+        )
+        assert len(out) == 4
+
+    def test_expired_child_not_queried(self):
+        tb = GridTestbed(seed=1)
+        giis, children = build_vo(tb, n_gris=2)
+        children[0].stop_registrations()
+        tb.run(120.0)  # ttl=60 expires
+        client = tb.client("user", giis)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert [e.first("hn") for e in out] == ["r1"]
+
+    def test_crashed_child_skipped_with_partial_results(self):
+        tb = GridTestbed(seed=1)
+        giis, children = build_vo(tb, n_gris=2, child_timeout=2.0)
+        children[0].node.crash()
+        client = tb.client("user", giis)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert [e.first("hn") for e in out] == ["r1"]  # partial results (§2.2)
+        assert giis.backend.stats_child_errors >= 1
+
+    def test_silent_child_times_out_with_partial_results(self):
+        """A child that accepts connections but never answers costs the
+        chaining timeout, then the query completes with partial results."""
+        tb = GridTestbed(seed=1)
+        giis, children = build_vo(tb, n_gris=1, child_timeout=2.0)
+        blackhole = tb.host("blackhole")
+        blackhole.listen(2135, lambda conn: None)  # accept, never respond
+        giis.backend.apply_grrp(
+            reg_msg(
+                url="ldap://blackhole:2135/",
+                suffix="hn=bh, o=Grid",
+                ts=tb.sim.now(),
+                ttl=1e6,
+            )
+        )
+        client = tb.client("user", giis)
+        t0 = tb.sim.now()
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert [e.first("hn") for e in out] == ["r0"]
+        assert tb.sim.now() - t0 >= 2.0  # paid the child timeout
+        assert giis.backend.stats_child_timeouts == 1
+
+    def test_query_cache(self):
+        tb = GridTestbed(seed=1)
+        giis, _ = build_vo(tb, n_gris=2, cache_ttl=30.0)
+        client = tb.client("user", giis)
+        client.search("o=Grid", filter="(objectclass=computer)")
+        chained = giis.backend.stats_chained
+        client.search("o=Grid", filter="(objectclass=computer)")
+        assert giis.backend.stats_chained == chained  # served from cache
+        assert giis.backend.stats_cache_hits == 1
+
+    def test_cache_invalidated_by_membership_change(self):
+        tb = GridTestbed(seed=1)
+        giis, children = build_vo(tb, n_gris=1, cache_ttl=1e9)
+        client = tb.client("user", giis)
+        client.search("o=Grid", filter="(objectclass=computer)")
+        gris = tb.standard_gris("rX", "hn=rX, o=Grid")
+        tb.register(gris, giis)
+        tb.run(1.0)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert sorted(e.first("hn") for e in out) == ["r0", "rX"]
+
+
+class TestReferralMode:
+    def test_referrals_returned_instead_of_chaining(self):
+        tb = GridTestbed(seed=2)
+        giis, children = build_vo(tb, n_gris=2, mode="referral")
+        client = tb.client("user", giis)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert len(out.entries) == 0  # computers live at the providers
+        assert len(out.referrals) == 2
+        url = LdapUrl.parse(out.referrals[0])
+        assert url.host in ("r0", "r1")
+
+    def test_client_can_follow_referral(self):
+        tb = GridTestbed(seed=2)
+        giis, children = build_vo(tb, n_gris=1, mode="referral")
+        client = tb.client("user", giis)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        target = LdapUrl.parse(out.referrals[0])
+        direct = tb.client("user", target)
+        got = direct.search(target.dn, filter="(objectclass=computer)")
+        assert got.entries[0].first("hn") == "r0"
+
+
+class TestHierarchy:
+    def build_figure5(self, tb):
+        """Two resource centers + one individual under a VO directory."""
+        vo = tb.add_giis("vo-dir", "o=Grid", vo_name="VO")
+        center1 = tb.add_giis("center1", "o=O1, o=Grid", vo_name="Center-1")
+        center2 = tb.add_giis("center2", "o=O2, o=Grid", vo_name="Center-2")
+        tb.register(center1, vo, name="center1")
+        tb.register(center2, vo, name="center2")
+        hosts = {}
+        for org, center, count in (("O1", center1, 3), ("O2", center2, 2)):
+            for i in range(count):
+                host = f"{org.lower()}-r{i + 1}"
+                gris = tb.standard_gris(host, f"hn={host}, o={org}, o=Grid")
+                tb.register(gris, center, name=host)
+                hosts[host] = gris
+        solo = tb.standard_gris("solo", "hn=solo, o=Grid")
+        tb.register(solo, vo, name="solo")
+        hosts["solo"] = solo
+        tb.run(1.0)
+        return vo, center1, center2, hosts
+
+    def test_root_search_sees_everything(self):
+        tb = GridTestbed(seed=3)
+        vo, *_ = self.build_figure5(tb)
+        client = tb.client("user", vo)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        assert len(out) == 6  # 3 + 2 + 1
+
+    def test_scoped_search_stays_in_one_org(self):
+        tb = GridTestbed(seed=3)
+        vo, center1, center2, _ = self.build_figure5(tb)
+        client = tb.client("user", vo)
+        before2 = center2.backend.stats_chained
+        out = client.search("o=O1, o=Grid", filter="(objectclass=computer)")
+        assert len(out) == 3
+        assert center2.backend.stats_chained == before2  # O2 untouched
+
+    def test_direct_center_query(self):
+        tb = GridTestbed(seed=3)
+        vo, center1, _, _ = self.build_figure5(tb)
+        client = tb.client("user", center1)
+        out = client.search("o=O1, o=Grid", filter="(objectclass=computer)")
+        assert len(out) == 3
+
+    def test_search_single_resource_from_root(self):
+        tb = GridTestbed(seed=3)
+        vo, *_ = self.build_figure5(tb)
+        client = tb.client("user", vo)
+        out = client.search("o=Grid", filter="(hn=o2-r1)")
+        assert len(out) == 1
+        assert str(out.entries[0].dn) == "hn=o2-r1, o=O2, o=Grid"
+
+
+class TestLoopPrevention:
+    def test_directory_cycle_terminates(self):
+        """A registered with B and B with A must not recurse forever."""
+        tb = GridTestbed(seed=88)
+        a = tb.add_giis("dir-a", "o=Grid", vo_name="A", child_timeout=1.0)
+        b = tb.add_giis("dir-b", "o=Grid", vo_name="B", child_timeout=1.0)
+        tb.register(a, b, name="dir-a")
+        tb.register(b, a, name="dir-b")
+        gris = tb.standard_gris("r0", "hn=r0, o=Grid")
+        tb.register(gris, a, name="r0")
+        tb.run(1.0)
+
+        client = tb.client("user", a)
+        out = client.search("o=Grid", filter="(objectclass=computer)")
+        # the query completed (did not recurse forever) and found the
+        # resource despite the cycle
+        assert [e.first("hn") for e in out] == ["r0"]
+        assert (
+            a.backend.stats_depth_limited + b.backend.stats_depth_limited >= 1
+        )
+
+    def test_self_registration_terminates(self):
+        tb = GridTestbed(seed=88)
+        a = tb.add_giis("dir-a", "o=Grid", child_timeout=1.0)
+        tb.register(a, a, name="self")  # operator error
+        tb.run(1.0)
+        client = tb.client("user", a)
+        out = client.search("o=Grid", check=False)
+        assert out.result.ok
+
+    def test_depth_limit_configurable(self):
+        """A deep but legitimate chain works within the limit."""
+        tb = GridTestbed(seed=89)
+        dirs = []
+        top = tb.add_giis("d0", "o=Grid", max_chain_depth=8)
+        dirs.append(top)
+        parent = top
+        suffix = "o=Grid"
+        for i in range(1, 4):
+            suffix = f"ou=l{i}, {suffix}"
+            d = tb.add_giis(f"d{i}", suffix, max_chain_depth=8)
+            tb.register(d, parent, name=f"d{i}")
+            dirs.append(d)
+            parent = d
+        gris = tb.standard_gris("leaf", f"hn=leaf, {suffix}")
+        tb.register(gris, parent, name="leaf")
+        tb.run(1.0)
+        out = tb.client("u", top).search("o=Grid", filter="(hn=leaf)")
+        assert len(out) == 1
+
+
+class TestMembershipSubscriptions:
+    def test_registration_changes_pushed(self):
+        """Persistent search on a GIIS streams VO membership changes —
+        a VO operator watching resources come and go."""
+        tb = GridTestbed(seed=93)
+        giis = tb.add_giis("giis", "o=Grid", vo_name="VO")
+        changes = []
+        client = tb.client("operator", giis)
+        from repro.ldap.backend import ChangeType
+
+        client.subscribe(
+            SearchRequest(base="o=Grid", scope=Scope.SUBTREE),
+            lambda e, c: changes.append((c, e.first("url"))),
+        )
+        tb.run(0.5)
+        gris = tb.standard_gris("r0", "hn=r0, o=Grid")
+        registrant = tb.register(gris, giis, interval=10.0, ttl=30.0, name="r0")
+        tb.run(1.0)
+        assert (ChangeType.ADD, "ldap://r0:2135/") in changes
+
+        registrant.deregister_from(str(giis.url), notify=True)
+        tb.run(1.0)
+        assert (ChangeType.DELETE, "ldap://r0:2135/") in changes
+
+    def test_expiry_pushed_as_delete(self):
+        tb = GridTestbed(seed=93)
+        giis = tb.add_giis("giis", "o=Grid", purge_interval=5.0)
+        changes = []
+        client = tb.client("operator", giis)
+        from repro.ldap.backend import ChangeType
+
+        client.subscribe(
+            SearchRequest(base="o=Grid", scope=Scope.SUBTREE),
+            lambda e, c: changes.append(c),
+        )
+        gris = tb.standard_gris("r0", "hn=r0, o=Grid")
+        gris_reg = tb.register(gris, giis, interval=10.0, ttl=20.0)
+        tb.run(1.0)
+        gris_reg.stop()  # silent death
+        tb.run(60.0)
+        assert ChangeType.DELETE in changes  # soft-state purge observed

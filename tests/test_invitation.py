@@ -1,0 +1,101 @@
+"""End-to-end GRRP invitation flow (§10.4) on the simulated network."""
+
+import pytest
+
+from repro.giis.hierarchy import (
+    GRRP_DATAGRAM_PORT,
+    LdapGrrpSender,
+    listen_for_invitations,
+    make_registrant,
+)
+from repro.grip.registration import Inviter
+from repro.testbed import GridTestbed
+
+
+def build(tb, accept=None):
+    """A GIIS and an un-registered GRIS wired for invitations."""
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO-A")
+    gris = tb.standard_gris("r0", "hn=r0, o=Grid")
+    registrant = make_registrant(
+        tb.sim,
+        gris.url,
+        gris.suffix,
+        LdapGrrpSender(tb.connector_from("r0")),
+        interval=10.0,
+        ttl=30.0,
+        name="r0",
+        accept_invitation=accept,
+    )
+    gris.registrants.append(registrant)
+    listen_for_invitations(gris.node, registrant)
+    inviter = Inviter(
+        tb.sim,
+        str(giis.url),
+        lambda host, msg: giis.node.send_datagram(
+            (host, GRRP_DATAGRAM_PORT), msg.to_bytes()
+        ),
+    )
+    return giis, gris, registrant, inviter
+
+
+class TestInvitation:
+    def test_invited_provider_turns_around_and_registers(self):
+        tb = GridTestbed(seed=77)
+        giis, gris, registrant, inviter = build(tb)
+        assert len(giis.backend.registry) == 0
+
+        inviter.invite("r0", vo="VO-A")
+        tb.run(2.0)
+
+        assert giis.backend.registry.is_registered(str(gris.url))
+        # and the stream is sustained (fault-tolerant registration)
+        tb.run(60.0)
+        assert giis.backend.registry.is_registered(str(gris.url))
+        # the VO can now discover the invited resource
+        out = tb.client("user", giis).search(
+            "o=Grid", filter="(objectclass=computer)"
+        )
+        assert [e.first("hn") for e in out] == ["r0"]
+
+    def test_invitation_policy_refusal(self):
+        """'Information providers may wish to assert policy over which
+        VOs they are prepared to join' (§2.3)."""
+        tb = GridTestbed(seed=77)
+        giis, gris, registrant, inviter = build(
+            tb, accept=lambda d, m: m.metadata.get("vo") == "VO-GOOD"
+        )
+        inviter.invite("r0", vo="VO-EVIL")
+        tb.run(5.0)
+        assert len(giis.backend.registry) == 0
+        assert registrant.directories() == []
+
+    def test_non_invite_datagrams_ignored(self):
+        tb = GridTestbed(seed=77)
+        giis, gris, registrant, inviter = build(tb)
+        # a stray registration datagram at the provider is not an invite
+        from repro.grip.messages import GrrpMessage
+
+        stray = GrrpMessage(
+            service_url="ldap://other:2135/", timestamp=0.0, valid_until=100.0
+        )
+        giis.node.send_datagram(("r0", GRRP_DATAGRAM_PORT), stray.to_bytes())
+        giis.node.send_datagram(("r0", GRRP_DATAGRAM_PORT), b"garbage")
+        tb.run(2.0)
+        assert registrant.directories() == []
+
+    def test_third_party_can_invite(self):
+        """'...or perhaps a third party' — the inviter need not be the
+        directory itself."""
+        tb = GridTestbed(seed=77)
+        giis, gris, registrant, _ = build(tb)
+        admin = tb.host("vo-admin")
+        third_party = Inviter(
+            tb.sim,
+            str(giis.url),
+            lambda host, msg: admin.send_datagram(
+                (host, GRRP_DATAGRAM_PORT), msg.to_bytes()
+            ),
+        )
+        third_party.invite("r0", vo="VO-A")
+        tb.run(2.0)
+        assert giis.backend.registry.is_registered(str(gris.url))

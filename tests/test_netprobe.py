@@ -1,0 +1,103 @@
+"""Tests for active network probing feeding the NWS forecaster bank."""
+
+import pytest
+
+from repro.gris.netpairs import NetworkPairsProvider
+from repro.gris.netprobe import ECHO_PORT, EchoResponder, NetworkProber
+from repro.ldap.dit import Scope
+from repro.ldap.dn import DN
+from repro.ldap.filter import parse as parse_filter
+from repro.ldap.protocol import SearchRequest
+from repro.net.links import LinkModel
+from repro.net.sim import Simulator
+from repro.net.simnet import SimNetwork
+
+
+def build(latency=0.020, loss=0.0, bandwidth=None, seed=0):
+    sim = Simulator(seed=seed)
+    net = SimNetwork(
+        sim, default_link=LinkModel(latency=latency, loss=loss, bandwidth=bandwidth)
+    )
+    src = net.add_node("src")
+    dst = net.add_node("dst")
+    EchoResponder(dst)
+    prober = NetworkProber(src, sim, timeout=2.0)
+    return sim, net, src, dst, prober
+
+
+class TestProbing:
+    def test_rtt_probe_measures_link_latency(self):
+        sim, net, src, dst, prober = build(latency=0.020)
+        results = []
+        prober.probe("dst", results.append)
+        sim.run()
+        assert results == [pytest.approx(0.020, rel=0.01)]
+        assert prober.latency.samples("lat:src->dst") == 1
+
+    def test_bandwidth_probe(self):
+        # 10 MB/s link, 64 KiB each way
+        sim, net, src, dst, prober = build(latency=0.0, bandwidth=10 * 1024 * 1024)
+        results = []
+        prober.probe_bandwidth("dst", results.append)
+        sim.run()
+        assert results[0] == pytest.approx(10.0, rel=0.05)
+
+    def test_lost_probe_times_out(self):
+        sim, net, src, dst, prober = build(loss=1.0)
+        results = []
+        prober.probe("dst", results.append)
+        sim.run()
+        assert results == [None]
+        assert prober.probes_lost == 1
+        assert prober.latency.samples("lat:src->dst") == 0
+
+    def test_partition_probe_times_out(self):
+        sim, net, src, dst, prober = build()
+        net.partition(["src"], ["dst"])
+        results = []
+        prober.probe("dst", results.append)
+        sim.run()
+        assert results == [None]
+
+    def test_survey_builds_series(self):
+        sim, net, src, dst, prober = build(latency=0.010, seed=3)
+        prober.survey(["dst"], period=1.0, rounds=10)
+        sim.run()
+        assert prober.latency.samples("lat:src->dst") == 10
+        assert prober.bandwidth.samples("bw:src->dst") == 10
+        forecast = prober.latency.forecast("lat:src->dst")
+        assert forecast.value == pytest.approx(0.010, rel=0.05)
+
+    def test_jittered_link_forecast_converges(self):
+        sim = Simulator(seed=5)
+        net = SimNetwork(sim, default_link=LinkModel(latency=0.040, jitter=0.020))
+        src, dst = net.add_node("src"), net.add_node("dst")
+        EchoResponder(dst)
+        prober = NetworkProber(src, sim)
+        prober.survey(["dst"], period=1.0, rounds=40)
+        sim.run()
+        forecast = prober.latency.forecast("lat:src->dst")
+        # one-way estimate: base latency + ~half the mean jitter
+        assert 0.040 <= forecast.value <= 0.062
+
+    def test_probe_results_flow_into_provider(self):
+        """The full §4.1 loop: probe -> series -> forecaster -> lazy
+        GRIP entry for the queried endpoint pair."""
+        sim, net, src, dst, prober = build(latency=0.015, seed=1)
+        prober.survey(["dst"], period=1.0, rounds=5)
+        sim.run()
+        provider = NetworkPairsProvider(
+            prober.bandwidth, prober.latency, namespace="nw=links"
+        )
+        out = provider.search(
+            SearchRequest(
+                base="nw=links, o=G",
+                scope=Scope.SUBTREE,
+                filter=parse_filter("(&(src=src)(dst=dst))"),
+            ),
+            suffix=DN.parse("o=G"),
+        )
+        assert len(out) == 1
+        entry = out[0]
+        assert float(entry.first("latency")) == pytest.approx(0.015, rel=0.05)
+        assert float(entry.first("bandwidth")) > 0

@@ -1,0 +1,250 @@
+"""Round-trip and error tests for the LDAP wire protocol codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap.ber import TlvReader
+from repro.ldap.dit import Scope
+from repro.ldap.entry import Entry
+from repro.ldap.filter import parse as parse_filter
+from repro.ldap.protocol import (
+    AbandonRequest,
+    AddRequest,
+    AddResponse,
+    BindRequest,
+    BindResponse,
+    Control,
+    DeleteRequest,
+    DeleteResponse,
+    ExtendedRequest,
+    ExtendedResponse,
+    LdapMessage,
+    LdapResult,
+    ModifyRequest,
+    ModifyResponse,
+    ProtocolError,
+    ResultCode,
+    SearchRequest,
+    SearchResultDone,
+    SearchResultEntry,
+    SearchResultReference,
+    UnbindRequest,
+    decode_filter,
+    decode_message,
+    encode_filter,
+    encode_message,
+)
+
+
+def roundtrip(msg: LdapMessage) -> LdapMessage:
+    return decode_message(encode_message(msg))
+
+
+class TestOpRoundtrips:
+    def test_bind_simple(self):
+        msg = LdapMessage(1, BindRequest(3, "cn=admin", "simple", b"secret"))
+        assert roundtrip(msg) == msg
+
+    def test_bind_sasl(self):
+        msg = LdapMessage(1, BindRequest(3, "", "GSI", b"\x00\x01token"))
+        assert roundtrip(msg) == msg
+
+    def test_bind_response_with_credentials(self):
+        msg = LdapMessage(
+            1,
+            BindResponse(LdapResult(ResultCode.SUCCESS), server_credentials=b"proof"),
+        )
+        assert roundtrip(msg) == msg
+
+    def test_unbind(self):
+        assert roundtrip(LdapMessage(9, UnbindRequest())) == LdapMessage(
+            9, UnbindRequest()
+        )
+
+    def test_search_request_full(self):
+        req = SearchRequest(
+            base="o=Grid",
+            scope=Scope.ONELEVEL,
+            size_limit=50,
+            time_limit=10,
+            types_only=True,
+            filter=parse_filter("(&(objectclass=computer)(load5<=2.0))"),
+            attributes=("cn", "load5"),
+        )
+        msg = LdapMessage(2, req)
+        assert roundtrip(msg) == msg
+
+    def test_search_result_entry_from_entry(self):
+        e = Entry("hn=hostX", objectclass=["computer"], hn="hostX", cpucount=4)
+        msg = LdapMessage(2, SearchResultEntry.from_entry(e))
+        back = roundtrip(msg)
+        assert back.op.to_entry() == e
+
+    def test_search_result_reference(self):
+        msg = LdapMessage(2, SearchResultReference(("ldap://h1/o=A", "ldap://h2/o=B")))
+        assert roundtrip(msg) == msg
+
+    def test_search_done_with_referral(self):
+        result = LdapResult(
+            ResultCode.REFERRAL, "", "try elsewhere", ("ldap://h:1389/o=X",)
+        )
+        msg = LdapMessage(2, SearchResultDone(result))
+        assert roundtrip(msg) == msg
+
+    def test_modify(self):
+        req = ModifyRequest(
+            "hn=hostX",
+            (
+                (ModifyRequest.OP_REPLACE, "load5", ("1.5",)),
+                (ModifyRequest.OP_ADD, "note", ("a", "b")),
+                (ModifyRequest.OP_DELETE, "old", ()),
+            ),
+        )
+        msg = LdapMessage(3, req)
+        assert roundtrip(msg) == msg
+
+    def test_modify_response(self):
+        msg = LdapMessage(3, ModifyResponse(LdapResult(ResultCode.NO_SUCH_OBJECT)))
+        assert roundtrip(msg) == msg
+
+    def test_add(self):
+        e = Entry("hn=r1, o=O", objectclass="computer", hn="r1")
+        msg = LdapMessage(4, AddRequest.from_entry(e))
+        back = roundtrip(msg)
+        assert back.op.to_entry() == e
+
+    def test_add_response(self):
+        msg = LdapMessage(4, AddResponse(LdapResult(ResultCode.ENTRY_ALREADY_EXISTS)))
+        assert roundtrip(msg) == msg
+
+    def test_delete(self):
+        msg = LdapMessage(5, DeleteRequest("hn=hostX, o=O1"))
+        assert roundtrip(msg) == msg
+
+    def test_delete_response(self):
+        msg = LdapMessage(5, DeleteResponse(LdapResult()))
+        assert roundtrip(msg) == msg
+
+    def test_abandon(self):
+        msg = LdapMessage(6, AbandonRequest(3))
+        assert roundtrip(msg) == msg
+
+    def test_extended(self):
+        msg = LdapMessage(7, ExtendedRequest("1.2.3.4", b"payload"))
+        assert roundtrip(msg) == msg
+
+    def test_extended_response(self):
+        msg = LdapMessage(
+            7, ExtendedResponse(LdapResult(), "1.2.3.4.5", b"resp")
+        )
+        assert roundtrip(msg) == msg
+
+    def test_controls(self):
+        controls = (
+            Control("2.16.840.1.113730.3.4.3", True, b"\x01\x02"),
+            Control("1.2.3", False, b""),
+        )
+        msg = LdapMessage(8, UnbindRequest(), controls)
+        assert roundtrip(msg) == msg
+
+    def test_unicode_values(self):
+        e = Entry("cn=naïve", cn="naïve", note="héllo wörld")
+        msg = LdapMessage(2, SearchResultEntry.from_entry(e))
+        assert roundtrip(msg).op.to_entry() == e
+
+
+class TestFilterCodec:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(objectclass=computer)",
+            "(cn=*)",
+            "(load5>=2.0)",
+            "(load5<=2.0)",
+            "(system~=linux)",
+            "(system=*linux*)",
+            "(system=a*b*c)",
+            "(system=initial*)",
+            "(system=*final)",
+            "(&(a=1)(b=2))",
+            "(|(a=1)(!(b=2)))",
+            "(&(objectclass=computer)(|(system=*linux*)(system=*irix*))(!(load5>=4)))",
+        ],
+    )
+    def test_roundtrip(self, text):
+        f = parse_filter(text)
+        r = TlvReader(encode_filter(f))
+        assert decode_filter(r) == f
+        assert r.at_end()
+
+    def test_empty_and_rejected(self):
+        import repro.ldap.ber as ber
+        from repro.ldap.ber import Tag
+
+        blob = ber.encode_tlv(Tag.context(0, True), b"")
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_filter(TlvReader(blob))
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        data = encode_message(LdapMessage(1, UnbindRequest())) + b"\x00"
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_message(data)
+
+    def test_not_a_sequence(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\x04\x01x")
+
+    def test_truncated(self):
+        data = encode_message(LdapMessage(1, BindRequest()))
+        with pytest.raises(ProtocolError):
+            decode_message(data[:5])
+
+    def test_unknown_app_tag(self):
+        import repro.ldap.ber as ber
+        from repro.ldap.ber import Tag
+
+        body = ber.encode_integer(1) + ber.encode_tlv(Tag.application(30), b"")
+        with pytest.raises(ProtocolError, match="unsupported protocol op"):
+            decode_message(ber.encode_sequence(body))
+
+    def test_result_code_names(self):
+        assert ResultCode.name(0) == "success"
+        assert ResultCode.name(32) == "noSuchObject"
+        assert ResultCode.name(999) == "code999"
+
+    def test_ldap_result_ok(self):
+        assert LdapResult().ok
+        assert not LdapResult(ResultCode.OTHER).ok
+        assert "other" in LdapResult(ResultCode.OTHER, message="boom").describe()
+
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=30
+)
+_values = st.tuples(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+    st.tuples(st.text(max_size=10), st.text(max_size=10)),
+)
+
+
+class TestProtocolProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1), _names)
+    def test_bind_roundtrip(self, msg_id, name):
+        msg = LdapMessage(msg_id, BindRequest(3, name, "simple", b"pw"))
+        assert roundtrip(msg) == msg
+
+    @given(_names, st.lists(_values, max_size=6))
+    def test_add_roundtrip(self, dn, attrs):
+        op = AddRequest(dn, tuple((a, vs) for a, vs in attrs))
+        msg = LdapMessage(1, op)
+        assert roundtrip(msg) == msg
+
+    @given(st.binary(max_size=200))
+    def test_decoder_never_crashes(self, blob):
+        """Arbitrary bytes either decode or raise ProtocolError."""
+        try:
+            decode_message(blob)
+        except ProtocolError:
+            pass

@@ -1,0 +1,118 @@
+"""Repository-wide quality gates and cross-implementation checks."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+
+
+def _all_modules():
+    root = pathlib.Path(repro.__file__).parent
+    names = ["repro"]
+    for info in pkgutil.walk_packages([str(root)], prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("name", _all_modules())
+    def test_every_module_has_a_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in _all_modules():
+            module = importlib.import_module(name)
+            for attr in getattr(module, "__all__", []):
+                obj = getattr(module, attr, None)
+                if isinstance(obj, type) and obj.__module__ == name:
+                    if not (obj.__doc__ and obj.__doc__.strip()):
+                        undocumented.append(f"{name}.{attr}")
+        assert not undocumented, f"undocumented public classes: {undocumented}"
+
+
+class TestServerFilteringMatchesLocalSemantics:
+    """Cross-check: entries a server returns for a filter are exactly
+    the entries whose full content matches the filter locally."""
+
+    @given(
+        st.sampled_from(
+            [
+                "(objectclass=computer)",
+                "(load5<=3.0)",
+                "(&(objectclass=computer)(cpucount>=4))",
+                "(|(system=*irix*)(system=*linux*))",
+                "(!(load5>=2.0))",
+                "(hn=host00*)",
+                "(cpucount~=8)",
+            ]
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_wire_results_equal_local_filtering(self, filter_text):
+        from repro.ldap.backend import DitBackend
+        from repro.ldap.client import LdapClient
+        from repro.ldap.dit import DIT, Scope
+        from repro.ldap.dn import DN
+        from repro.ldap.entry import Entry
+        from repro.ldap.filter import parse as parse_filter
+        from repro.ldap.server import LdapServer
+        from repro.net.sim import Simulator
+        from repro.net.simnet import SimNetwork
+
+        dit = DIT()
+        for i in range(12):
+            host = f"host{i:03d}"
+            dit.add(
+                Entry(
+                    f"hn={host}",
+                    objectclass="computer",
+                    hn=host,
+                    system="linux" if i % 2 else "mips irix",
+                    cpucount=1 << (i % 4),
+                    load5=f"{i / 4:.1f}",
+                )
+            )
+        sim = Simulator()
+        net = SimNetwork(sim)
+        net.add_node("s").listen(
+            389, LdapServer(DitBackend(dit), clock=sim).handle_connection
+        )
+        client = LdapClient(net.add_node("u").connect(("s", 389)), driver=sim.step)
+        over_wire = {
+            str(e.dn) for e in client.search("", Scope.SUBTREE, filter_text)
+        }
+        filt = parse_filter(filter_text)
+        local = {
+            str(e.dn)
+            for e in dit.search(DN.root(), Scope.SUBTREE)
+            if filt.matches(e)
+        }
+        assert over_wire == local
+
+
+class TestGiisCachePreservesStamps:
+    def test_cached_entries_keep_original_timestamps(self):
+        """Query-cache hits serve the originally-stamped data, so
+        consumers can still judge currency (§2.1/§3)."""
+        from repro.testbed import GridTestbed
+
+        tb = GridTestbed(seed=95)
+        giis = tb.add_giis("giis", "o=Grid", cache_ttl=300.0)
+        gris = tb.standard_gris("r0", "hn=r0, o=Grid", load_ttl=5.0)
+        tb.register(gris, giis, name="r0")
+        tb.run(1.0)
+        client = tb.client("u", giis)
+        first = client.search("o=Grid", filter="(objectclass=loadaverage)")
+        stamp0 = first.entries[0].timestamp()
+        tb.run(60.0)
+        again = client.search("o=Grid", filter="(objectclass=loadaverage)")
+        assert giis.backend.stats_cache_hits >= 1
+        assert again.entries[0].timestamp() == stamp0  # honest staleness
+        # the consumer can detect it is stale relative to the TTL
+        assert again.entries[0].is_stale(tb.sim.now())

@@ -1,0 +1,128 @@
+"""Tests for client-side referral chasing against referral-mode GIISes."""
+
+import pytest
+
+from repro.ldap.dit import Scope
+from repro.ldap.referral import chase_referrals, search_following_referrals
+from repro.testbed import GridTestbed
+
+
+def build(tb, mode="referral", n=3):
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO", mode=mode)
+    children = []
+    for i in range(n):
+        gris = tb.standard_gris(f"r{i}", f"hn=r{i}, o=Grid", load_mean=0.5)
+        tb.register(gris, giis, interval=15.0, ttl=45.0, name=f"r{i}")
+        children.append(gris)
+    tb.run(1.0)
+    return giis, children
+
+
+class TestReferralChasing:
+    def test_full_resolution(self):
+        tb = GridTestbed(seed=31)
+        giis, _ = build(tb)
+        client = tb.client("user", giis)
+        out = search_following_referrals(
+            client,
+            dial=lambda url: tb.client("user", url),
+            base="o=Grid",
+            filter="(objectclass=computer)",
+        )
+        assert sorted(e.first("hn") for e in out.entries) == ["r0", "r1", "r2"]
+        assert out.referrals == []  # all resolved
+
+    def test_filter_applied_at_target(self):
+        tb = GridTestbed(seed=31)
+        giis, _ = build(tb)
+        client = tb.client("user", giis)
+        out = search_following_referrals(
+            client,
+            dial=lambda url: tb.client("user", url),
+            base="o=Grid",
+            filter="(hn=r1)",
+        )
+        assert [e.first("hn") for e in out.entries] == ["r1"]
+
+    def test_dead_target_yields_partial_results(self):
+        tb = GridTestbed(seed=31)
+        giis, children = build(tb)
+        children[0].node.crash()
+        client = tb.client("user", giis)
+        out = search_following_referrals(
+            client,
+            dial=lambda url: tb.client("user", url),
+            base="o=Grid",
+            filter="(objectclass=computer)",
+        )
+        assert sorted(e.first("hn") for e in out.entries) == ["r1", "r2"]
+
+    def test_duplicate_referrals_dialed_once(self):
+        tb = GridTestbed(seed=31)
+        giis, _ = build(tb, n=1)
+        client = tb.client("user", giis)
+        dials = []
+
+        def dial(url):
+            dials.append(str(url))
+            return tb.client("user", url)
+
+        initial = client.search("o=Grid", filter="(objectclass=computer)", check=False)
+        doubled = type(initial)(
+            entries=list(initial.entries),
+            referrals=list(initial.referrals) * 2,
+            result=initial.result,
+        )
+        out = chase_referrals(doubled, dial, filter="(objectclass=computer)")
+        assert len(dials) == 1
+        assert len(out.entries) == 1
+
+    def test_max_hops_bounds_chasing(self):
+        tb = GridTestbed(seed=31)
+        # referral GIIS pointing at a second referral GIIS pointing at a GRIS
+        top = tb.add_giis("top", "o=Grid", mode="referral")
+        mid = tb.add_giis("mid", "o=A, o=Grid", mode="referral")
+        tb.register(mid, top, name="mid")
+        gris = tb.standard_gris("leaf", "hn=leaf, o=A, o=Grid")
+        tb.register(gris, mid, name="leaf")
+        tb.run(1.0)
+
+        client = tb.client("user", top)
+        out = search_following_referrals(
+            client,
+            dial=lambda url: tb.client("user", url),
+            base="o=Grid",
+            filter="(objectclass=computer)",
+            max_hops=1,
+        )
+        # one hop reaches mid, whose referral to the GRIS is left unchased
+        assert out.entries == [] or all(
+            not e.is_a("computer") for e in out.entries
+        )
+        assert out.referrals  # unresolved frontier reported
+
+        out = search_following_referrals(
+            client,
+            dial=lambda url: tb.client("user", url),
+            base="o=Grid",
+            filter="(objectclass=computer)",
+            max_hops=3,
+        )
+        assert [e.first("hn") for e in out.entries] == ["leaf"]
+
+    def test_malformed_referral_skipped(self):
+        tb = GridTestbed(seed=31)
+        giis, _ = build(tb, n=1)
+        client = tb.client("user", giis)
+        initial = client.search("o=Grid", filter="(objectclass=computer)", check=False)
+        poisoned = type(initial)(
+            entries=[],
+            referrals=["http://not-ldap/", *initial.referrals],
+            result=initial.result,
+        )
+        out = chase_referrals(
+            poisoned,
+            dial=lambda url: tb.client("user", url),
+            filter="(objectclass=computer)",
+        )
+        assert len(out.entries) == 1

@@ -1,0 +1,170 @@
+"""§7/§10.4 trust modes across the GIIS: trusted-directory chaining.
+
+"The information provider(s) and aggregate directory have the same data
+access policy and the provider(s) trusts the directory.  Here, the
+provider can respond to any authenticated query from the directory,
+which it trusts to apply its policy on its behalf."
+
+The scenario: GRIS providers restrict ``load5`` to the directory
+identity ``CN=vo-giis`` (and user ``CN=alice``).  Anonymous users get
+nothing sensitive directly — but the GIIS, binding with its trusted
+server credential, can read and (per its own policy) redistribute it.
+"""
+
+import random
+
+import pytest
+
+from repro.security import (
+    ANONYMOUS,
+    CertificateAuthority,
+    GsiAuthenticator,
+    TrustStore,
+    attribute_restricted_policy,
+    make_token,
+)
+from repro.testbed import GridTestbed
+
+RNG = random.Random(555)
+BITS = 256
+CA = CertificateAuthority("CN=GridCA", rng=RNG, bits=BITS)
+GIIS_CRED = CA.issue("CN=vo-giis", rng=RNG, bits=BITS)
+ALICE = CA.issue("CN=alice", rng=RNG, bits=BITS)
+TRUST = TrustStore([CA.certificate])
+
+
+def build(tb, giis_credential=None):
+    giis = tb.add_giis(
+        "vo-giis", "o=Grid", vo_name="SecVO", credential=giis_credential
+    )
+    grises = []
+    for host in ("s0", "s1"):
+        policy = attribute_restricted_policy(
+            public_attrs=["objectclass", "hn", "system", "perf", "period"],
+            restricted_attrs=["load1", "load5", "load15"],
+            allowed_identities=["CN=vo-giis", "CN=alice"],
+        )
+        auth = GsiAuthenticator(TRUST, f"ldap://{host}:2135/")
+        gris = tb.standard_gris(
+            host, f"hn={host}, o=Grid", policy=policy, authenticator=auth
+        )
+        tb.register(gris, giis, interval=15.0, ttl=45.0, name=host)
+        grises.append(gris)
+    tb.run(1.0)
+    return giis, grises
+
+
+class TestTrustedDirectoryChaining:
+    def test_anonymous_direct_query_hides_load(self):
+        tb = GridTestbed(seed=66)
+        giis, grises = build(tb)
+        direct = tb.client("user", grises[0])
+        out = direct.search("hn=s0, o=Grid", filter="(objectclass=loadaverage)")
+        assert len(out) == 1
+        assert not out.entries[0].has("load5")
+
+    def test_alice_direct_query_sees_load(self):
+        tb = GridTestbed(seed=66)
+        giis, grises = build(tb)
+        direct = tb.client("alice", grises[0])
+        token = make_token(ALICE, "ldap://s0:2135/", now=tb.sim.now())
+        direct.bind(mechanism="GSI", credentials=token)
+        out = direct.search("hn=s0, o=Grid", filter="(objectclass=loadaverage)")
+        assert out.entries[0].has("load5")
+
+    def test_untrusted_giis_cannot_proxy_load(self):
+        """Without a credential the GIIS is just another anonymous
+        client: restricted attributes never reach it."""
+        tb = GridTestbed(seed=66)
+        giis, _ = build(tb, giis_credential=None)
+        client = tb.client("user", giis)
+        out = client.search("o=Grid", filter="(objectclass=loadaverage)")
+        assert len(out) == 2
+        assert all(not e.has("load5") for e in out)
+
+    def test_trusted_giis_proxies_load(self):
+        """Mode 1: the provider trusts CN=vo-giis; data flows through."""
+        tb = GridTestbed(seed=66)
+        giis, _ = build(tb, giis_credential=GIIS_CRED)
+        client = tb.client("user", giis)
+        out = client.search("o=Grid", filter="(objectclass=loadaverage)")
+        assert len(out) == 2
+        assert all(e.has("load5") for e in out)
+
+    def test_trusted_giis_can_apply_own_policy(self):
+        """The directory applies policy 'on [the provider's] behalf':
+        same VO restriction enforced at the GIIS front end."""
+        from repro.security import AccessPolicy, AccessRule
+
+        giis_policy = AccessPolicy(
+            [
+                AccessRule.make("CN=alice"),  # VO members see everything
+                AccessRule.make(
+                    "*",
+                    attrs=["objectclass", "hn", "system", "url", "ttl",
+                           "notificationtype", "regsource", "perf", "period",
+                           "description", "o"],
+                ),
+            ],
+            default_allow=False,
+        )
+        tb = GridTestbed(seed=66)
+        giis = tb.add_giis(
+            "vo-giis",
+            "o=Grid",
+            vo_name="SecVO",
+            credential=GIIS_CRED,
+            policy=giis_policy,
+            authenticator=GsiAuthenticator(TRUST, "ldap://vo-giis:2135/"),
+        )
+        policy = attribute_restricted_policy(
+            public_attrs=["objectclass", "hn", "system", "perf", "period"],
+            restricted_attrs=["load1", "load5", "load15"],
+            allowed_identities=["CN=vo-giis"],
+        )
+        gris = tb.standard_gris(
+            "s0",
+            "hn=s0, o=Grid",
+            policy=policy,
+            authenticator=GsiAuthenticator(TRUST, "ldap://s0:2135/"),
+        )
+        tb.register(gris, giis, interval=15.0, ttl=45.0, name="s0")
+        tb.run(1.0)
+
+        anon = tb.client("anon", giis)
+        out = anon.search("o=Grid", filter="(objectclass=loadaverage)")
+        assert out.entries and not out.entries[0].has("load5")
+
+        alice = tb.client("alice", giis)
+        token = make_token(ALICE, "ldap://vo-giis:2135/", now=tb.sim.now())
+        alice.bind(mechanism="GSI", credentials=token)
+        out = alice.search("o=Grid", filter="(objectclass=loadaverage)")
+        assert out.entries and out.entries[0].has("load5")
+
+    def test_pull_indexes_benefit_from_credential(self):
+        """Specialized directories pulling with the trusted credential
+        index the restricted attributes too."""
+        from repro.giis import RelationalDirectory
+
+        tb = GridTestbed(seed=66)
+        giis = tb.add_giis(
+            "vo-giis", "o=Grid", vo_name="SecVO", credential=GIIS_CRED
+        )
+        index = RelationalDirectory()
+        giis.backend.add_index(index)
+        policy = attribute_restricted_policy(
+            public_attrs=["objectclass", "hn", "system", "perf", "period"],
+            restricted_attrs=["load1", "load5", "load15"],
+            allowed_identities=["CN=vo-giis"],
+        )
+        gris = tb.standard_gris(
+            "s0",
+            "hn=s0, o=Grid",
+            policy=policy,
+            authenticator=GsiAuthenticator(TRUST, "ldap://s0:2135/"),
+        )
+        tb.register(gris, giis, interval=15.0, ttl=45.0, name="s0")
+        tb.run(2.0)
+        loads = index.table("loadaverage")
+        assert len(loads) == 1
+        assert loads.rows[0].get("load5") is not None

@@ -1,0 +1,369 @@
+"""Tests for the security substrate: RSA, certificates, tokens, ACLs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap.dn import DN
+from repro.ldap.entry import Entry
+from repro.security import (
+    ANONYMOUS,
+    AccessPolicy,
+    AccessRule,
+    AuthError,
+    CertError,
+    CertificateAuthority,
+    Groups,
+    TrustStore,
+    attribute_restricted_policy,
+    authenticated_policy,
+    existence_only_policy,
+    generate_keypair,
+    make_token,
+    open_policy,
+    sign_message,
+    verify_chain,
+    verify_message,
+    verify_token,
+)
+from repro.security.numtheory import generate_prime, is_probable_prime, modinv
+from repro.security.sasl import AnonymousOnly, GsiAuthenticator
+
+RNG = random.Random(1234)
+BITS = 256  # small keys keep the suite fast; algorithms are size-agnostic
+
+# Shared fixtures built once: key generation dominates test runtime.
+CA = CertificateAuthority("CN=TestCA", rng=RNG, bits=BITS)
+ALICE = CA.issue("CN=alice", rng=RNG, bits=BITS)
+BOB = CA.issue("CN=bob", rng=RNG, bits=BITS)
+OTHER_CA = CertificateAuthority("CN=RogueCA", rng=RNG, bits=BITS)
+MALLORY = OTHER_CA.issue("CN=alice", rng=RNG, bits=BITS)  # same name, wrong CA
+TRUST = TrustStore([CA.certificate])
+
+
+class TestNumTheory:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1])
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 100, 7917, 2**31 - 2, 561, 41041])
+    def test_known_composites(self, n):
+        # includes Carmichael numbers 561 and 41041
+        assert not is_probable_prime(n)
+
+    def test_generate_prime_size(self):
+        p = generate_prime(64, random.Random(0))
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_modinv(self):
+        assert (modinv(3, 11) * 3) % 11 == 1
+        with pytest.raises(ValueError):
+            modinv(4, 8)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=50)
+    def test_modinv_property(self, a):
+        m = 1_000_003  # prime
+        inv = modinv(a % m or 1, m)
+        assert ((a % m or 1) * inv) % m == 1
+
+
+class TestRsa:
+    def test_sign_verify(self):
+        kp = generate_keypair(BITS, random.Random(5))
+        sig = kp.private.sign(b"hello grid")
+        assert kp.public.verify(b"hello grid", sig)
+
+    def test_tampered_message_fails(self):
+        kp = generate_keypair(BITS, random.Random(6))
+        sig = kp.private.sign(b"hello")
+        assert not kp.public.verify(b"hullo", sig)
+
+    def test_wrong_key_fails(self):
+        a = generate_keypair(BITS, random.Random(7))
+        b = generate_keypair(BITS, random.Random(8))
+        sig = a.private.sign(b"msg")
+        assert not b.public.verify(b"msg", sig)
+
+    def test_signature_out_of_range(self):
+        kp = generate_keypair(BITS, random.Random(9))
+        assert not kp.public.verify(b"msg", 0)
+        assert not kp.public.verify(b"msg", kp.public.n + 5)
+
+    def test_public_key_dict_roundtrip(self):
+        from repro.security.rsa import PublicKey
+
+        kp = generate_keypair(BITS, random.Random(10))
+        assert PublicKey.from_dict(kp.public.to_dict()) == kp.public
+
+    def test_fingerprint_stable(self):
+        kp = generate_keypair(BITS, random.Random(11))
+        assert kp.public.fingerprint() == kp.public.fingerprint()
+
+
+class TestCertificates:
+    def test_chain_verifies(self):
+        assert verify_chain(ALICE.chain, [CA.certificate], now=1.0) == "CN=alice"
+
+    def test_wrong_ca_rejected(self):
+        with pytest.raises(CertError):
+            verify_chain(MALLORY.chain, [CA.certificate], now=1.0)
+
+    def test_expired_rejected(self):
+        with pytest.raises(CertError, match="expired"):
+            verify_chain(ALICE.chain, [CA.certificate], now=1e12)
+
+    def test_empty_chain(self):
+        with pytest.raises(CertError, match="empty"):
+            verify_chain([], [CA.certificate], now=1.0)
+
+    def test_tampered_cert_rejected(self):
+        from dataclasses import replace
+
+        bad = replace(ALICE.certificate, subject="CN=root")
+        with pytest.raises(CertError):
+            verify_chain([bad, CA.certificate], [CA.certificate], now=1.0)
+
+    def test_proxy_delegation(self):
+        proxy = ALICE.delegate(now=1.0, rng=RNG, bits=BITS)
+        identity = verify_chain(proxy.chain, [CA.certificate], now=2.0)
+        assert identity == "CN=alice"  # proxy resolves to delegator
+        assert proxy.certificate.is_proxy
+
+    def test_proxy_of_proxy(self):
+        p1 = ALICE.delegate(now=1.0, rng=RNG, bits=BITS)
+        p2 = p1.delegate(now=1.0, rng=RNG, bits=BITS)
+        assert verify_chain(p2.chain, [CA.certificate], now=2.0) == "CN=alice"
+
+    def test_proxy_expiry(self):
+        proxy = ALICE.delegate(now=1.0, lifetime=10.0, rng=RNG, bits=BITS)
+        with pytest.raises(CertError):
+            verify_chain(proxy.chain, [CA.certificate], now=100.0)
+
+    def test_proxy_signed_by_wrong_key_rejected(self):
+        proxy = ALICE.delegate(now=1.0, rng=RNG, bits=BITS)
+        # splice bob's chain under alice's proxy cert
+        forged = (proxy.certificate,) + BOB.chain
+        with pytest.raises(CertError):
+            verify_chain(forged, [CA.certificate], now=2.0)
+
+
+class TestTokens:
+    def test_roundtrip(self):
+        raw = make_token(ALICE, "ldap://giis:2135", now=50.0, nonce="n1")
+        identity = verify_token(
+            raw, TRUST, "ldap://giis:2135", now=60.0, expected_nonce="n1"
+        )
+        assert identity == "CN=alice"
+
+    def test_wrong_target_rejected(self):
+        raw = make_token(ALICE, "ldap://giis:2135", now=50.0)
+        with pytest.raises(AuthError, match="target"):
+            verify_token(raw, TRUST, "ldap://other:2135", now=60.0)
+
+    def test_stale_token_rejected(self):
+        raw = make_token(ALICE, "svc", now=50.0)
+        with pytest.raises(AuthError, match="stale"):
+            verify_token(raw, TRUST, "svc", now=50_000.0)
+
+    def test_untrusted_chain_rejected(self):
+        raw = make_token(MALLORY, "svc", now=50.0)
+        with pytest.raises(AuthError):
+            verify_token(raw, TRUST, "svc", now=60.0)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AuthError, match="malformed"):
+            verify_token(b"not json", TRUST, "svc", now=0.0)
+
+    def test_nonce_mismatch(self):
+        raw = make_token(ALICE, "svc", now=50.0, nonce="a")
+        with pytest.raises(AuthError, match="nonce"):
+            verify_token(raw, TRUST, "svc", now=60.0, expected_nonce="b")
+
+    def test_proxy_token_resolves_to_base_identity(self):
+        proxy = ALICE.delegate(now=40.0, rng=RNG, bits=BITS)
+        raw = make_token(proxy, "svc", now=50.0)
+        assert verify_token(raw, TRUST, "svc", now=60.0) == "CN=alice"
+
+
+class TestSignedMessages:
+    def test_roundtrip(self):
+        raw = sign_message(ALICE, b"register me")
+        identity, payload = verify_message(raw, TRUST, now=1.0)
+        assert identity == "CN=alice"
+        assert payload == b"register me"
+
+    def test_binary_payload(self):
+        blob = bytes(range(256))
+        raw = sign_message(BOB, blob)
+        _, payload = verify_message(raw, TRUST, now=1.0)
+        assert payload == blob
+
+    def test_tampered_payload_rejected(self):
+        import json
+
+        raw = sign_message(ALICE, b"original")
+        data = json.loads(raw)
+        data["payload"] = "tampered!"
+        with pytest.raises(AuthError, match="signature"):
+            verify_message(json.dumps(data).encode(), TRUST, now=1.0)
+
+    def test_untrusted_signer_rejected(self):
+        raw = sign_message(MALLORY, b"x")
+        with pytest.raises(AuthError):
+            verify_message(raw, TRUST, now=1.0)
+
+
+def entry():
+    return Entry(
+        "hn=hostX, o=O1",
+        objectclass="computer",
+        hn="hostX",
+        system="linux redhat 6.2",
+        load5="0.7",
+    )
+
+
+class TestAccessPolicies:
+    def test_open_policy(self):
+        p = open_policy()
+        assert p.filter_entry(ANONYMOUS, entry()) == entry()
+
+    def test_authenticated_policy(self):
+        p = authenticated_policy()
+        assert p.filter_entry(ANONYMOUS, entry()) is None
+        assert p.filter_entry("CN=alice", entry()) == entry()
+
+    def test_existence_only(self):
+        p = existence_only_policy()
+        visible = p.filter_entry(ANONYMOUS, entry())
+        assert visible is not None
+        assert visible.dn == entry().dn
+        assert visible.attribute_names() == ["objectclass"]
+
+    def test_attribute_restricted(self):
+        # §7's example: OS type public, load average for specific users.
+        p = attribute_restricted_policy(
+            public_attrs=["objectclass", "hn", "system"],
+            restricted_attrs=["load5"],
+            allowed_identities=["CN=alice"],
+        )
+        anon = p.filter_entry(ANONYMOUS, entry())
+        assert anon.has("system") and not anon.has("load5")
+        alice = p.filter_entry("CN=alice", entry())
+        assert alice.has("load5")
+        # but alice cannot see attributes in neither list
+        assert p.restricted_attrs(ANONYMOUS, entry()) == ["load5"]
+
+    def test_group_subject(self):
+        groups = Groups({"vo-a": ["CN=bob"]})
+        p = AccessPolicy(
+            [AccessRule.make("group:vo-a")], default_allow=False, groups=groups
+        )
+        assert p.filter_entry("CN=bob", entry()) == entry()
+        assert p.filter_entry("CN=eve", entry()) is None
+        groups.add("vo-a", "CN=eve")
+        assert p.filter_entry("CN=eve", entry()) == entry()
+
+    def test_subtree_scoping(self):
+        p = AccessPolicy(
+            [
+                AccessRule.make("*", base="o=O1"),
+            ],
+            default_allow=False,
+        )
+        assert p.filter_entry(ANONYMOUS, entry()) == entry()
+        outside = Entry("hn=y, o=O2", objectclass="computer", hn="y")
+        assert p.filter_entry(ANONYMOUS, outside) is None
+
+    def test_deny_rule_ordering(self):
+        p = AccessPolicy(
+            [
+                AccessRule.make("CN=eve", allow=False),
+                AccessRule.make("*"),
+            ]
+        )
+        assert p.filter_entry("CN=eve", entry()) is None
+        assert p.filter_entry("CN=alice", entry()) == entry()
+
+    def test_filter_entries_batch(self):
+        p = authenticated_policy()
+        out = p.filter_entries("CN=a", [entry(), entry()])
+        assert len(out) == 2
+        assert p.filter_entries(ANONYMOUS, [entry()]) == []
+
+
+class TestAuthenticators:
+    def test_anonymous_only(self):
+        auth = AnonymousOnly()
+        assert auth.authenticate("", "simple", b"", 0.0).identity == ANONYMOUS
+        with pytest.raises(AuthError):
+            auth.authenticate("", "GSI", b"x", 0.0)
+
+    def test_gsi_authenticator_token(self):
+        auth = GsiAuthenticator(TRUST, "svc", server_credential=BOB)
+        token = make_token(ALICE, "svc", now=10.0)
+        outcome = auth.authenticate("", "GSI", token, now=11.0)
+        assert outcome.identity == "CN=alice"
+        # mutual auth: server returned its own token bound to alice
+        assert (
+            verify_token(outcome.server_credentials, TRUST, "CN=alice", now=11.0)
+            == "CN=bob"
+        )
+
+    def test_gsi_authenticator_passwords(self):
+        auth = GsiAuthenticator(
+            TRUST, "svc", passwords={"cn=admin": ("hunter2", "CN=admin")}
+        )
+        assert (
+            auth.authenticate("cn=admin", "simple", b"hunter2", 0.0).identity
+            == "CN=admin"
+        )
+        with pytest.raises(AuthError):
+            auth.authenticate("cn=admin", "simple", b"wrong", 0.0)
+        assert auth.authenticate("", "simple", b"", 0.0).identity == ANONYMOUS
+
+    def test_gsi_rejects_bad_token(self):
+        auth = GsiAuthenticator(TRUST, "svc")
+        with pytest.raises(AuthError):
+            auth.authenticate("", "GSI", b"junk", 0.0)
+
+
+class TestCredentialSerialization:
+    def test_roundtrip(self):
+        from repro.security import credential_from_json, credential_to_json
+
+        text = credential_to_json(ALICE)
+        back = credential_from_json(text)
+        assert back.identity == "CN=alice"
+        assert back.chain == ALICE.chain
+        # the private key still works
+        sig = back.sign(b"payload")
+        assert ALICE.certificate.public_key.verify(b"payload", sig)
+
+    def test_roundtripped_credential_verifies(self):
+        from repro.security import credential_from_json, credential_to_json
+
+        back = credential_from_json(credential_to_json(ALICE))
+        assert verify_chain(back.chain, [CA.certificate], now=1.0) == "CN=alice"
+
+    def test_proxy_roundtrip(self):
+        from repro.security import credential_from_json, credential_to_json
+
+        proxy = ALICE.delegate(now=1.0, rng=RNG, bits=BITS)
+        back = credential_from_json(credential_to_json(proxy))
+        assert verify_chain(back.chain, [CA.certificate], now=2.0) == "CN=alice"
+
+    def test_malformed_rejected(self):
+        from repro.security import credential_from_json
+
+        with pytest.raises(CertError):
+            credential_from_json("not json")
+        with pytest.raises(CertError):
+            credential_from_json('{"chain": [], "key": {"n": 1, "d": 1}}')

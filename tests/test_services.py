@@ -1,0 +1,443 @@
+"""Tests for the higher-level services (§1 scenarios)."""
+
+import random
+
+import pytest
+
+from repro.gris import FunctionProvider, NetworkPairsProvider, SeriesStore
+from repro.grip.failure import FailureDetector
+from repro.ldap.dn import DN
+from repro.ldap.entry import Entry
+from repro.net.sim import Simulator
+from repro.services import (
+    AdaptationAgent,
+    JobRequest,
+    ManagedApplication,
+    MonitoringService,
+    NamingAuthority,
+    ReplicaCatalogProvider,
+    ReplicaSelector,
+    Superscheduler,
+    Troubleshooter,
+    TypeAuthority,
+    Watch,
+    guid,
+)
+from repro.testbed import GridTestbed
+
+
+def build_vo(tb, means=(0.2, 2.0, 6.0), cpus=(8, 4, 2)):
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO")
+    grises = []
+    for i, (mean, cpu) in enumerate(zip(means, cpus)):
+        gris = tb.standard_gris(
+            f"m{i}", f"hn=m{i}, o=Grid", load_mean=mean, cpu_count=cpu
+        )
+        tb.register(gris, giis, interval=20.0, ttl=60.0, name=f"m{i}")
+        grises.append(gris)
+    tb.run(1.0)
+    return giis, grises
+
+
+class TestSuperscheduler:
+    def test_selects_least_loaded(self):
+        tb = GridTestbed(seed=11)
+        giis, _ = build_vo(tb)
+        broker = Superscheduler(tb.client("user", giis), "o=Grid")
+        choice = broker.select(JobRequest(max_load5=100.0), refresh=False)
+        assert choice and choice[0].host == "m0"
+
+    def test_cpu_requirement_filters(self):
+        tb = GridTestbed(seed=11)
+        giis, _ = build_vo(tb)
+        broker = Superscheduler(tb.client("user", giis), "o=Grid")
+        candidates = broker.discover(JobRequest(min_cpus=8))
+        assert [c.host for c in candidates] == ["m0"]
+
+    def test_load_threshold_excludes(self):
+        tb = GridTestbed(seed=11)
+        giis, _ = build_vo(tb, means=(9.0, 9.5, 9.9))
+        broker = Superscheduler(tb.client("user", giis), "o=Grid")
+        assert broker.select(JobRequest(max_load5=1.0), refresh=False) == []
+
+    def test_refresh_consults_authoritative_source(self):
+        tb = GridTestbed(seed=11)
+        giis, grises = build_vo(tb)
+
+        def dial(url):
+            return tb.client("user", url)
+
+        broker = Superscheduler(tb.client("user", giis), "o=Grid", dial=dial)
+        choice = broker.select(JobRequest(max_load5=100.0), refresh=True)
+        assert choice
+        assert choice[0].refreshed
+        assert broker.refreshes >= 1
+
+    def test_system_substring(self):
+        tb = GridTestbed(seed=11)
+        giis, _ = build_vo(tb)
+        broker = Superscheduler(tb.client("user", giis), "o=Grid")
+        assert broker.discover(JobRequest(system="linux"))
+        assert broker.discover(JobRequest(system="irix")) == []
+
+    def test_top_k(self):
+        tb = GridTestbed(seed=11)
+        giis, _ = build_vo(tb)
+        broker = Superscheduler(tb.client("user", giis), "o=Grid")
+        two = broker.select(JobRequest(max_load5=100.0), refresh=False, top_k=2)
+        assert len(two) == 2
+
+
+class TestReplicaSelection:
+    def build(self, tb):
+        giis = tb.add_giis("giis", "o=Grid", vo_name="DataGrid")
+        # a data GRIS carrying the replica catalog and network forecasts
+        catalog = ReplicaCatalogProvider(
+            {
+                "lfn://sim/higgs.dat": [
+                    ("store-fast", 4 * 1024**3),
+                    ("store-slow", 4 * 1024**3),
+                ],
+                "lfn://sim/only-slow.dat": [("store-slow", 1024**3)],
+            }
+        )
+        bw = SeriesStore(min_samples=1)
+        for _ in range(5):
+            bw.observe("bw:store-fast->consumer", 100.0)
+            bw.observe("bw:store-slow->consumer", 5.0)
+        netpairs = NetworkPairsProvider(bw)
+        gris = tb.add_gris("data-gris", "o=Grid", [catalog, netpairs])
+        tb.register(gris, giis, interval=20.0, ttl=60.0, name="data-gris")
+        tb.run(1.0)
+        return giis, catalog
+
+    def test_best_replica_by_predicted_transfer(self):
+        tb = GridTestbed(seed=13)
+        giis, _ = self.build(tb)
+        selector = ReplicaSelector(
+            tb.client("consumer", giis),
+            base="o=Grid",
+            network_base="nw=links, o=Grid",
+            consumer_host="consumer",
+        )
+        ranked = selector.select("lfn://sim/higgs.dat")
+        assert [c.store_host for c in ranked] == ["store-fast", "store-slow"]
+        assert ranked[0].predicted_seconds < ranked[1].predicted_seconds
+
+    def test_single_replica(self):
+        tb = GridTestbed(seed=13)
+        giis, _ = self.build(tb)
+        selector = ReplicaSelector(
+            tb.client("consumer", giis), "o=Grid", "nw=links, o=Grid", "consumer"
+        )
+        best = selector.best("lfn://sim/only-slow.dat")
+        assert best.store_host == "store-slow"
+
+    def test_unknown_lfn(self):
+        tb = GridTestbed(seed=13)
+        giis, _ = self.build(tb)
+        selector = ReplicaSelector(
+            tb.client("consumer", giis), "o=Grid", "nw=links, o=Grid", "consumer"
+        )
+        assert selector.best("lfn://sim/nope.dat") is None
+
+    def test_catalog_mutation(self):
+        tb = GridTestbed(seed=13)
+        giis, catalog = self.build(tb)
+        catalog.drop_replica("lfn://sim/higgs.dat", "store-fast")
+        tb.run(60.0)  # catalog cache TTL expires
+        selector = ReplicaSelector(
+            tb.client("consumer", giis), "o=Grid", "nw=links, o=Grid", "consumer"
+        )
+        ranked = selector.select("lfn://sim/higgs.dat")
+        assert [c.store_host for c in ranked] == ["store-slow"]
+
+
+class TestMonitoringService:
+    def test_threshold_alarm_via_subscription(self):
+        tb = GridTestbed(seed=17)
+        gris = tb.standard_gris("busy", "hn=busy, o=Grid", load_mean=0.1)
+        monitor = MonitoringService(tb.sim)
+        monitor.add_watch(Watch(attr="load5", threshold=3.0))
+        client = tb.client("watcher", gris)
+        monitor.attach(client, "hn=busy, o=Grid", "(objectclass=loadaverage)")
+        tb.run(30.0)
+        assert not [a for a in monitor.alarms if a.kind == "threshold"]
+        gris.sensor.set_mean(8.0)  # regime change: machine gets busy
+        tb.run(120.0)
+        fired = [a for a in monitor.alarms if a.kind == "threshold"]
+        assert fired
+        assert fired[0].value >= 3.0
+
+    def test_delta_alarm(self):
+        tb = GridTestbed(seed=17)
+        gris = tb.standard_gris("jumpy", "hn=jumpy, o=Grid", load_mean=0.5)
+        monitor = MonitoringService(tb.sim)
+        monitor.add_watch(Watch(attr="load5", min_delta=0.75))
+        monitor.attach(
+            tb.client("w", gris), "hn=jumpy, o=Grid", "(objectclass=loadaverage)"
+        )
+        gris.sensor.set_mean(9.0)
+        tb.run(200.0)
+        assert any(a.kind == "delta" for a in monitor.alarms)
+
+    def test_state_and_series(self):
+        tb = GridTestbed(seed=17)
+        gris = tb.standard_gris("s", "hn=s, o=Grid")
+        monitor = MonitoringService(tb.sim)
+        monitor.add_watch(Watch(attr="load5", threshold=1e9))
+        monitor.attach(tb.client("w", gris), "hn=s, o=Grid", "(objectclass=loadaverage)")
+        tb.run(100.0)
+        assert monitor.monitored_count() >= 1
+        series = monitor.series("perf=loadavg, hn=s, o=Grid", "load5")
+        assert len(series) >= 3
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+
+    def test_detach(self):
+        tb = GridTestbed(seed=17)
+        gris = tb.standard_gris("s", "hn=s, o=Grid")
+        monitor = MonitoringService(tb.sim)
+        monitor.attach(tb.client("w", gris), "hn=s, o=Grid")
+        tb.run(5.0)
+        seen = monitor.updates_received
+        monitor.detach_all()
+        tb.run(100.0)
+        assert monitor.updates_received == seen
+
+
+class TestTroubleshooter:
+    def test_sustained_overload_needs_a_run(self):
+        sim = Simulator()
+        monitor = MonitoringService(sim)
+        ts = Troubleshooter(
+            sim, monitor, overload_threshold=4.0, overload_run=3
+        )
+        entry = Entry("perf=l, hn=x", objectclass="perf", perf="l", load5="9.0")
+        monitor.state[str(entry.dn)] = entry
+        assert ts.poll() == []  # 1st
+        assert ts.poll() == []  # 2nd
+        fresh = ts.poll()  # 3rd consecutive
+        assert len(fresh) == 1 and fresh[0].kind == "sustained-overload"
+        assert ts.poll() == []  # not re-reported
+
+    def test_spike_resets_run(self):
+        sim = Simulator()
+        monitor = MonitoringService(sim)
+        ts = Troubleshooter(sim, monitor, overload_threshold=4.0, overload_run=3)
+        hot = Entry("perf=l, hn=x", objectclass="perf", perf="l", load5="9.0")
+        cool = Entry("perf=l, hn=x", objectclass="perf", perf="l", load5="0.5")
+        monitor.state[str(hot.dn)] = hot
+        ts.poll()
+        ts.poll()
+        monitor.state[str(cool.dn)] = cool
+        ts.poll()  # run broken
+        monitor.state[str(hot.dn)] = hot
+        assert ts.poll() == []  # run restarted at 1
+
+    def test_extended_failure(self):
+        sim = Simulator()
+        monitor = MonitoringService(sim)
+        fd = FailureDetector(sim, timeout=10.0, check_interval=1.0)
+        ts = Troubleshooter(sim, monitor, detector=fd, failure_grace=30.0)
+        fd.heartbeat("ldap://gone:2135/")
+        fd.start()
+        sim.run_until(20.0)  # suspected at ~10-11s
+        assert ts.poll() == []  # not extended yet
+        sim.run_until(50.0)
+        fresh = ts.poll()
+        assert [d.kind for d in fresh] == ["extended-failure"]
+        assert fresh[0].subject == "ldap://gone:2135/"
+
+    def test_recovery_clears_failure(self):
+        sim = Simulator()
+        monitor = MonitoringService(sim)
+        fd = FailureDetector(sim, timeout=10.0, check_interval=1.0)
+        ts = Troubleshooter(sim, monitor, detector=fd, failure_grace=30.0)
+        fd.heartbeat("p")
+        fd.start()
+        sim.run_until(20.0)
+        # producer comes back and stays healthy (regular heartbeats)
+        for t in range(20, 101, 5):
+            fd.heartbeat("p")
+            sim.run_until(float(t))
+        assert ts.poll() == []
+
+    def test_flapping(self):
+        sim = Simulator()
+        monitor = MonitoringService(sim)
+        fd = FailureDetector(sim, timeout=5.0, check_interval=1.0)
+        ts = Troubleshooter(
+            sim, monitor, detector=fd, flap_window=1000.0, flap_count=4
+        )
+        fd.start()
+        # heartbeat, go silent past timeout, repeat -> flapping
+        for cycle in range(3):
+            fd.heartbeat("flappy")
+            sim.run_until(sim.now() + 20.0)
+        assert any(d.kind == "flapping" for d in ts.diagnoses)
+
+
+class TestAdaptationAgent:
+    def make(self, tb):
+        giis, grises = build_vo(tb, means=(0.2, 0.3, 0.4))
+        app = ManagedApplication("sim1", resource="m2")
+        broker = Superscheduler(tb.client("agent", giis), "o=Grid")
+        loads = {f"m{i}": 0.5 for i in range(3)}
+
+        agent = AdaptationAgent(
+            tb.sim,
+            app,
+            broker,
+            load_of=lambda host: loads.get(host),
+            overload=4.0,
+            patience=2,
+        )
+        return giis, grises, app, agent, loads
+
+    def test_no_action_when_calm(self):
+        tb = GridTestbed(seed=19)
+        _, _, app, agent, loads = self.make(tb)
+        assert agent.poll() is None
+        assert app.resource == "m2"
+
+    def test_migrates_after_patience(self):
+        tb = GridTestbed(seed=19)
+        _, _, app, agent, loads = self.make(tb)
+        loads["m2"] = 9.0  # current host overloaded
+        assert agent.poll() is None  # patience 1/2
+        action = agent.poll()
+        assert action is not None and action.kind == "migrate"
+        assert app.resource != "m2"
+        assert app.migrations == 1
+
+    def test_degrades_accuracy_when_no_alternative(self):
+        tb = GridTestbed(seed=19)
+        giis, grises, app, agent, loads = self.make(tb)
+        for g in grises:
+            # everyone busy: slam the regime so the directory view agrees
+            g.sensor.set_mean(9.0)
+            g.sensor.load1 = g.sensor.load5 = g.sensor.load15 = 9.0
+        for host in loads:
+            loads[host] = 9.0
+        agent.poll()
+        action = agent.poll()
+        assert action is not None and action.kind == "reduce-accuracy"
+        assert app.accuracy == 0.5
+
+    def test_restores_accuracy_on_recovery(self):
+        tb = GridTestbed(seed=19)
+        _, _, app, agent, loads = self.make(tb)
+        app.accuracy = 0.25
+        loads["m2"] = 0.2
+        action = agent.poll()
+        assert action.kind == "restore-accuracy"
+        assert app.accuracy == 0.5
+
+    def test_application_entry(self):
+        app = ManagedApplication("sim1", "m0", accuracy=0.5)
+        entry = app.to_entry()
+        assert entry.is_a("application")
+        assert entry.first("resource") == "m0"
+        provider = app.provider()
+        assert provider.provide()[0].first("appname") == "sim1"
+
+
+class TestNaming:
+    def test_unique_names(self):
+        authority = NamingAuthority("grid.org")
+        names = {authority.issue() for _ in range(100)}
+        assert len(names) == 100
+        assert all(n.startswith("grid.org/") for n in names)
+
+    def test_hierarchical_delegation(self):
+        root = NamingAuthority("grid.org")
+        vo = root.delegate("vo-a")
+        name = vo.issue("host")
+        assert name.startswith("grid.org/vo-a/")
+        assert root.delegate("vo-a") is vo  # idempotent
+
+    def test_claim_conflicts(self):
+        a = NamingAuthority("x")
+        assert a.claim("special")
+        assert not a.claim("special")
+
+    def test_delegate_collision(self):
+        a = NamingAuthority("x")
+        a.claim("taken")
+        with pytest.raises(ValueError):
+            a.delegate("taken")
+
+    def test_guid_uniqueness_and_format(self):
+        rng = random.Random(0)
+        ids = {guid(rng) for _ in range(1000)}
+        assert len(ids) == 1000
+        assert all(len(i) == 32 for i in ids)
+
+    def test_type_authority(self):
+        ta = TypeAuthority()
+        assert ta.register("computer", {"must": ["hn"]})
+        assert ta.register("Computer", {"must": ["hn"]})  # identical: ok
+        assert not ta.register("computer", {"must": ["cpu"]})  # conflict
+        assert ta.resolve("COMPUTER") == {"must": ["hn"]}
+        assert ta.resolve("nope") is None
+        assert ta.names() == ["computer"]
+
+
+class TestApplicationMonitoringDirectory:
+    """§3: 'another directory, intended to support application
+    monitoring, might keep track of running applications.'"""
+
+    def test_running_applications_tracked_through_vo(self):
+        tb = GridTestbed(seed=23)
+        giis = tb.add_giis("app-dir", "o=Grid", vo_name="AppVO")
+        app1 = ManagedApplication("climate-sim", resource="m0")
+        app2 = ManagedApplication("mc-generator", resource="m1")
+        gris = tb.add_gris(
+            "app-host", "o=Grid", [app1.provider(), app2.provider()]
+        )
+        tb.register(gris, giis, interval=15.0, ttl=45.0, name="apps")
+        tb.run(1.0)
+
+        client = tb.client("operator", giis)
+        out = client.search("o=Grid", filter="(objectclass=application)")
+        assert sorted(e.first("appname") for e in out) == [
+            "climate-sim",
+            "mc-generator",
+        ]
+
+    def test_application_state_changes_visible(self):
+        tb = GridTestbed(seed=23)
+        giis = tb.add_giis("app-dir", "o=Grid")
+        app = ManagedApplication("sim", resource="m0")
+        gris = tb.add_gris("app-host", "o=Grid", [app.provider()])
+        tb.register(gris, giis, interval=15.0, ttl=45.0)
+        tb.run(1.0)
+        client = tb.client("operator", giis)
+
+        app.progress = 0.5
+        app.migrate_to("m7")
+        out = client.search("o=Grid", filter="(appname=sim)")
+        e = out.entries[0]
+        assert e.first("resource") == "m7"
+        assert e.first("progress") == "0.50"
+
+    def test_finished_application_disappears_via_subscription(self):
+        tb = GridTestbed(seed=23)
+        app = ManagedApplication("sim", resource="m0")
+        provider = app.provider()
+        gris = tb.add_gris("app-host", "o=Grid", [provider])
+        changes = []
+        client = tb.client("watcher", gris)
+        from repro.ldap.backend import ChangeType
+        from repro.ldap.protocol import SearchRequest as SR
+        from repro.ldap.dit import Scope as Sc
+
+        client.subscribe(
+            SR(base="o=Grid", scope=Sc.SUBTREE),
+            lambda e, c: changes.append((e.first("appname"), c)),
+        )
+        tb.run(10.0)
+        gris.backend.remove_provider(provider.name)  # app terminated
+        tb.run(10.0)
+        assert ("sim", ChangeType.DELETE) in changes

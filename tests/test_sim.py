@@ -1,0 +1,184 @@
+"""Tests for the discrete-event engine and link models."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.links import LAN, WAN, LinkModel
+from repro.net.sim import SimulationError, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(3.0, lambda: order.append("c"))
+        sim.call_later(1.0, lambda: order.append("a"))
+        sim.call_later(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now() == 3.0
+
+    def test_fifo_among_equal_times(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.call_later(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(5.0, lambda: fired.append(1))
+        sim.run_until(3.0)
+        assert not fired and sim.now() == 3.0
+        sim.run_until(5.0)
+        assert fired and sim.now() == 5.0
+
+    def test_run_until_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(2.0, lambda: fired.append(1))
+        sim.run_until(2.0)
+        assert fired
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        sim.run_for(5.0)
+        assert sim.now() == 15.0
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        h = sim.call_later(1.0, lambda: fired.append(1))
+        h.cancel()
+        sim.run()
+        assert not fired
+        assert sim.pending() == 0
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        h = sim.call_later(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        sim.run()
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now()))
+            sim.call_later(1.0, lambda: seen.append(("inner", sim.now())))
+
+        sim.call_later(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_later(-1.0, lambda: None)
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def respawn():
+            sim.call_later(0.001, respawn)
+
+        sim.call_later(0.0, respawn)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run(max_events=100)
+
+    def test_determinism_same_seed(self):
+        def trace(seed):
+            sim = Simulator(seed=seed)
+            out = []
+
+            def tick():
+                out.append(round(sim.rng.random(), 9))
+                if len(out) < 20:
+                    sim.call_later(sim.rng.random(), tick)
+
+            sim.call_later(0.0, tick)
+            sim.run()
+            return out
+
+        assert trace(42) == trace(42)
+        assert trace(42) != trace(43)
+
+    def test_call_at(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(7.5, lambda: fired.append(sim.now()))
+        sim.run()
+        assert fired == [7.5]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=30))
+    def test_monotonic_time_property(self, delays):
+        sim = Simulator()
+        stamps = []
+        for d in delays:
+            sim.call_later(d, lambda: stamps.append(sim.now()))
+        sim.run()
+        assert stamps == sorted(stamps)
+        assert len(stamps) == len(delays)
+
+
+class TestLinkModel:
+    def test_zero_loss_always_delivers(self):
+        rng = random.Random(0)
+        link = LinkModel(loss=0.0)
+        assert all(link.delivers(rng) for _ in range(100))
+
+    def test_full_loss_never_delivers(self):
+        rng = random.Random(0)
+        link = LinkModel(loss=1.0)
+        assert not any(link.delivers(rng) for _ in range(100))
+
+    def test_loss_rate_statistics(self):
+        rng = random.Random(7)
+        link = LinkModel(loss=0.3)
+        delivered = sum(link.delivers(rng) for _ in range(10000))
+        assert 0.65 < delivered / 10000 < 0.75
+
+    def test_down_link(self):
+        link = LinkModel(up=False)
+        assert not link.delivers(random.Random(0))
+
+    def test_delay_includes_jitter(self):
+        rng = random.Random(0)
+        link = LinkModel(latency=1.0, jitter=0.5)
+        samples = [link.delay(rng) for _ in range(100)]
+        assert all(1.0 <= s <= 1.5 for s in samples)
+        assert max(samples) > min(samples)
+
+    def test_bandwidth_serialization_delay(self):
+        link = LinkModel(latency=0.0, bandwidth=1000.0)
+        assert link.delay(random.Random(0), nbytes=500) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(loss=1.5)
+        with pytest.raises(ValueError):
+            LinkModel(latency=-1)
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth=0)
+
+    def test_presets_sane(self):
+        assert WAN.latency > LAN.latency
+        assert WAN.loss > 0
+
+    def test_copy_independent(self):
+        a = LinkModel(loss=0.1)
+        b = a.copy()
+        b.up = False
+        assert a.up

@@ -1,0 +1,286 @@
+"""Tests for the simulated network: connections, datagrams, partitions."""
+
+import pytest
+
+from repro.net.links import LinkModel
+from repro.net.sim import Simulator
+from repro.net.simnet import SimNetwork
+from repro.net.transport import ConnectionClosed, TransportError
+
+
+def make_net(n=3, seed=0, link=None):
+    sim = Simulator(seed=seed)
+    net = SimNetwork(sim, default_link=link)
+    nodes = [net.add_node(f"h{i}") for i in range(n)]
+    return sim, net, nodes
+
+
+class TestConnections:
+    def test_echo_roundtrip(self):
+        sim, net, (a, b, _) = make_net()
+        received = []
+
+        def handler(conn):
+            conn.set_receiver(lambda m: conn.send(b"echo:" + m))
+
+        b.listen(389, handler)
+        conn = a.connect(("h1", 389))
+        conn.set_receiver(received.append)
+        conn.send(b"hello")
+        sim.run()
+        assert received == [b"echo:hello"]
+
+    def test_message_boundaries_preserved(self):
+        sim, net, (a, b, _) = make_net()
+        got = []
+        b.listen(1, lambda c: c.set_receiver(got.append))
+        conn = a.connect(("h1", 1))
+        conn.send(b"one")
+        conn.send(b"two")
+        sim.run()
+        assert got == [b"one", b"two"]
+
+    def test_fifo_despite_jitter(self):
+        link = LinkModel(latency=0.01, jitter=0.05)
+        sim, net, (a, b, _) = make_net(link=link, seed=3)
+        got = []
+        b.listen(1, lambda c: c.set_receiver(got.append))
+        conn = a.connect(("h1", 1))
+        msgs = [str(i).encode() for i in range(50)]
+        for m in msgs:
+            conn.send(m)
+        sim.run()
+        assert got == msgs
+
+    def test_lossy_link_still_reliable(self):
+        # Connections model loss as retransmission delay, not drops.
+        link = LinkModel(latency=0.01, loss=0.5)
+        sim, net, (a, b, _) = make_net(link=link, seed=5)
+        got = []
+        b.listen(1, lambda c: c.set_receiver(got.append))
+        conn = a.connect(("h1", 1))
+        for i in range(20):
+            conn.send(str(i).encode())
+        sim.run()
+        assert len(got) == 20
+
+    def test_receiver_installed_late_gets_backlog(self):
+        sim, net, (a, b, _) = make_net()
+        server_conns = []
+        b.listen(1, server_conns.append)
+        conn = a.connect(("h1", 1))
+        conn.send(b"early")
+        sim.run()
+        got = []
+        server_conns[0].set_receiver(got.append)
+        assert got == [b"early"]
+
+    def test_connect_no_listener(self):
+        sim, net, (a, b, _) = make_net()
+        with pytest.raises(ConnectionClosed):
+            a.connect(("h1", 999))
+
+    def test_connect_unknown_host(self):
+        sim, net, (a, *_rest) = make_net()
+        with pytest.raises(TransportError):
+            a.connect(("ghost", 1))
+
+    def test_send_after_close_raises(self):
+        sim, net, (a, b, _) = make_net()
+        b.listen(1, lambda c: None)
+        conn = a.connect(("h1", 1))
+        conn.close()
+        with pytest.raises(ConnectionClosed):
+            conn.send(b"x")
+
+    def test_peer_observes_close(self):
+        sim, net, (a, b, _) = make_net()
+        server_conns = []
+        b.listen(1, server_conns.append)
+        conn = a.connect(("h1", 1))
+        closed = []
+        server_conns[0].set_close_handler(lambda: closed.append(1))
+        conn.close()
+        sim.run()
+        assert closed == [1]
+        assert server_conns[0].closed
+
+    def test_duplicate_listen_rejected(self):
+        sim, net, (a, *_r) = make_net()
+        a.listen(1, lambda c: None)
+        with pytest.raises(TransportError):
+            a.listen(1, lambda c: None)
+
+    def test_traffic_stats(self):
+        sim, net, (a, b, _) = make_net()
+        b.listen(1, lambda c: None)
+        conn = a.connect(("h1", 1))
+        conn.send(b"12345")
+        sim.run()
+        assert net.stats.messages == 1
+        assert net.stats.bytes == 5
+
+
+class TestPartitions:
+    def test_partition_blocks_connect(self):
+        sim, net, (a, b, c) = make_net()
+        b.listen(1, lambda c_: None)
+        net.partition(["h0"], ["h1", "h2"])
+        with pytest.raises(ConnectionClosed):
+            a.connect(("h1", 1))
+
+    def test_partition_fails_existing_connection(self):
+        sim, net, (a, b, _) = make_net()
+        b.listen(1, lambda c_: None)
+        conn = a.connect(("h1", 1))
+        net.partition(["h0"], ["h1", "h2"])
+        with pytest.raises(ConnectionClosed):
+            conn.send(b"x")
+        assert conn.closed
+
+    def test_same_side_still_works(self):
+        sim, net, (a, b, c) = make_net()
+        got = []
+        c.listen(1, lambda conn: conn.set_receiver(got.append))
+        net.partition(["h0"], ["h1", "h2"])
+        conn = b.connect(("h2", 1))
+        conn.send(b"ok")
+        sim.run()
+        assert got == [b"ok"]
+
+    def test_heal_restores(self):
+        sim, net, (a, b, _) = make_net()
+        b.listen(1, lambda c_: None)
+        net.partition(["h0"], ["h1"])
+        net.heal()
+        a.connect(("h1", 1))  # no raise
+
+    def test_unlisted_hosts_form_implicit_group(self):
+        sim, net, nodes = make_net(4)
+        net.partition(["h0"])
+        assert net.path_usable("h1", "h2")
+        assert not net.path_usable("h0", "h3")
+
+    def test_host_in_two_groups_rejected(self):
+        sim, net, _ = make_net()
+        with pytest.raises(TransportError):
+            net.partition(["h0"], ["h0", "h1"])
+
+    def test_in_flight_message_dropped_on_partition(self):
+        link = LinkModel(latency=1.0)
+        sim, net, (a, b, _) = make_net(link=link)
+        got = []
+        b.listen(1, lambda c: c.set_receiver(got.append))
+        conn = a.connect(("h1", 1))
+        conn.send(b"doomed")
+        net.partition(["h0"], ["h1"])
+        sim.run()
+        assert got == []
+
+
+class TestCrashes:
+    def test_crashed_node_unreachable(self):
+        sim, net, (a, b, _) = make_net()
+        b.listen(1, lambda c_: None)
+        b.crash()
+        with pytest.raises(ConnectionClosed):
+            a.connect(("h1", 1))
+
+    def test_recover(self):
+        sim, net, (a, b, _) = make_net()
+        b.listen(1, lambda c_: None)
+        b.crash()
+        b.recover()
+        a.connect(("h1", 1))
+
+
+class TestDatagrams:
+    def test_delivery(self):
+        sim, net, (a, b, _) = make_net()
+        got = []
+        b.on_datagram(500, lambda src, p: got.append((src[0], p)))
+        a.send_datagram(("h1", 500), b"ping")
+        sim.run()
+        assert got == [("h0", b"ping")]
+
+    def test_loss_drops_silently(self):
+        link = LinkModel(latency=0.001, loss=1.0)
+        sim, net, (a, b, _) = make_net(link=link)
+        got = []
+        b.on_datagram(500, lambda src, p: got.append(p))
+        for _ in range(10):
+            a.send_datagram(("h1", 500), b"x")
+        sim.run()
+        assert got == []
+        assert net.stats.datagrams_lost == 10
+
+    def test_partition_drops(self):
+        sim, net, (a, b, _) = make_net()
+        got = []
+        b.on_datagram(500, lambda src, p: got.append(p))
+        net.partition(["h0"], ["h1"])
+        a.send_datagram(("h1", 500), b"x")
+        sim.run()
+        assert got == []
+
+    def test_no_handler_is_noop(self):
+        sim, net, (a, b, _) = make_net()
+        a.send_datagram(("h1", 500), b"x")
+        sim.run()  # nothing raised
+
+    def test_statistical_loss(self):
+        link = LinkModel(latency=0.001, loss=0.25)
+        sim, net, (a, b, _) = make_net(link=link, seed=11)
+        got = []
+        b.on_datagram(500, lambda src, p: got.append(p))
+        for _ in range(2000):
+            a.send_datagram(("h1", 500), b"x")
+        sim.run()
+        assert 0.70 < len(got) / 2000 < 0.80
+
+
+class TestMulticast:
+    def make_sites(self):
+        sim = Simulator(seed=0)
+        net = SimNetwork(sim)
+        a1 = net.add_node("a1", site="A")
+        a2 = net.add_node("a2", site="A")
+        b1 = net.add_node("b1", site="B")
+        return sim, net, a1, a2, b1
+
+    def test_site_scope_limits_reach(self):
+        sim, net, a1, a2, b1 = self.make_sites()
+        got = {"a2": [], "b1": []}
+        a2.join_multicast("slp", 427, lambda s, p: got["a2"].append(p))
+        b1.join_multicast("slp", 427, lambda s, p: got["b1"].append(p))
+        n = a1.send_multicast("slp", 427, b"find", scope="site")
+        sim.run()
+        assert n == 1
+        assert got["a2"] == [b"find"]
+        assert got["b1"] == []  # cross-site: out of multicast scope
+
+    def test_global_scope_reaches_all(self):
+        sim, net, a1, a2, b1 = self.make_sites()
+        got = []
+        a2.join_multicast("g", 1, lambda s, p: got.append("a2"))
+        b1.join_multicast("g", 1, lambda s, p: got.append("b1"))
+        a1.send_multicast("g", 1, b"x", scope="global")
+        sim.run()
+        assert sorted(got) == ["a2", "b1"]
+
+    def test_sender_not_delivered_to_self(self):
+        sim, net, a1, a2, b1 = self.make_sites()
+        got = []
+        a1.join_multicast("g", 1, lambda s, p: got.append(p))
+        a1.send_multicast("g", 1, b"x")
+        sim.run()
+        assert got == []
+
+    def test_leave_multicast(self):
+        sim, net, a1, a2, b1 = self.make_sites()
+        got = []
+        a2.join_multicast("g", 1, lambda s, p: got.append(p))
+        a2.leave_multicast("g", 1)
+        a1.send_multicast("g", 1, b"x")
+        sim.run()
+        assert got == []

@@ -1,0 +1,302 @@
+"""Tests for the specialized aggregate directories (§5.2, §5.3)."""
+
+import pytest
+
+from repro.giis import (
+    ClassAd,
+    GiisBackend,
+    MatchmakerDirectory,
+    NameService,
+    RelationalDirectory,
+    Table,
+    UNDEFINED,
+    evaluate,
+    match,
+)
+from repro.giis.matchmaker import AdError
+from repro.gris import FunctionProvider, NetworkPairsProvider, SeriesStore
+from repro.ldap.dn import DN
+from repro.ldap.entry import Entry
+from repro.net.sim import Simulator
+from repro.testbed import GridTestbed
+
+
+class TestTable:
+    def rows(self):
+        return Table(
+            "t",
+            [
+                {"hn": "a", "load5": "0.5", "cpucount": "4"},
+                {"hn": "b", "load5": "2.5", "cpucount": "8"},
+                {"hn": "c", "load5": "10", "cpucount": "2"},
+            ],
+        )
+
+    def test_where(self):
+        assert self.rows().where(hn="b").column("cpucount") == ["8"]
+
+    def test_where_num(self):
+        t = self.rows().where_num("load5", "<=", 2.5)
+        assert t.column("hn") == ["a", "b"]
+
+    def test_where_num_ignores_non_numeric(self):
+        t = Table("t", [{"x": "notanumber"}]).where_num("x", ">", 0)
+        assert len(t) == 0
+
+    def test_where_num_bad_op(self):
+        with pytest.raises(ValueError):
+            self.rows().where_num("load5", "~", 1)
+
+    def test_project(self):
+        t = self.rows().project(["hn"])
+        assert t.rows[0] == {"hn": "a"}
+
+    def test_order_by_numeric(self):
+        t = self.rows().order_by("load5")
+        assert t.column("hn") == ["a", "b", "c"]  # 0.5 < 2.5 < 10 numerically
+
+    def test_join(self):
+        left = Table("computer", [{"hn": "a", "cpu": "4"}, {"hn": "b", "cpu": "2"}])
+        right = Table("link", [{"src": "a", "bw": "90"}, {"src": "a", "bw": "10"}])
+        joined = left.join(right, on=[("hn", "src")])
+        assert len(joined) == 2
+        assert all(r["hn"] == "a" for r in joined)
+        assert {r["link.bw"] for r in joined} == {"90", "10"}
+
+    def test_join_requires_columns(self):
+        with pytest.raises(ValueError):
+            self.rows().join(self.rows(), on=[])
+
+    def test_distinct(self):
+        t = Table("t", [{"a": "1"}, {"a": "1"}, {"a": "2"}])
+        assert len(t.distinct()) == 2
+
+
+def deploy_relational(tb, index, n=3):
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO")
+    giis.backend.add_index(index)
+    rng_bw = [120.0, 30.0, 80.0]
+    for i in range(n):
+        host = f"r{i}"
+        gris = tb.standard_gris(host, f"hn={host}, o=Grid", load_mean=0.2 + i * 1.5)
+        # add a network link provider: host i has bandwidth rng_bw[i] to the hub
+        store = SeriesStore(probe=lambda s, v=rng_bw[i % 3]: v, min_samples=1)
+        store.observe(f"bw:{host}->hub", rng_bw[i % 3])
+        gris.backend.add_provider(
+            FunctionProvider(
+                f"links-{host}",
+                lambda host=host, bw=rng_bw[i % 3]: [
+                    Entry(
+                        DN.parse(f"link={host}:hub, nw=links"),
+                        objectclass="networklink",
+                        src=host,
+                        dst="hub",
+                        bandwidth=f"{bw:.1f}",
+                    )
+                ],
+            )
+        )
+        tb.register(gris, giis, interval=20.0, ttl=60.0, name=host)
+    tb.run(5.0)  # registrations + follow-up pulls complete
+    return giis
+
+
+class TestRelationalDirectory:
+    def test_pull_on_registration(self):
+        tb = GridTestbed(seed=5)
+        index = RelationalDirectory()
+        deploy_relational(tb, index)
+        assert index.pulls == 3
+        assert "computer" in index.tables()
+        assert len(index.table("computer")) == 3
+        assert len(index.table("loadaverage")) == 3
+
+    def test_rows_carry_provenance(self):
+        tb = GridTestbed(seed=5)
+        index = RelationalDirectory()
+        deploy_relational(tb, index)
+        row = index.table("computer").where(hn="r0").rows[0]
+        assert row["provider"] == "ldap://r0:2135/"
+        assert row["dn"] == "hn=r0, o=Grid"
+
+    def test_eviction_on_expiry(self):
+        tb = GridTestbed(seed=5)
+        index = RelationalDirectory()
+        giis = deploy_relational(tb, index)
+        # stop r1's registrations; wait past ttl
+        for key, dep in tb.deployments.items():
+            if dep.host == "r1":
+                dep.stop_registrations()
+        tb.run(120.0)
+        assert len(index.table("computer")) == 2
+        assert "r1" not in index.table("computer").column("hn")
+
+    def test_paper_join_idle_computer_idle_network(self):
+        """§5.3: 'find me an idle computer that is connected to an idle
+        network' — load_mean makes r0 idle; bandwidth makes r0 well-connected."""
+        tb = GridTestbed(seed=5)
+        index = RelationalDirectory()
+        deploy_relational(tb, index)
+        result = index.idle_computers_on_idle_networks(
+            max_load=1.0, min_bandwidth=100.0
+        )
+        hosts = set(result.column("hn"))
+        assert hosts == {"r0"}  # r1/r2 too loaded; r1's net too slow anyway
+
+    def test_refresh_updates_rows(self):
+        tb = GridTestbed(seed=5)
+        index = RelationalDirectory()
+        giis = deploy_relational(tb, index)
+        before = index.table("loadaverage").column("load5")
+        tb.run(60.0)  # load drifts; cache TTLs expire
+        index.refresh_all()
+        tb.run(5.0)
+        after = index.table("loadaverage").column("load5")
+        assert before != after
+
+    def test_periodic_refresh(self):
+        tb = GridTestbed(seed=6)
+        index = RelationalDirectory(refresh_interval=30.0)
+        deploy_relational(tb, index, n=1)
+        pulls_initial = index.pulls
+        tb.run(100.0)
+        assert index.pulls >= pulls_initial + 3
+
+
+class TestClassAdLanguage:
+    def test_literals_and_arith(self):
+        ad = ClassAd()
+        assert evaluate("1 + 2 * 3", ad) == 7.0
+        assert evaluate("(1 + 2) * 3", ad) == 9.0
+        assert evaluate("10 / 4", ad) == 2.5
+        assert evaluate("7 % 3", ad) == 1.0
+        assert evaluate("-2 + 5", ad) == 3.0
+
+    def test_division_by_zero_is_undefined(self):
+        assert isinstance(evaluate("1 / 0", ClassAd()), type(UNDEFINED))
+
+    def test_comparisons(self):
+        ad = ClassAd({"mem": 512})
+        assert evaluate("mem >= 256", ad) is True
+        assert evaluate("mem < 256", ad) is False
+
+    def test_string_comparison_case_insensitive(self):
+        ad = ClassAd({"arch": "INTEL"})
+        assert evaluate('arch == "intel"', ad) is True
+
+    def test_my_target_scopes(self):
+        job = ClassAd({"imagesize": 100})
+        machine = ClassAd({"memory": 512})
+        assert evaluate("my.imagesize <= target.memory", job, machine) is True
+        assert evaluate("target.memory - my.imagesize", job, machine) == 412.0
+
+    def test_undefined_propagates(self):
+        ad = ClassAd()
+        result = evaluate("nosuch >= 5", ad)
+        assert isinstance(result, type(UNDEFINED))
+
+    def test_undefined_requirement_fails_match(self):
+        job = ClassAd(requirements="target.gpu == true")
+        machine = ClassAd({"memory": 512})  # no gpu attribute
+        assert not job.requirements_met(machine)
+
+    def test_boolean_shortcuts(self):
+        ad = ClassAd({"a": 1})
+        assert evaluate("a == 1 || nosuch > 5", ad) is True
+        assert evaluate("a == 2 && nosuch > 5", ad) is False
+
+    def test_not(self):
+        ad = ClassAd({"busy": False})
+        assert evaluate("!busy", ad) is True
+
+    def test_numeric_strings_coerced(self):
+        # LDAP values are strings; "3.2" must compare numerically.
+        ad = ClassAd({"load5": "3.2"})
+        assert evaluate("load5 < 10", ad) is True
+
+    def test_parse_errors(self):
+        with pytest.raises(AdError):
+            evaluate("1 +", ClassAd())
+        with pytest.raises(AdError):
+            evaluate("(1", ClassAd())
+        with pytest.raises(AdError):
+            evaluate("@#$", ClassAd())
+
+    def test_symmetric_match_and_rank(self):
+        job = ClassAd(
+            {"owner": "ian"},
+            requirements="target.cpucount >= 2 && target.load5 <= 1.0",
+            rank="target.cpucount",
+        )
+        machines = [
+            ClassAd({"cpucount": 4, "load5": 0.5}, name="m4"),
+            ClassAd({"cpucount": 8, "load5": 0.2}, name="m8"),
+            ClassAd({"cpucount": 8, "load5": 5.0}, name="busy"),
+            ClassAd(
+                {"cpucount": 16, "load5": 0.1},
+                requirements='target.owner == "karl"',
+                name="picky",
+            ),
+        ]
+        ranked = match(job, machines)
+        assert [m.name for m, _ in ranked] == ["m8", "m4"]  # picky refused us
+        assert ranked[0][1] == 8.0
+
+
+class TestMatchmakerDirectory:
+    def test_ads_built_from_pulled_entries(self):
+        tb = GridTestbed(seed=7)
+        index = MatchmakerDirectory()
+        giis = tb.add_giis("giis", "o=Grid")
+        giis.backend.add_index(index)
+        for i, mean in enumerate([0.1, 3.0]):
+            gris = tb.standard_gris(f"m{i}", f"hn=m{i}, o=Grid", load_mean=mean, cpu_count=4)
+            tb.register(gris, giis, name=f"m{i}")
+        tb.run(5.0)
+        ads = index.machine_ads()
+        assert len(ads) == 2
+        # load5 folded into the host ad from the loadaverage child entry
+        assert all(not isinstance(ad.value("load5"), type(UNDEFINED)) for ad in ads)
+
+    def test_match_prefers_idle_machine(self):
+        tb = GridTestbed(seed=7)
+        index = MatchmakerDirectory()
+        giis = tb.add_giis("giis", "o=Grid")
+        giis.backend.add_index(index)
+        for i, mean in enumerate([0.05, 4.0]):
+            gris = tb.standard_gris(f"m{i}", f"hn=m{i}, o=Grid", load_mean=mean)
+            tb.register(gris, giis, name=f"m{i}")
+        tb.run(5.0)
+        job = ClassAd(
+            requirements="target.cpucount >= 1",
+            rank="0 - target.load5",  # prefer lowest load
+        )
+        ranked = index.match(job)
+        assert len(ranked) == 2
+        assert ranked[0][0].value("hn") == "m0"
+
+
+class TestNameService:
+    def test_resolution(self):
+        sim = Simulator()
+        ns = NameService("o=Grid", sim, vo_name="VO")
+        from tests.test_giis import reg_msg
+
+        ns.backend.apply_grrp(reg_msg(url="ldap://r0:2135/", name="r0"))
+        ns.backend.apply_grrp(reg_msg(url="ldap://r1:2135/", name="r1"))
+        assert ns.names() == ["r0", "r1"]
+        assert "r0" in ns
+        url = ns.resolve("r0")
+        assert url.host == "r0" and url.port == 2135
+        assert ns.resolve("nope") is None
+        assert len(ns) == 2
+
+    def test_expiry_removes_names(self):
+        sim = Simulator()
+        ns = NameService("o=Grid", sim)
+        from tests.test_giis import reg_msg
+
+        ns.backend.apply_grrp(reg_msg(url="ldap://r0:2135/", name="r0", ttl=30.0))
+        sim.run_until(31.0)
+        ns.backend.registry.sweep()
+        assert "r0" not in ns

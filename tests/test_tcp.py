@@ -1,0 +1,121 @@
+"""Integration tests for the real TCP/UDP transport."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net.tcp import TcpEndpoint
+from repro.net.transport import ConnectionClosed
+
+
+@pytest.fixture
+def endpoint():
+    ep = TcpEndpoint()
+    yield ep
+    ep.close()
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestTcp:
+    def test_echo(self, endpoint):
+        def handler(conn):
+            conn.set_receiver(lambda m: conn.send(b"echo:" + m))
+
+        port = endpoint.listen(0, handler)
+        conn = endpoint.connect(("127.0.0.1", port))
+        got = []
+        conn.set_receiver(got.append)
+        conn.send(b"hi")
+        assert wait_for(lambda: got == [b"echo:hi"])
+        conn.close()
+
+    def test_framing_preserves_boundaries(self, endpoint):
+        got = []
+        port = endpoint.listen(0, lambda c: c.set_receiver(got.append))
+        conn = endpoint.connect(("127.0.0.1", port))
+        msgs = [bytes([i]) * (i * 100 + 1) for i in range(20)]
+        for m in msgs:
+            conn.send(m)
+        assert wait_for(lambda: len(got) == 20)
+        assert got == msgs
+        conn.close()
+
+    def test_large_frame(self, endpoint):
+        got = []
+        port = endpoint.listen(0, lambda c: c.set_receiver(got.append))
+        conn = endpoint.connect(("127.0.0.1", port))
+        big = b"x" * (2 * 1024 * 1024)
+        conn.send(big)
+        assert wait_for(lambda: got and len(got[0]) == len(big))
+        conn.close()
+
+    def test_connect_refused(self, endpoint):
+        with pytest.raises(ConnectionClosed):
+            endpoint.connect(("127.0.0.1", 1))  # nothing listens there
+
+    def test_close_propagates(self, endpoint):
+        server_conns = []
+        port = endpoint.listen(0, server_conns.append)
+        conn = endpoint.connect(("127.0.0.1", port))
+        assert wait_for(lambda: bool(server_conns))
+        closed = threading.Event()
+        server_conns[0].set_close_handler(closed.set)
+        conn.close()
+        assert closed.wait(5.0)
+
+    def test_send_after_close(self, endpoint):
+        port = endpoint.listen(0, lambda c: None)
+        conn = endpoint.connect(("127.0.0.1", port))
+        conn.close()
+        with pytest.raises(ConnectionClosed):
+            conn.send(b"x")
+
+    def test_backlog_before_receiver(self, endpoint):
+        server_conns = []
+        port = endpoint.listen(0, server_conns.append)
+        conn = endpoint.connect(("127.0.0.1", port))
+        conn.send(b"early")
+        assert wait_for(lambda: bool(server_conns))
+        time.sleep(0.05)  # let the frame arrive before installing receiver
+        got = []
+        server_conns[0].set_receiver(got.append)
+        assert wait_for(lambda: got == [b"early"])
+        conn.close()
+
+    def test_many_concurrent_connections(self, endpoint):
+        def handler(conn):
+            conn.set_receiver(lambda m: conn.send(m.upper()))
+
+        port = endpoint.listen(0, handler)
+        results = {}
+
+        def client(i):
+            c = endpoint.connect(("127.0.0.1", port))
+            got = []
+            c.set_receiver(got.append)
+            c.send(f"msg{i}".encode())
+            wait_for(lambda: got)
+            results[i] = got[0] if got else None
+            c.close()
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert all(results[i] == f"MSG{i}".upper().encode() for i in range(10))
+
+    def test_udp_datagrams(self, endpoint):
+        got = []
+        port = endpoint.on_datagram(0, lambda src, p: got.append(p))
+        endpoint.send_datagram(("127.0.0.1", port), b"ping")
+        assert wait_for(lambda: got == [b"ping"])

@@ -1,0 +1,209 @@
+"""Tests for the testbed: metrics, workloads, deployment helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.net.sim import Simulator
+from repro.testbed import (
+    ChurnProcess,
+    GridTestbed,
+    LatencyTimer,
+    QueryMix,
+    Series,
+    StalenessProbe,
+    fmt_table,
+    poisson_arrivals,
+)
+from repro.ldap.entry import Entry
+
+
+class TestSeries:
+    def test_stats(self):
+        s = Series("x")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            s.add(v)
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+        assert s.percentile(0) == 1.0
+        assert s.percentile(100) == 4.0
+        assert abs(s.stddev - 1.2909944) < 1e-6
+
+    def test_empty(self):
+        s = Series()
+        assert math.isnan(s.mean)
+        assert math.isnan(s.median)
+        assert s.stddev == 0.0
+
+    def test_single(self):
+        s = Series()
+        s.add(5.0)
+        assert s.mean == s.median == 5.0
+        assert s.stddev == 0.0
+
+    def test_percentile_interpolates(self):
+        s = Series(values=[0.0, 10.0])
+        assert s.percentile(50) == 5.0
+
+
+class TestLatencyTimer:
+    def test_measures_virtual_time(self):
+        sim = Simulator()
+        timer = LatencyTimer(sim)
+        with timer:
+            sim.run_until(3.5)
+        assert timer.series.values == [3.5]
+
+    def test_multiple_measurements(self):
+        sim = Simulator()
+        timer = LatencyTimer(sim)
+        for d in (1.0, 2.0):
+            with timer:
+                sim.run_for(d)
+        assert timer.series.values == [1.0, 2.0]
+
+
+class TestStalenessProbe:
+    def test_observes_stamped_entries(self):
+        sim = Simulator()
+        sim.run_until(100.0)
+        probe = StalenessProbe(sim)
+        e = Entry("cn=x", cn="x").stamp(now=90.0)
+        assert probe.observe_entry(e) == pytest.approx(10.0)
+
+    def test_unstamped_ignored(self):
+        probe = StalenessProbe(Simulator())
+        assert probe.observe_entry(Entry("cn=x", cn="x")) is None
+        assert probe.series.count == 0
+
+    def test_batch(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        probe = StalenessProbe(sim)
+        probe.observe_entries([Entry("cn=a", cn="a").stamp(now=5.0)] * 3)
+        assert probe.series.count == 3
+
+
+class TestFmtTable:
+    def test_alignment_and_floats(self):
+        text = fmt_table(["name", "value"], [("a", 1.23456), ("bb", 10)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in text  # 4 significant digits
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_wide_cells_grow_columns(self):
+        text = fmt_table(["h"], [("a-very-long-cell",)])
+        assert "a-very-long-cell" in text
+
+
+class TestQueryMix:
+    def test_deterministic_with_seed(self):
+        def queries(seed):
+            mix = QueryMix(random.Random(seed), ["a", "b", "c"], base="o=G")
+            return [str(mix.next_query().filter) for _ in range(20)]
+
+        assert queries(5) == queries(5)
+        assert queries(5) != queries(6)
+
+    def test_query_kinds(self):
+        mix = QueryMix(random.Random(0), ["h1"], base="o=G")
+        assert "(hn=h1)" == str(mix.lookup().filter)
+        assert "objectclass" in str(mix.inventory().filter)
+        broker = str(mix.broker_query().filter)
+        assert "cpucount" in broker or "load5" in broker
+
+    def test_base_propagates(self):
+        mix = QueryMix(random.Random(0), ["h1"], base="o=VO1")
+        assert mix.next_query().base == "o=VO1"
+
+
+class TestPoissonArrivals:
+    def test_rate_approximately_honored(self):
+        sim = Simulator(seed=3)
+        count = {"n": 0}
+        poisson_arrivals(
+            sim, rate=2.0, action=lambda: count.__setitem__("n", count["n"] + 1),
+            rng=random.Random(3), until=500.0
+        )
+        sim.run_until(500.0)
+        assert 800 < count["n"] < 1200  # ~1000 expected
+
+    def test_stop(self):
+        sim = Simulator(seed=3)
+        count = {"n": 0}
+        stop = poisson_arrivals(
+            sim, rate=10.0, action=lambda: count.__setitem__("n", count["n"] + 1),
+            rng=random.Random(3)
+        )
+        sim.run_until(10.0)
+        seen = count["n"]
+        stop()
+        sim.run_until(100.0)
+        assert count["n"] == seen
+
+
+class TestChurn:
+    def test_joins_and_leaves_happen(self):
+        tb = GridTestbed(seed=8)
+        giis = tb.add_giis("giis", "o=Grid")
+        pairs = []
+        for i in range(4):
+            gris = tb.standard_gris(f"c{i}", f"hn=c{i}, o=Grid")
+            registrant = tb.register(gris, giis, interval=10.0, ttl=30.0)
+            pairs.append((registrant, str(giis.url)))
+        churn = ChurnProcess(
+            tb.sim, pairs, random.Random(8), interval=10.0
+        )
+        churn.start()
+        tb.run(500.0)
+        churn.stop()
+        assert churn.joins > 0 and churn.leaves > 0
+        # registry reflects only currently-registered providers (+ ttl lag)
+        registered_now = sum(
+            1 for r, d in pairs if d in r.directories()
+        )
+        assert 0 <= len(giis.backend.registry) <= 4
+
+
+class TestDeploymentHelpers:
+    def test_duplicate_giis_port_rejected(self):
+        tb = GridTestbed(seed=1)
+        tb.add_giis("g", "o=A")
+        with pytest.raises(Exception):
+            tb.add_giis("g", "o=B")
+
+    def test_host_reuse_returns_same_node(self):
+        tb = GridTestbed(seed=1)
+        a = tb.host("x", site="s1")
+        b = tb.host("x")
+        assert a is b and a.site == "s1"
+
+    def test_register_unknown_transport(self):
+        tb = GridTestbed(seed=1)
+        giis = tb.add_giis("g", "o=A")
+        gris = tb.standard_gris("r", "hn=r, o=A")
+        with pytest.raises(ValueError):
+            tb.register(gris, giis, transport="carrier-pigeon")
+
+    def test_datagram_transport_registers(self):
+        tb = GridTestbed(seed=1)
+        giis = tb.add_giis("g", "o=A")
+        gris = tb.standard_gris("r", "hn=r, o=A")
+        tb.register(gris, giis, transport="datagram", interval=10.0, ttl=30.0)
+        tb.run(1.0)
+        assert len(giis.backend.registry) == 1
+
+    def test_stop_registrations(self):
+        tb = GridTestbed(seed=1)
+        giis = tb.add_giis("g", "o=A")
+        gris = tb.standard_gris("r", "hn=r, o=A")
+        tb.register(gris, giis, interval=5.0, ttl=15.0)
+        tb.run(1.0)
+        gris.stop_registrations()
+        tb.run(60.0)
+        assert len(giis.backend.registry) == 0
