@@ -159,3 +159,50 @@ def test_report_throughput(tcp_stack, benchmark, report):
         f"{server.stats.entries_returned} entries returned)",
     )
     assert qps > 100  # sanity: the engine is not pathologically slow
+
+
+def test_report_server_latency_histogram(benchmark, report):
+    """Server-side per-operation latency via the metrics snapshot API.
+
+    Drives a metrics-instrumented stack (the same wiring as
+    ``grid-info-server --monitor``) and reads the registry snapshot —
+    the data a cn=monitor GRIP search would return — instead of timing
+    from the client, separating engine latency from client overhead.
+    """
+    from repro.obs import MetricsRegistry, MonitorBackend, MonitoredBackend
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    metrics = MetricsRegistry()
+    endpoint = TcpEndpoint(metrics=metrics)
+    backend = MonitoredBackend(
+        DitBackend(seed_dit()), MonitorBackend(metrics, server_name="bench")
+    )
+    server = LdapServer(backend, metrics=metrics)
+    port = endpoint.listen(0, server.handle_connection)
+    client = LdapClient(endpoint.connect(("127.0.0.1", port)))
+    try:
+        for i in range(300):
+            client.search(
+                f"hn=host{i % 100:03d}, o=Grid", Scope.BASE, "(objectclass=*)"
+            )
+        snap = metrics.snapshot()
+        hist = snap["ldap.request.seconds{op=search}"]
+        frames = snap["tcp.frames.received"]["value"]
+        # The same numbers, over the wire as cn=monitor entries:
+        mon = client.search(
+            "cn=monitor", Scope.SUBTREE, "(mdsmetrictype=histogram)"
+        )
+        assert any(
+            e.first("mdsmetric") == "ldap.request.seconds" for e in mon.entries
+        )
+        report(
+            "E12_server_latency",
+            f"server-side search latency over {hist['count']} requests:\n"
+            f"  mean {hist['mean'] * 1e6:.0f}us  p50 <= {hist['p50'] * 1e6:.0f}us  "
+            f"p95 <= {hist['p95'] * 1e6:.0f}us  p99 <= {hist['p99'] * 1e6:.0f}us\n"
+            f"  max {hist['max'] * 1e6:.0f}us  tcp frames in: {frames:.0f}",
+        )
+        assert hist["count"] >= 300
+    finally:
+        client.unbind()
+        endpoint.close()

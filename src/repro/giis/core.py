@@ -47,8 +47,15 @@ from ..ldap.protocol import AddRequest, LdapResult, ResultCode, SearchRequest
 from ..ldap.url import LdapUrl
 from ..net.clock import Clock
 from ..net.transport import Connection, ConnectionClosed, TransportError
+from ..obs.metrics import MetricsRegistry
 
-__all__ = ["GiisIndex", "GiisBackend", "Connector", "CHAIN_DEPTH_OID"]
+__all__ = [
+    "GiisIndex",
+    "GiisBackend",
+    "Connector",
+    "CHAIN_DEPTH_OID",
+    "MALFORMED_CHAIN_DEPTH",
+]
 
 # Dial a provider by its service URL; raises ConnectionClosed on failure.
 Connector = Callable[[LdapUrl], Connection]
@@ -58,6 +65,12 @@ Connector = Callable[[LdapUrl], Connection]
 # instead of recursing until every timeout fires.
 CHAIN_DEPTH_OID = "1.3.6.1.4.1.57264.1.1"
 
+# Depth reported for an unparseable depth control.  Malformed controls
+# must fail *closed* (as if already at the limit): treating them as a
+# fresh query would let every hop around a cycle reset the count to
+# zero, recursing forever on any peer that garbles the control.
+MALFORMED_CHAIN_DEPTH = 1 << 30
+
 
 def _read_chain_depth(controls) -> int:
     from ..ldap import ber
@@ -66,8 +79,8 @@ def _read_chain_depth(controls) -> int:
         if getattr(control, "oid", None) == CHAIN_DEPTH_OID:
             try:
                 return ber.decode_integer(ber.decode_tlv(control.value)[1])
-            except Exception:  # noqa: BLE001 - malformed: treat as fresh
-                return 0
+            except Exception:  # noqa: BLE001
+                return MALFORMED_CHAIN_DEPTH
     return 0
 
 
@@ -123,6 +136,7 @@ class GiisBackend(Backend):
         vo_name: str = "",
         credential=None,
         max_chain_depth: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if mode not in ("chain", "referral"):
             raise ValueError(f"unknown GIIS mode {mode!r}")
@@ -140,7 +154,19 @@ class GiisBackend(Backend):
         # connection is opened with a GSI bind as this credential.
         self.credential = credential
         self.max_chain_depth = max_chain_depth
-        self.stats_depth_limited = 0
+        # Chaining fan-out instrumentation; the stats_* names below are
+        # kept as read-only compatibility views over these counters.
+        self.metrics = metrics or MetricsRegistry()
+        self._chained = self.metrics.counter("giis.chained")
+        self._child_errors = self.metrics.counter("giis.child.errors")
+        self._child_timeouts = self.metrics.counter("giis.child.timeouts")
+        self._depth_limited = self.metrics.counter("giis.depth_limited")
+        self._qcache_hits = self.metrics.counter("giis.query_cache.hits")
+        self._qcache_misses = self.metrics.counter("giis.query_cache.misses")
+        self._child_latency = self.metrics.histogram("giis.child.seconds")
+        self._fanout = self.metrics.histogram(
+            "giis.fanout", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+        )
         self.registry = SoftStateRegistry(
             clock,
             grace=registration_grace,
@@ -149,16 +175,35 @@ class GiisBackend(Backend):
             on_expire=self._fan_expire,
             on_unregister=self._fan_unregister,
             accept=accept,
+            metrics=self.metrics,
         )
         self.indexes: List[GiisIndex] = []
         self._clients: Dict[str, LdapClient] = {}
         self._query_cache: Dict[Tuple, _QueryCacheSlot] = {}
         self._subs: Dict[int, Tuple[SearchRequest, int, ChangeCallback]] = {}
         self._next_sub = 0
-        self.stats_chained = 0
-        self.stats_child_errors = 0
-        self.stats_child_timeouts = 0
-        self.stats_cache_hits = 0
+
+    # Compatibility views over the registry-backed counters.
+
+    @property
+    def stats_chained(self) -> int:
+        return int(self._chained.value)
+
+    @property
+    def stats_child_errors(self) -> int:
+        return int(self._child_errors.value)
+
+    @property
+    def stats_child_timeouts(self) -> int:
+        return int(self._child_timeouts.value)
+
+    @property
+    def stats_cache_hits(self) -> int:
+        return int(self._qcache_hits.value)
+
+    @property
+    def stats_depth_limited(self) -> int:
+        return int(self._depth_limited.value)
 
     # -- index plumbing --------------------------------------------------------
 
@@ -301,6 +346,7 @@ class GiisBackend(Backend):
             )
             return
 
+        trace = getattr(ctx, "trace", None)
         cache_key = None
         if self.cache_ttl > 0:
             cache_key = (str(base).lower(), int(req.scope), str(req.filter))
@@ -309,9 +355,12 @@ class GiisBackend(Backend):
                 slot is not None
                 and self.clock.now() - slot.created_at <= self.cache_ttl
             ):
-                self.stats_cache_hits += 1
+                self._qcache_hits.inc()
+                if trace is not None:
+                    trace.child("giis.cache", hit=True).finish()
                 done(_copy_outcome(slot.outcome))
                 return
+            self._qcache_misses.inc()
 
         targets = self._targets(req)
         local = self._local_outcome(req)
@@ -327,7 +376,7 @@ class GiisBackend(Backend):
         if depth >= self.max_chain_depth:
             # Cycle or pathological hierarchy: answer with the local
             # view instead of recursing (partial results, §2.2).
-            self.stats_depth_limited += 1
+            self._depth_limited.inc()
             done(local)
             return
 
@@ -335,9 +384,17 @@ class GiisBackend(Backend):
             done(local)
             return
 
-        collector = _Collector(self, req, local, len(targets), done, cache_key)
+        self._fanout.observe(len(targets))
+        chain_span = (
+            trace.child("giis.chain", fanout=len(targets))
+            if trace is not None
+            else None
+        )
+        collector = _Collector(
+            self, req, local, len(targets), done, cache_key, span=chain_span
+        )
         for registration in targets:
-            self._chain_to(registration, req, collector, depth + 1)
+            self._chain_to(registration, req, collector, depth + 1, chain_span)
 
     def _chain_to(
         self,
@@ -345,37 +402,53 @@ class GiisBackend(Backend):
         req: SearchRequest,
         collector: "_Collector",
         depth: int = 1,
+        parent_span=None,
     ) -> None:
-        client = self._client_for(registration.service_url)
+        url = registration.service_url
+        client = self._client_for(url)
         if client is None:
-            self.stats_child_errors += 1
-            collector.child_failed(registration.service_url)
+            self._child_errors.inc()
+            collector.child_failed(url)
             return
-        self.stats_chained += 1
+        self._chained.inc()
+        span = (
+            parent_span.child("giis.child", url=url)
+            if parent_span is not None
+            else None
+        )
+        started = self.clock.now()
         # Forward without attribute selection or size limit: the parent
         # front end filters and projects authoritatively on full entries
         # (a projected entry could no longer match the filter upstream).
         req = replace(req, attributes=(), size_limit=0)
-        timer = self.clock.call_later(
-            self.child_timeout,
-            lambda: collector.child_timed_out(registration.service_url),
-        )
+
+        def on_timeout() -> None:
+            if span is not None:
+                span.tag("timeout", True).finish()
+            collector.child_timed_out(url)
+
+        timer = self.clock.call_later(self.child_timeout, on_timeout)
 
         def on_done(result: SearchResult) -> None:
             timer.cancel()
+            self._child_latency.observe(self.clock.now() - started)
+            if span is not None:
+                span.tag("ok", result.result.ok).finish()
             if result.result.ok:
-                collector.child_done(registration.service_url, result)
+                collector.child_done(url, result)
             else:
-                self.stats_child_errors += 1
-                collector.child_failed(registration.service_url)
+                self._child_errors.inc()
+                collector.child_failed(url)
 
         try:
             client.search_async(req, on_done, controls=(_chain_depth_control(depth),))
         except Exception:  # noqa: BLE001 - connection died under us
             timer.cancel()
-            self._clients.pop(registration.service_url, None)
-            self.stats_child_errors += 1
-            collector.child_failed(registration.service_url)
+            if span is not None:
+                span.tag("error", "send failed").finish()
+            self._clients.pop(url, None)
+            self._child_errors.inc()
+            collector.child_failed(url)
 
     def _client_for(self, service_url: str) -> Optional[LdapClient]:
         client = self._clients.get(service_url)
@@ -399,6 +472,14 @@ class GiisBackend(Backend):
             try:
                 client.bind_async(lambda result: None, mechanism="GSI", credentials=token)
             except Exception:  # noqa: BLE001 - connection died already
+                # Release the freshly dialed socket and don't cache the
+                # half-bound client, or every retry against a flaky
+                # child leaks one connection.
+                try:
+                    client.unbind()
+                except Exception:  # noqa: BLE001 - already torn down
+                    pass
+                self._clients.pop(service_url, None)
                 return None
         self._clients[service_url] = client
         return client
@@ -441,11 +522,13 @@ class _Collector:
         pending: int,
         done: Callable[[SearchOutcome], None],
         cache_key,
+        span=None,
     ):
         self.giis = giis
         self.req = req
         self.done = done
         self.cache_key = cache_key
+        self.span = span
         self.pending = pending
         self.finished = False
         self.merged: Dict[DN, Entry] = {e.dn: e for e in local.entries}
@@ -471,7 +554,7 @@ class _Collector:
         if url in self.responded:
             return
         self.responded.add(url)
-        self.giis.stats_child_timeouts += 1
+        self.giis._child_timeouts.inc()
         self._decrement()
 
     def _decrement(self) -> None:
@@ -479,6 +562,8 @@ class _Collector:
         if self.pending > 0 or self.finished:
             return
         self.finished = True
+        if self.span is not None:
+            self.span.finish()
         entries = sorted(
             self.merged.values(), key=lambda e: (len(e.dn), str(e.dn).lower())
         )

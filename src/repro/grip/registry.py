@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..net.clock import Clock, TimerHandle
+from ..obs.metrics import MetricsRegistry
 from .messages import GrrpError, GrrpMessage, NotificationType
 
 __all__ = ["Registration", "SoftStateRegistry"]
@@ -56,6 +57,7 @@ class SoftStateRegistry:
         on_expire: Optional[Callable[[Registration], None]] = None,
         on_unregister: Optional[Callable[[Registration], None]] = None,
         accept: Optional[Callable[[GrrpMessage, Optional[str]], bool]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.clock = clock
         self.grace = grace
@@ -69,9 +71,36 @@ class SoftStateRegistry:
         self.accept = accept
         self._records: Dict[str, Registration] = {}
         self._timer: Optional[TimerHandle] = None
-        self.stats_accepted = 0
-        self.stats_rejected = 0
-        self.stats_expired = 0
+        # Accept/reject/expire rates live on the metrics registry so a
+        # cn=monitor subtree can publish soft-state churn; the stats_*
+        # attributes below remain as read-only compatibility views.
+        self.metrics = metrics or MetricsRegistry()
+        self._accepted = self.metrics.counter("grrp.accepted")
+        self._rejected = self.metrics.counter("grrp.rejected")
+        self._expired_c = self.metrics.counter("grrp.expired")
+        self._refreshed = self.metrics.counter("grrp.refreshed")
+        self._unregistered = self.metrics.counter("grrp.unregistered")
+        self._rebirths = self.metrics.counter("grrp.rebirths")
+        self.metrics.gauge_fn("grrp.registrations.active", lambda: len(self._live()))
+
+    def _live(self) -> List[Registration]:
+        """Unexpired records without the sweeping side effect."""
+        now = self.clock.now()
+        return [r for r in self._records.values() if not self._expired(r, now)]
+
+    # Compatibility views over the registry-backed counters.
+
+    @property
+    def stats_accepted(self) -> int:
+        return int(self._accepted.value)
+
+    @property
+    def stats_rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def stats_expired(self) -> int:
+        return int(self._expired_c.value)
 
     # -- intake ----------------------------------------------------------------
 
@@ -81,12 +110,14 @@ class SoftStateRegistry:
         """Apply one GRRP message; returns True if it changed state."""
         now = self.clock.now()
         if self.accept is not None and not self.accept(message, source_identity):
-            self.stats_rejected += 1
+            self._rejected.inc()
             return False
         if message.notification_type == NotificationType.UNREGISTER:
             record = self._records.pop(message.service_url, None)
-            if record is not None and self.on_unregister:
-                self.on_unregister(record)
+            if record is not None:
+                self._unregistered.inc()
+                if self.on_unregister:
+                    self.on_unregister(record)
             return record is not None
         if message.notification_type == NotificationType.INVITE:
             # Invitations are not state; the caller routes them to the
@@ -94,10 +125,19 @@ class SoftStateRegistry:
             return False
         if message.valid_until < now:
             # Arrived already dead (clock skew or extreme delay).
-            self.stats_rejected += 1
+            self._rejected.inc()
             return False
-        self.stats_accepted += 1
+        self._accepted.inc()
         existing = self._records.get(message.service_url)
+        if existing is not None and self._expired(existing, now):
+            # Death-and-rebirth: the old record already expired but the
+            # sweeper has not run yet.  Treating this REGISTER as an
+            # in-place refresh would hide the transition from observers
+            # — on_expire/on_register must both fire so GIIS indexes and
+            # subscriptions see the provider die and come back.
+            self._drop_expired(message.service_url, existing)
+            self._rebirths.inc()
+            existing = None
         if existing is None:
             record = Registration(
                 message=message,
@@ -113,6 +153,7 @@ class SoftStateRegistry:
             existing.last_seen = now
             existing.refresh_count += 1
             existing.source_identity = source_identity or existing.source_identity
+            self._refreshed.inc()
         return True
 
     # -- queries ---------------------------------------------------------------
@@ -156,7 +197,7 @@ class SoftStateRegistry:
 
     def _drop_expired(self, url: str, record: Registration) -> None:
         self._records.pop(url, None)
-        self.stats_expired += 1
+        self._expired_c.inc()
         if self.on_expire:
             self.on_expire(record)
 

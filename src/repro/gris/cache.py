@@ -18,17 +18,42 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ldap.entry import Entry
+from ..obs.metrics import MetricsRegistry
 from .provider import InformationProvider, ProviderError
 
 __all__ = ["CacheStats", "ProviderCache"]
 
 
-@dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    failures: int = 0
-    stale_served: int = 0
+    """Read view over the registry-backed cache counters.
+
+    Kept attribute-compatible with the old ad-hoc dataclass (``hits``,
+    ``misses``, ``failures``, ``stale_served``, ``hit_rate``) while the
+    storage moved to :class:`~repro.obs.metrics.MetricsRegistry` so the
+    same numbers surface under ``cn=monitor``.
+    """
+
+    def __init__(self, metrics: MetricsRegistry):
+        self._hits = metrics.counter("gris.cache.hits")
+        self._misses = metrics.counter("gris.cache.misses")
+        self._failures = metrics.counter("gris.cache.failures")
+        self._stale_served = metrics.counter("gris.cache.stale_served")
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def failures(self) -> int:
+        return int(self._failures.value)
+
+    @property
+    def stale_served(self) -> int:
+        return int(self._stale_served.value)
 
     @property
     def hit_rate(self) -> float:
@@ -45,9 +70,10 @@ class _CacheSlot:
 class ProviderCache:
     """TTL cache over provider snapshots."""
 
-    def __init__(self):
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
         self._slots: Dict[str, _CacheSlot] = {}
-        self.stats = CacheStats()
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = CacheStats(self.metrics)
 
     def get(
         self,
@@ -67,15 +93,15 @@ class ProviderCache:
             and provider.cache_ttl > 0
             and now - slot.produced_at <= provider.cache_ttl
         ):
-            self.stats.hits += 1
+            self.stats._hits.inc()
             return self._serve(slot, provider)
-        self.stats.misses += 1
+        self.stats._misses.inc()
         try:
             entries = provider.provide()
         except ProviderError:
-            self.stats.failures += 1
+            self.stats._failures.inc()
             if slot is not None and serve_stale_on_failure:
-                self.stats.stale_served += 1
+                self.stats._stale_served.inc()
                 return self._serve(slot, provider)
             raise
         slot = _CacheSlot(entries=entries, produced_at=now)

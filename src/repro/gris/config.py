@@ -181,10 +181,14 @@ def load_config(
 
 
 def build_gris(
-    config: GrisConfig, clock: Optional[Clock] = None
+    config: GrisConfig, clock: Optional[Clock] = None, metrics=None
 ) -> GrisBackend:
-    """Instantiate a GRIS backend from a parsed configuration."""
-    gris = GrisBackend(config.suffix, clock=clock or WallClock())
+    """Instantiate a GRIS backend from a parsed configuration.
+
+    Pass a shared :class:`~repro.obs.metrics.MetricsRegistry` to fold
+    this GRIS's counters into a process-wide ``cn=monitor`` surface.
+    """
+    gris = GrisBackend(config.suffix, clock=clock or WallClock(), metrics=metrics)
     for provider in config.providers:
         gris.add_provider(provider)
     return gris

@@ -38,6 +38,7 @@ from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.protocol import LdapResult, ResultCode, SearchRequest
 from ..net.clock import Clock, TimerHandle
+from ..obs.metrics import MetricsRegistry
 from .cache import ProviderCache
 from .provider import InformationProvider, ProviderError
 
@@ -52,16 +53,27 @@ class GrisBackend(Backend):
         suffix: DN | str,
         clock: Clock,
         poll_interval: float = 5.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.suffix = DN.of(suffix)
         self.clock = clock
         self.poll_interval = poll_interval
-        self.cache = ProviderCache()
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = ProviderCache(self.metrics)
         self._providers: Dict[str, InformationProvider] = {}
         self._suffix_entry: Optional[Entry] = None
         self._subs: Dict[int, "_PollingSubscription"] = {}
         self._next_sub = 0
-        self.provider_errors = 0
+        self._provider_errors = self.metrics.counter("gris.provider.errors")
+        self._dispatches = self.metrics.counter("gris.provider.dispatches")
+        self._pruned = self.metrics.counter("gris.provider.pruned")
+        self.metrics.gauge_fn("gris.providers", lambda: len(self._providers))
+        self.metrics.gauge_fn("gris.subscriptions", lambda: len(self._subs))
+
+    @property
+    def provider_errors(self) -> int:
+        """Compatibility view over the registry-backed error counter."""
+        return int(self._provider_errors.value)
 
     # -- configuration ("dynamically or statically", §10.3) -------------------
 
@@ -69,6 +81,14 @@ class GrisBackend(Backend):
         if provider.name in self._providers:
             raise ValueError(f"duplicate provider {provider.name!r}")
         self._providers[provider.name] = provider
+        # Live cache-age gauge per provider: consumers of cn=monitor can
+        # judge snapshot currency (§2.1) without probing the provider.
+        name = provider.name
+        self.metrics.gauge_fn(
+            "gris.cache.age",
+            lambda: self.cache.age(name, self.clock.now()) or 0.0,
+            labels={"provider": name},
+        )
 
     def remove_provider(self, name: str) -> None:
         self._providers.pop(name, None)
@@ -80,6 +100,18 @@ class GrisBackend(Backend):
     def set_suffix_entry(self, entry: Entry) -> None:
         """The entry published at the GRIS suffix itself."""
         self._suffix_entry = entry.with_dn(self.suffix)
+
+    def _observe_provider(
+        self, provider: InformationProvider, started: float, span, failed: bool = False
+    ) -> None:
+        elapsed = self.clock.now() - started
+        self.metrics.histogram(
+            "gris.provider.seconds", labels={"provider": provider.name}
+        ).observe(elapsed)
+        if span is not None:
+            if failed:
+                span.tag("failed", True)
+            span.finish()
 
     # -- namespace math ---------------------------------------------------------
 
@@ -118,7 +150,11 @@ class GrisBackend(Backend):
                     ResultCode.NO_SUCH_OBJECT, matched_dn=str(self.suffix)
                 )
             )
-        entries = self._collect(req)
+        trace = getattr(ctx, "trace", None)
+        span = trace.child("gris.collect") if trace is not None else None
+        entries = self._collect(req, trace=span)
+        if span is not None:
+            span.tag("entries", len(entries)).finish()
         in_scope = [
             e
             for e in entries.values()
@@ -131,7 +167,9 @@ class GrisBackend(Backend):
         in_scope.sort(key=lambda e: (len(e.dn), str(e.dn).lower()))
         return SearchOutcome(entries=in_scope)
 
-    def _collect(self, req: SearchRequest) -> Dict[DN, Entry]:
+    def _collect(
+        self, req: SearchRequest, trace=None
+    ) -> Dict[DN, Entry]:
         """Gather the merged view relevant to *req* from all providers."""
         now = self.clock.now()
         merged: Dict[DN, Entry] = {}
@@ -139,17 +177,28 @@ class GrisBackend(Backend):
             merged[self.suffix] = self._suffix_entry.copy()
         for provider in self._providers.values():
             if not self._intersects(provider, req):
+                self._pruned.inc()
                 continue
+            self._dispatches.inc()
+            span = (
+                trace.child("gris.provider", provider=provider.name)
+                if trace is not None
+                else None
+            )
+            started = self.clock.now()
             direct = provider.search(req, self.suffix)
             if direct is not None:
+                self._observe_provider(provider, started, span)
                 for entry in direct:
                     merged.setdefault(entry.dn, entry)
                 continue
             try:
                 entries, _age = self.cache.get(provider, now)
             except ProviderError:
-                self.provider_errors += 1
+                self._provider_errors.inc()
+                self._observe_provider(provider, started, span, failed=True)
                 continue  # robustness: skip the failed source (§2.2)
+            self._observe_provider(provider, started, span)
             for entry in entries:
                 absolute = entry.with_dn(DN(entry.dn.rdns + self.suffix.rdns))
                 # First provider to name a DN wins; providers are expected

@@ -50,6 +50,9 @@ class RequestContext:
     # Raw request controls, so backends can honor ones the front end
     # does not consume itself (e.g. the GIIS chaining-depth control).
     controls: Tuple = ()
+    # Per-request trace span (repro.obs.trace.Span) when the front end
+    # runs with a tracer; backends open children off it for their hops.
+    trace: Optional[object] = None
 
 
 @dataclass

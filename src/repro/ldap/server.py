@@ -27,6 +27,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.clock import Clock, WallClock
 from ..net.transport import Connection, ConnectionClosed
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..security.acl import ANONYMOUS, AccessPolicy, open_policy
 from ..security.gsi import AuthError
 from ..security.sasl import AnonymousOnly, Authenticator
@@ -85,6 +87,8 @@ class LdapServer:
         clock: Optional[Clock] = None,
         allow_anonymous_writes: bool = True,
         name: str = "ldap-server",
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.backend = backend
         self.authenticator = authenticator or AnonymousOnly()
@@ -92,23 +96,84 @@ class LdapServer:
         self.clock = clock or WallClock()
         self.allow_anonymous_writes = allow_anonymous_writes
         self.name = name
-        self.stats = _ServerStats()
+        # Per-operation counters and latency histograms live on the
+        # metrics registry (share one across components to aggregate a
+        # whole process under cn=monitor); `stats` stays as the
+        # backward-compatible read view.
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
+        self.stats = _ServerStats(self.metrics)
+        self._connections = self.metrics.counter("ldap.connections")
+        self._protocol_errors = self.metrics.counter("ldap.protocol.errors")
+        self._entries_returned = self.metrics.counter("ldap.entries.returned")
+        self._entries_suppressed = self.metrics.counter("ldap.entries.suppressed")
+        self._requests = {
+            op: self.metrics.counter("ldap.requests", {"op": op})
+            for op in ("search", "bind", "add", "modify", "delete")
+        }
+        self._latency = {
+            op: self.metrics.histogram("ldap.request.seconds", {"op": op})
+            for op in ("search", "bind", "add", "modify", "delete")
+        }
+
+    def observe_result(self, op: str, code: int, started: float) -> None:
+        """Record one finished operation: result-code count + latency."""
+        self.metrics.counter("ldap.results", {"op": op, "code": int(code)}).inc()
+        self._latency[op].observe(self.clock.now() - started)
 
     def handle_connection(self, conn: Connection) -> None:
+        self._connections.inc()
         _ServerConnection(self, conn)
 
 
 class _ServerStats:
-    def __init__(self) -> None:
-        self.connections = 0
-        self.searches = 0
-        self.binds = 0
-        self.adds = 0
-        self.modifies = 0
-        self.deletes = 0
-        self.entries_returned = 0
-        self.entries_suppressed = 0
-        self.protocol_errors = 0
+    """Read view over the registry-backed front-end counters.
+
+    Attribute-compatible with the old ad-hoc counter bag; all writes go
+    through :attr:`LdapServer.metrics` now.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._m = metrics
+
+    def _count(self, name: str, labels=None) -> int:
+        return int(self._m.counter(name, labels).value)
+
+    @property
+    def connections(self) -> int:
+        return self._count("ldap.connections")
+
+    @property
+    def searches(self) -> int:
+        return self._count("ldap.requests", {"op": "search"})
+
+    @property
+    def binds(self) -> int:
+        return self._count("ldap.requests", {"op": "bind"})
+
+    @property
+    def adds(self) -> int:
+        return self._count("ldap.requests", {"op": "add"})
+
+    @property
+    def modifies(self) -> int:
+        return self._count("ldap.requests", {"op": "modify"})
+
+    @property
+    def deletes(self) -> int:
+        return self._count("ldap.requests", {"op": "delete"})
+
+    @property
+    def entries_returned(self) -> int:
+        return self._count("ldap.entries.returned")
+
+    @property
+    def entries_suppressed(self) -> int:
+        return self._count("ldap.entries.suppressed")
+
+    @property
+    def protocol_errors(self) -> int:
+        return self._count("ldap.protocol.errors")
 
 
 class _ServerConnection:
@@ -120,7 +185,6 @@ class _ServerConnection:
         self.identity = ANONYMOUS
         self._lock = threading.Lock()  # serializes dispatch on TCP threads
         self._subscriptions: Dict[int, Subscription] = {}
-        server.stats.connections += 1
         conn.set_close_handler(self._on_close)
         conn.set_receiver(self._on_message)
 
@@ -148,7 +212,7 @@ class _ServerConnection:
         try:
             message = decode_message(raw)
         except ProtocolError:
-            self.server.stats.protocol_errors += 1
+            self.server._protocol_errors.inc()
             self.conn.close()
             self._on_close()
             return
@@ -188,21 +252,21 @@ class _ServerConnection:
                 message.message_id,
                 AddResponse,
                 lambda ctx: self.server.backend.add(op, ctx),
-                "adds",
+                "add",
             )
         elif isinstance(op, ModifyRequest):
             self._handle_write(
                 message.message_id,
                 ModifyResponse,
                 lambda ctx: self.server.backend.modify(op, ctx),
-                "modifies",
+                "modify",
             )
         elif isinstance(op, DeleteRequest):
             self._handle_write(
                 message.message_id,
                 DeleteResponse,
                 lambda ctx: self.server.backend.delete(op.dn, ctx),
-                "deletes",
+                "delete",
             )
         elif isinstance(op, AbandonRequest):
             sub = self._subscriptions.pop(op.message_id, None)
@@ -212,18 +276,22 @@ class _ServerConnection:
             self._handle_extended(message.message_id, op)
         else:
             # A response op arriving at a server is a protocol violation.
-            self.server.stats.protocol_errors += 1
+            self.server._protocol_errors.inc()
             self.conn.close()
             self._on_close()
 
     def _handle_bind(self, msg_id: int, op: BindRequest) -> None:
-        self.server.stats.binds += 1
+        self.server._requests["bind"].inc()
+        started = self.server.clock.now()
         try:
             outcome = self.server.authenticator.authenticate(
                 op.name, op.mechanism, op.credentials, self.server.clock.now()
             )
         except AuthError as exc:
             self.identity = ANONYMOUS
+            self.server.observe_result(
+                "bind", ResultCode.INVALID_CREDENTIALS, started
+            )
             self._send(
                 LdapMessage(
                     msg_id,
@@ -234,6 +302,7 @@ class _ServerConnection:
             )
             return
         self.identity = outcome.identity
+        self.server.observe_result("bind", ResultCode.SUCCESS, started)
         self._send(
             LdapMessage(
                 msg_id,
@@ -246,9 +315,10 @@ class _ServerConnection:
         msg_id: int,
         response_cls,
         action: Callable[[RequestContext], LdapResult],
-        stat: str,
+        op: str,
     ) -> None:
-        setattr(self.server.stats, stat, getattr(self.server.stats, stat) + 1)
+        self.server._requests[op].inc()
+        started = self.server.clock.now()
         if self.identity == ANONYMOUS and not self.server.allow_anonymous_writes:
             result = LdapResult(
                 ResultCode.INSUFFICIENT_ACCESS_RIGHTS,
@@ -256,6 +326,7 @@ class _ServerConnection:
             )
         else:
             result = action(self._context())
+        self.server.observe_result(op, result.code, started)
         self._send(LdapMessage(msg_id, response_cls(result)))
 
     def _handle_extended(self, msg_id: int, op: ExtendedRequest) -> None:
@@ -291,7 +362,7 @@ class _ServerConnection:
         """
         visible = self.server.policy.filter_entry(self.identity, entry)
         if visible is None:
-            self.server.stats.entries_suppressed += 1
+            self.server._entries_suppressed.inc()
             return None
         if not req.filter.matches(visible):
             return None
@@ -326,23 +397,26 @@ class _ServerConnection:
     def _handle_search(
         self, msg_id: int, req: SearchRequest, controls: Tuple[Control, ...]
     ) -> None:
-        self.server.stats.searches += 1
+        self.server._requests["search"].inc()
+        started = self.server.clock.now()
 
         # Root DSE: BASE search at the empty DN describes the server.
         if req.scope == Scope.BASE and not req.base.strip():
             dse = self._root_dse()
             if req.filter.matches(dse):
-                self.server.stats.entries_returned += 1
+                self.server._entries_returned.inc()
                 self._send(
                     LdapMessage(
                         msg_id, self._wire_entry(req, dse.project(req.wants()))
                     )
                 )
+            self.server.observe_result("search", ResultCode.SUCCESS, started)
             self._send(LdapMessage(msg_id, SearchResultDone(LdapResult())))
             return
         try:
             psc = PersistentSearchControl.find(controls)
         except Exception:
+            self.server.observe_result("search", ResultCode.PROTOCOL_ERROR, started)
             self._send(
                 LdapMessage(
                     msg_id,
@@ -358,6 +432,15 @@ class _ServerConnection:
 
         ctx = self._context()
         ctx.controls = controls
+        span = None
+        if self.server.tracer is not None:
+            span = self.server.tracer.start(
+                "ldap.search",
+                base=req.base,
+                scope=int(req.scope),
+                filter=str(req.filter),
+            )
+            ctx.trace = span
 
         def after_initial() -> None:
             if psc is not None:
@@ -382,8 +465,14 @@ class _ServerConnection:
                 return
             self._send(LdapMessage(msg_id, SearchResultDone(LdapResult())))
 
+        def conclude(code: int, sent: int) -> None:
+            self.server.observe_result("search", code, started)
+            if span is not None:
+                span.tag("entries", sent).tag("code", code).finish()
+
         def finish(outcome) -> None:
             if not outcome.result.ok:
+                conclude(outcome.result.code, 0)
                 self._send(LdapMessage(msg_id, SearchResultDone(outcome.result)))
                 return
             sent = 0
@@ -392,6 +481,7 @@ class _ServerConnection:
                 if visible is None:
                     continue
                 if req.size_limit and sent >= req.size_limit:
+                    conclude(ResultCode.SIZE_LIMIT_EXCEEDED, sent)
                     self._send(
                         LdapMessage(
                             msg_id,
@@ -401,14 +491,16 @@ class _ServerConnection:
                         )
                     )
                     return
-                self.server.stats.entries_returned += 1
+                self.server._entries_returned.inc()
                 sent += 1
                 self._send(LdapMessage(msg_id, self._wire_entry(req, visible)))
             for uri in outcome.referrals:
                 self._send(LdapMessage(msg_id, SearchResultReference((uri,))))
+            conclude(ResultCode.SUCCESS, sent)
             after_initial()
 
         if psc is not None and psc.changes_only:
+            conclude(ResultCode.SUCCESS, 0)
             after_initial()
         else:
             self.server.backend.search_async(req, ctx, finish)

@@ -15,6 +15,7 @@ import struct
 import threading
 from typing import Callable, Dict, List, Optional
 
+from ..obs.metrics import MetricsRegistry
 from .transport import (
     Address,
     Connection,
@@ -49,13 +50,26 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
 class TcpConnection:
     """A framed TCP connection with a reader thread."""
 
-    def __init__(self, sock: socket.socket):
+    def __init__(
+        self, sock: socket.socket, metrics: Optional[MetricsRegistry] = None
+    ):
         # Request/response exchanges are many small frames; Nagle +
         # delayed ACK would add ~40ms to every multi-message response.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        # Serializes delivery to the receiver callback: the reader thread
+        # and set_receiver's backlog drain both take it, so messages are
+        # handed over strictly in arrival order (see set_receiver).
+        # RLock, because a callback may itself swap the receiver.
+        self._deliver_lock = threading.RLock()
+        self._metrics = metrics
+        if metrics is not None:
+            self._frames_in = metrics.counter("tcp.frames.received")
+            self._bytes_in = metrics.counter("tcp.bytes.received")
+            self._frames_out = metrics.counter("tcp.frames.sent")
+            self._bytes_out = metrics.counter("tcp.bytes.sent")
         self._receiver: Optional[Callable[[bytes], None]] = None
         self._close_handler: Optional[Callable[[], None]] = None
         self._inbox: List[bytes] = []
@@ -86,13 +100,23 @@ class TcpConnection:
         except OSError as exc:
             self._mark_closed()
             raise ConnectionClosed(str(exc)) from exc
+        if self._metrics is not None:
+            self._frames_out.inc()
+            self._bytes_out.inc(len(message))
 
     def set_receiver(self, callback: Callable[[bytes], None]) -> None:
-        with self._state_lock:
-            self._receiver = callback
-            backlog, self._inbox = self._inbox, []
-        for message in backlog:
-            callback(message)
+        # The backlog drain must be serialized against the reader thread:
+        # draining outside the lock would let the reader deliver a newer
+        # frame directly to the callback while older backlog frames are
+        # still in flight here, violating the in-order message contract.
+        # _deliver_lock (not _state_lock) carries the callback calls so a
+        # receiver that closes the connection cannot deadlock on state.
+        with self._deliver_lock:
+            with self._state_lock:
+                self._receiver = callback
+                backlog, self._inbox = self._inbox, []
+            for message in backlog:
+                callback(message)
 
     def set_close_handler(self, callback: Callable[[], None]) -> None:
         fire = False
@@ -131,12 +155,16 @@ class TcpConnection:
                 payload = _recv_exact(self._sock, length)
                 if payload is None:
                     break
-                with self._state_lock:
-                    receiver = self._receiver
-                    if receiver is None:
-                        self._inbox.append(payload)
-                        continue
-                receiver(payload)
+                if self._metrics is not None:
+                    self._frames_in.inc()
+                    self._bytes_in.inc(len(payload))
+                with self._deliver_lock:
+                    with self._state_lock:
+                        receiver = self._receiver
+                        if receiver is None:
+                            self._inbox.append(payload)
+                            continue
+                    receiver(payload)
         except OSError:
             pass
         finally:
@@ -146,8 +174,11 @@ class TcpConnection:
 class TcpEndpoint:
     """Endpoint over the loopback (or any) interface."""
 
-    def __init__(self, host: str = "127.0.0.1"):
+    def __init__(
+        self, host: str = "127.0.0.1", metrics: Optional[MetricsRegistry] = None
+    ):
         self.host = host
+        self.metrics = metrics
         self._servers: List[socket.socket] = []
         self._udp_socks: Dict[int, socket.socket] = {}
         self._udp_send_lock = threading.Lock()
@@ -174,7 +205,9 @@ class TcpEndpoint:
                     sock, _addr = server.accept()
                 except OSError:
                     break
-                handler(TcpConnection(sock))
+                if self.metrics is not None:
+                    self.metrics.counter("tcp.connections.accepted").inc()
+                handler(TcpConnection(sock, metrics=self.metrics))
 
         threading.Thread(target=accept_loop, daemon=True).start()
         return bound
@@ -185,7 +218,9 @@ class TcpEndpoint:
             sock.settimeout(None)
         except OSError as exc:
             raise ConnectionClosed(f"cannot connect to {remote}: {exc}") from exc
-        return TcpConnection(sock)
+        if self.metrics is not None:
+            self.metrics.counter("tcp.connections.dialed").inc()
+        return TcpConnection(sock, metrics=self.metrics)
 
     # -- datagrams ----------------------------------------------------------
 

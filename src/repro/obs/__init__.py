@@ -1,0 +1,38 @@
+"""Observability: metrics, trace spans, and the ``cn=monitor`` subtree.
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket latency
+  histograms behind a :class:`MetricsRegistry`;
+* :mod:`repro.obs.trace` — per-request span trees with pluggable sinks;
+* :mod:`repro.obs.monitor` — the registry rendered as a live,
+  GRIP-queryable ``cn=monitor`` LDAP subtree.
+
+Every instrumented component (LDAP front end, GIIS, GRIS, soft-state
+registry, TCP transport) accepts an optional shared registry; see
+``grid-info-server --monitor`` for the fully wired deployment.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .monitor import MONITOR_SUFFIX, MonitorBackend, MonitoredBackend
+from .trace import RingSink, Span, Tracer
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MONITOR_SUFFIX",
+    "MonitorBackend",
+    "MonitoredBackend",
+    "RingSink",
+    "Span",
+    "Tracer",
+]

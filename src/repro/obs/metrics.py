@@ -1,0 +1,357 @@
+"""Counters, gauges, and latency histograms behind one registry.
+
+MDS-2's pitch is that Grid services are discovered *and monitored*
+through one GRIP-queryable surface (§2, §6) — which obliges the
+information service to measure itself.  The two MDS2 performance
+studies (Zhang & Schopf; Zhang, Freschl & Schopf) characterize exactly
+the per-operation throughput/latency numbers a deployment needs:
+queries per second, response latency distributions, cache hit rates,
+and soft-state churn.  This module is the substrate those numbers live
+on; :mod:`repro.obs.monitor` renders it as a ``cn=monitor`` subtree so
+the numbers are queryable with plain GRIP.
+
+Design constraints:
+
+* **Hot-path cheap.**  ``Counter.inc`` is one lock acquire and one add;
+  instrument sites hold direct object references, never re-resolving
+  names per operation.
+* **Labels.**  A metric name plus a sorted label tuple identifies one
+  instrument (``ldap.requests{op=search}``), mirroring the usual
+  time-series data model.
+* **Fixed-bucket histograms.**  Latency distributions use cumulative
+  fixed buckets so snapshots are mergeable and quantiles are
+  approximable without storing samples.
+* **Live gauges.**  ``gauge_fn`` registers a zero-argument callable
+  evaluated at snapshot time, for values that already live elsewhere
+  (active registrations, open subscriptions) — no write-path coupling.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+]
+
+# Seconds.  Spans sub-millisecond in-process dispatch through multi-second
+# chained fan-outs with timeouts (GIIS child_timeout defaults to 5s).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Optional[Dict[str, object]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Common identity plumbing for one named+labeled instrument."""
+
+    __slots__ = ("name", "labels", "_lock")
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: Labels):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    @property
+    def full_name(self) -> str:
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.full_name!r})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down; optionally callback-backed."""
+
+    __slots__ = ("_value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        fn: Optional[Callable[[], float]] = None,
+    ):
+        super().__init__(name, labels)
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:  # noqa: BLE001 - a dead callback must not kill reads
+                return float("nan")
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket cumulative histogram (for latency distributions)."""
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_min", "_max")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ):
+        super().__init__(name, labels)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper-bound biased)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        for bound, cum in self.cumulative():
+            if cum >= target:
+                if bound == float("inf"):
+                    return self._max if self._max is not None else self.buckets[-1]
+                return bound
+        return self._max if self._max is not None else self.buckets[-1]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+            "buckets": self.cumulative(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _TimerContext:
+    """``with registry.timer(histogram):`` — observes elapsed seconds."""
+
+    __slots__ = ("_histogram", "_clock", "_start")
+
+    def __init__(self, histogram: Histogram, clock_now: Callable[[], float]):
+        self._histogram = histogram
+        self._clock = clock_now
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._histogram.observe(self._clock() - self._start)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument a process exports.
+
+    Each component (server front end, GIIS, GRIS, registry, transport)
+    accepts an optional registry; passing one shared instance — as
+    ``grid-info-server --monitor`` does — produces a single process-wide
+    surface that :class:`~repro.obs.monitor.MonitorBackend` serves under
+    ``cn=monitor``.
+    """
+
+    def __init__(self, namespace: str = ""):
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, Labels], _Instrument] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.namespace}.{name}" if self.namespace else name
+
+    def _get_or_create(self, cls, name: str, labels, factory):
+        key = (self._qualify(name), _labels_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory(key[0], key[1])
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {key[0]!r} already registered as "
+                    f"{instrument.kind}, not {cls.kind}"
+                )
+        return instrument
+
+    def counter(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, Counter)
+
+    def gauge(self, name: str, labels: Optional[Dict[str, object]] = None) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, Gauge)
+
+    def gauge_fn(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        labels: Optional[Dict[str, object]] = None,
+    ) -> Gauge:
+        """A gauge read live from *fn* at snapshot/serve time."""
+        gauge = self._get_or_create(
+            Gauge, name, labels, lambda n, l: Gauge(n, l, fn=fn)
+        )
+        gauge._fn = fn  # rebinding is idempotent and allows re-wiring
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, object]] = None,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, lambda n, l: Histogram(n, l, buckets=buckets)
+        )
+
+    def timer(
+        self,
+        name: str,
+        clock_now: Callable[[], float],
+        labels: Optional[Dict[str, object]] = None,
+    ) -> _TimerContext:
+        return _TimerContext(self.histogram(name, labels), clock_now)
+
+    # -- read side -----------------------------------------------------------
+
+    def instruments(self) -> List[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def get(self, name: str, labels: Optional[Dict[str, object]] = None):
+        """Lookup without creating; None when absent."""
+        key = (self._qualify(name), _labels_key(labels))
+        with self._lock:
+            return self._instruments.get(key)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One JSON-able dict of every instrument, keyed by full name.
+
+        This is the API the benchmarks consume; the ``cn=monitor``
+        subtree is the same data rendered as LDAP entries.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for instrument in self.instruments():
+            out[instrument.full_name] = instrument.snapshot()
+        return out

@@ -1,0 +1,278 @@
+"""The ``cn=monitor`` subtree: a service's own health, served over GRIP.
+
+MDS-2's central idea is one uniform query surface for *all* Grid
+information — so the information service dogfoods GRIP to publish its
+own operational state, exactly as OpenLDAP's ``back-monitor`` does for
+slapd.  :class:`MonitorBackend` renders a live
+:class:`~repro.obs.metrics.MetricsRegistry` as LDAP entries under
+``cn=monitor``; :class:`MonitoredBackend` composes it with any data
+backend (GRIS or GIIS) so one server answers both::
+
+    # what resources exist?
+    client.search("o=Grid", Scope.SUBTREE, "(objectclass=computer)")
+    # and how is the server itself doing?
+    client.search("cn=monitor", Scope.SUBTREE, "(mdsmetrictype=histogram)")
+
+Entries regenerate from the registry on every search, so repeated
+queries observe counters moving — the monitoring semantics of §6
+applied to the service itself.  Standard filters, scopes, attribute
+selection, and access control all apply: the front end treats monitor
+entries like any others.
+
+Naming: each instrument becomes ``mdsmetricname=<id>, cn=monitor``
+where ``<id>`` is the metric name plus ``:key:value`` per label —
+colon-separated because ``:`` needs no DN escaping, keeping the DNs
+copy-pasteable into any LDAP client.  Labels are *also* exposed as
+plain attributes, so ``(&(objectclass=mdsmetric)(op=search))`` works.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..ldap.backend import (
+    Backend,
+    ChangeCallback,
+    ChangeType,
+    RequestContext,
+    SearchOutcome,
+    Subscription,
+    _in_scope,
+)
+from ..ldap.dit import Scope
+from ..ldap.dn import DN, RDN
+from ..ldap.entry import Entry
+from ..ldap.protocol import (
+    AddRequest,
+    LdapResult,
+    ModifyRequest,
+    ResultCode,
+    SearchRequest,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["MONITOR_SUFFIX", "MonitorBackend", "MonitoredBackend"]
+
+MONITOR_SUFFIX = DN.parse("cn=monitor")
+
+
+def _fmt(value: object) -> str:
+    """Render numbers without noise: integral floats lose the ``.0``."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.9g}"
+    return str(value)
+
+
+def _dn_id(instrument) -> str:
+    parts = [instrument.name]
+    for key, value in instrument.labels:
+        parts.append(key)
+        parts.append(value)
+    return ":".join(parts)
+
+
+class MonitorBackend(Backend):
+    """Serves a metrics registry as the ``cn=monitor`` subtree."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        server_name: str = "",
+        suffix: DN | str = MONITOR_SUFFIX,
+    ):
+        self.metrics = metrics
+        self.server_name = server_name
+        self.suffix = DN.of(suffix)
+
+    # -- entry generation ----------------------------------------------------
+
+    def _root_entry(self, metric_count: int) -> Entry:
+        entry = Entry(
+            self.suffix,
+            objectclass=["top", "mdsmonitor"],
+            description="live operational metrics (GRIP-queryable)",
+        )
+        entry.put(self.suffix.rdn.attr, self.suffix.rdn.value)
+        entry.put("mdsmetriccount", metric_count)
+        if self.server_name:
+            entry.put("servername", self.server_name)
+        return entry
+
+    def _metric_entry(self, instrument) -> Entry:
+        dn = self.suffix.child(RDN.single("mdsmetricname", _dn_id(instrument)))
+        entry = Entry(
+            dn,
+            objectclass=["top", "mdsmetric"],
+            mdsmetricname=_dn_id(instrument),
+            mdsmetric=instrument.name,
+            mdsmetrictype=instrument.kind,
+        )
+        for key, value in instrument.labels:
+            entry.put(key, value)
+        if isinstance(instrument, (Counter, Gauge)):
+            entry.put("mdsvalue", _fmt(instrument.value))
+        elif isinstance(instrument, Histogram):
+            snap = instrument.snapshot()
+            entry.put("mdscount", _fmt(snap["count"]))
+            entry.put("mdssum", _fmt(float(snap["sum"])))
+            entry.put("mdsmean", _fmt(float(snap["mean"])))
+            if snap["min"] is not None:
+                entry.put("mdsmin", _fmt(float(snap["min"])))
+                entry.put("mdsmax", _fmt(float(snap["max"])))
+            for q in ("p50", "p95", "p99"):
+                entry.put(f"mds{q}", _fmt(float(snap[q])))
+            for bound, cumulative in snap["buckets"]:
+                entry.put(f"mdsbucket-{_fmt(bound)}", cumulative)
+        return entry
+
+    def entries(self) -> List[Entry]:
+        """The full monitor view, regenerated from live instruments."""
+        instruments = self.metrics.instruments()
+        out = [self._root_entry(len(instruments))]
+        for instrument in sorted(instruments, key=lambda i: i.full_name):
+            out.append(self._metric_entry(instrument))
+        return out
+
+    # -- Backend interface ---------------------------------------------------
+
+    def naming_contexts(self) -> List[str]:
+        return [str(self.suffix)]
+
+    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        try:
+            base = req.base_dn()
+        except Exception:
+            return SearchOutcome(
+                result=LdapResult(ResultCode.PROTOCOL_ERROR, message="bad base DN")
+            )
+        if not (base.is_within(self.suffix) or self.suffix.is_within(base)):
+            return SearchOutcome(
+                result=LdapResult(
+                    ResultCode.NO_SUCH_OBJECT, matched_dn=str(self.suffix)
+                )
+            )
+        entries = [
+            e
+            for e in self.entries()
+            if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
+        ]
+        if req.scope == Scope.BASE and not entries:
+            return SearchOutcome(
+                result=LdapResult(ResultCode.NO_SUCH_OBJECT, matched_dn=req.base)
+            )
+        return SearchOutcome(entries=entries)
+
+
+class MonitoredBackend(Backend):
+    """Any backend, plus a ``cn=monitor`` naming context alongside it.
+
+    Reads under ``cn=monitor`` go to the monitor; everything else is
+    delegated untouched (including writes, subscriptions, and async
+    chaining).  A subtree search from the root sees both worlds merged.
+    """
+
+    def __init__(self, inner: Backend, monitor: MonitorBackend):
+        self.inner = inner
+        self.monitor = monitor
+
+    def naming_contexts(self) -> List[str]:
+        return list(self.inner.naming_contexts()) + self.monitor.naming_contexts()
+
+    def _route(self, req: SearchRequest) -> str:
+        try:
+            base = req.base_dn()
+        except Exception:
+            return "inner"  # let the inner backend report the protocol error
+        if base.is_within(self.monitor.suffix):
+            return "monitor"
+        if self.monitor.suffix.is_within(base) and req.scope != Scope.BASE:
+            return "both"
+        return "inner"
+
+    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        route = self._route(req)
+        if route == "monitor":
+            return self.monitor.search(req, ctx)
+        outcome = self.inner.search(req, ctx)
+        if route == "both":
+            outcome = self._merged(req, ctx, outcome)
+        return outcome
+
+    def search_async(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        done: Callable[[SearchOutcome], None],
+    ) -> None:
+        route = self._route(req)
+        if route == "monitor":
+            done(self.monitor.search(req, ctx))
+            return
+        if route == "both":
+            self.inner.search_async(
+                req, ctx, lambda outcome: done(self._merged(req, ctx, outcome))
+            )
+            return
+        self.inner.search_async(req, ctx, done)
+
+    def _merged(
+        self, req: SearchRequest, ctx: RequestContext, inner: SearchOutcome
+    ) -> SearchOutcome:
+        mon = self.monitor.search(req, ctx)
+        if not mon.result.ok:
+            return inner
+        if not inner.result.ok:
+            # The inner backend had nothing under this base; the monitor
+            # subtree still answers (partial results, §2.2).
+            return mon
+        return SearchOutcome(
+            entries=list(inner.entries) + list(mon.entries),
+            referrals=list(inner.referrals) + list(mon.referrals),
+            result=inner.result,
+        )
+
+    # -- pass-through --------------------------------------------------------
+
+    def _targets_monitor(self, dn: str) -> bool:
+        try:
+            return DN.parse(dn).is_within(self.monitor.suffix)
+        except Exception:
+            return False
+
+    def add(self, req: AddRequest, ctx: RequestContext) -> LdapResult:
+        if self._targets_monitor(req.dn):
+            return LdapResult(
+                ResultCode.UNWILLING_TO_PERFORM, message="cn=monitor is read-only"
+            )
+        return self.inner.add(req, ctx)
+
+    def modify(self, req: ModifyRequest, ctx: RequestContext) -> LdapResult:
+        if self._targets_monitor(req.dn):
+            return LdapResult(
+                ResultCode.UNWILLING_TO_PERFORM, message="cn=monitor is read-only"
+            )
+        return self.inner.modify(req, ctx)
+
+    def delete(self, dn: str, ctx: RequestContext) -> LdapResult:
+        if self._targets_monitor(dn):
+            return LdapResult(
+                ResultCode.UNWILLING_TO_PERFORM, message="cn=monitor is read-only"
+            )
+        return self.inner.delete(dn, ctx)
+
+    def subscribe(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        push: ChangeCallback,
+        change_types: int = ChangeType.ALL,
+    ) -> Optional[Subscription]:
+        if self._route(req) == "monitor":
+            return None  # metrics have no change feed; poll instead
+        return self.inner.subscribe(req, ctx, push, change_types)

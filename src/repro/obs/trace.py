@@ -1,0 +1,169 @@
+"""Lightweight per-request trace spans with pluggable sinks.
+
+One GRIP search can fan out across layers — front-end dispatch, GRIS
+provider cache, GIIS chaining, per-child sub-queries — and the MDS2
+performance studies show the interesting latency usually hides in one
+of those hops.  A :class:`Tracer` stitches the hops of one request into
+a span tree:
+
+* the LDAP front end opens a root span per operation and threads it to
+  the backend via :attr:`RequestContext.trace <repro.ldap.backend.RequestContext>`;
+* backends open children (``gris.collect``, ``giis.chain``,
+  ``giis.child``) off whatever span the context carries;
+* finished spans flow to pluggable sinks — keep the ring buffer for
+  ``cn=monitor``-style inspection, or plug in a log writer.
+
+Spans are deliberately tiny (slots, no stack introspection, no context
+vars): when no tracer is configured the cost is one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "RingSink"]
+
+# A sink receives each span exactly once, when it finishes.
+SpanSink = Callable[["Span"], None]
+
+
+class Span:
+    """One timed operation within a request."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "parent",
+        "trace_id",
+        "span_id",
+        "start",
+        "end",
+        "tags",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: Optional["Span"],
+        trace_id: int,
+        span_id: int,
+        start: float,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.parent = parent
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.tags: Dict[str, str] = {}
+
+    def tag(self, key: str, value: object) -> "Span":
+        self.tags[key] = str(value)
+        return self
+
+    def child(self, name: str, **tags: object) -> "Span":
+        """Open a sub-span of this span."""
+        return self.tracer.start(name, parent=self, **tags)
+
+    def finish(self) -> None:
+        if self.end is not None:
+            return  # idempotent: racing finishers record once
+        self.end = self.tracer.now()
+        self.tracer._finished(self)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.tracer.now()) - self.start
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1000:.2f}ms" if self.end else "open"
+        return f"Span({self.name!r}, {state}, tags={self.tags!r})"
+
+
+class Tracer:
+    """Factory and fan-out point for spans.
+
+    ``clock_now`` is any zero-argument time source — pass
+    ``clock.now`` so simulated and wall time both work.
+    """
+
+    def __init__(
+        self,
+        clock_now: Callable[[], float],
+        sinks: Tuple[SpanSink, ...] = (),
+    ):
+        self.now = clock_now
+        self._sinks: List[SpanSink] = list(sinks)
+        self._lock = threading.Lock()
+        self._next_trace = 0
+        self._next_span = 0
+
+    def add_sink(self, sink: SpanSink) -> None:
+        self._sinks.append(sink)
+
+    def start(
+        self, name: str, parent: Optional[Span] = None, **tags: object
+    ) -> Span:
+        with self._lock:
+            self._next_span += 1
+            span_id = self._next_span
+            if parent is None:
+                self._next_trace += 1
+                trace_id = self._next_trace
+            else:
+                trace_id = parent.trace_id
+        span = Span(self, name, parent, trace_id, span_id, self.now())
+        for key, value in tags.items():
+            span.tag(key, value)
+        return span
+
+    def _finished(self, span: Span) -> None:
+        for sink in self._sinks:
+            try:
+                sink(span)
+            except Exception:  # noqa: BLE001 - sinks must not break requests
+                pass
+
+
+class RingSink:
+    """Keeps the last *capacity* finished spans for inspection."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+
+    def __call__(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if len(self._spans) > self.capacity:
+                del self._spans[: len(self._spans) - self.capacity]
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            out = list(self._spans)
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return out
+
+    def traces(self) -> Dict[int, List[Span]]:
+        """Finished spans grouped by trace id, in finish order."""
+        out: Dict[int, List[Span]] = {}
+        for span in self.spans():
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()

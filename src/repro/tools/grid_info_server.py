@@ -22,6 +22,7 @@ from ..ldap.server import LdapServer
 from ..ldap.url import LdapUrl
 from ..net.clock import WallClock
 from ..net.tcp import TcpEndpoint
+from ..obs import MetricsRegistry, MonitorBackend, MonitoredBackend
 
 __all__ = ["main", "start_server"]
 
@@ -39,17 +40,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="hostname to advertise in registrations (default: bind address)",
     )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="serve live operational metrics under cn=monitor",
+    )
     return parser
 
 
 def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
-                 advertise_host: Optional[str] = None):
-    """Start everything; returns (endpoint, bound_port, registrants, server)."""
+                 advertise_host: Optional[str] = None, monitor: bool = False):
+    """Start everything; returns (endpoint, bound_port, registrants, server).
+
+    With ``monitor=True`` one shared :class:`MetricsRegistry` is threaded
+    through the transport, the GRIS, and the LDAP front end, and served
+    as a GRIP-queryable ``cn=monitor`` subtree alongside the data suffix.
+    """
     clock = WallClock()
     config = load_config(config_path)
-    gris = build_gris(config, clock=clock)
-    server = LdapServer(gris, clock=clock, name="grid-info-server")
-    endpoint = TcpEndpoint(host)
+    metrics = MetricsRegistry() if monitor else None
+    gris = build_gris(config, clock=clock, metrics=metrics)
+    backend = gris
+    if monitor:
+        backend = MonitoredBackend(
+            gris, MonitorBackend(metrics, server_name="grid-info-server")
+        )
+    server = LdapServer(
+        backend, clock=clock, name="grid-info-server", metrics=metrics
+    )
+    endpoint = TcpEndpoint(host, metrics=metrics)
     bound = endpoint.listen(port, server.handle_connection)
 
     registrants = []
@@ -76,12 +95,15 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
     args = build_parser().parse_args(argv)
     try:
         endpoint, bound, registrants, _server = start_server(
-            args.config, args.host, args.port, args.advertise_host
+            args.config, args.host, args.port, args.advertise_host,
+            monitor=args.monitor,
         )
     except ConfigError as exc:
         print(f"grid-info-server: {exc}", file=sys.stderr)
         return 2
     print(f"grid-info-server: listening on ldap://{args.host}:{bound}/")
+    if args.monitor:
+        print("grid-info-server: serving live metrics under cn=monitor")
     if registrants:
         targets = [d for r in registrants for d in r.directories()]
         print(f"grid-info-server: registering with {', '.join(targets)}")
