@@ -19,7 +19,7 @@ import sys
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
 from repro.testbed import GridTestbed
-from repro.testbed.metrics import Series, fmt_table
+from repro.testbed.metrics import fmt_table
 
 
 def build_figure5(tb: GridTestbed, o1_hosts=3, o2_hosts=2):

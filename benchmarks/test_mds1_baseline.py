@@ -18,13 +18,11 @@ import sys
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
 from repro.baselines import CentralDirectory, Mds1Pusher
-from repro.gris import DynamicHostProvider, HostConfig, SimulatedLoadSensor, StaticHostProvider
 from repro.ldap.client import LdapClient
 from repro.ldap.url import LdapUrl
 from repro.testbed import GridTestbed
 from repro.testbed.metrics import Series, fmt_table
 
-import random
 
 N_RESOURCES = 5
 PUSH_INTERVAL = 60.0

@@ -15,7 +15,7 @@ sys.path.insert(0, __file__.rsplit("/", 1)[0])
 import random
 
 from repro.grip.messages import GrrpMessage
-from repro.ldap.backend import DitBackend, RequestContext
+from repro.ldap.backend import DitBackend
 from repro.ldap.dit import DIT
 from repro.ldap.entry import Entry
 from repro.ldap.server import LdapServer
@@ -23,7 +23,6 @@ from repro.net.sim import Simulator
 from repro.net.simnet import SimNetwork
 from repro.ldap.client import LdapClient
 from repro.security import (
-    ANONYMOUS,
     CertificateAuthority,
     GsiAuthenticator,
     TrustStore,

@@ -93,7 +93,7 @@ class Mds1Pusher:
             self._pushed_dns - current_dns, key=lambda d: -len(d.rdns)
         ):
             try:
-                self.client.delete_async(dn, lambda result: None)
+                self.client.delete_async(dn, lambda outcome, error: None)
             except Exception:  # noqa: BLE001 - central dir unreachable
                 self.push_failures += 1
                 return
@@ -102,8 +102,8 @@ class Mds1Pusher:
             try:
                 # Upsert: delete any stale copy, then add the fresh one.
                 if entry.dn in self._pushed_dns:
-                    self.client.delete_async(entry.dn, lambda result: None)
-                self.client.add_async(entry, lambda result: None)
+                    self.client.delete_async(entry.dn, lambda outcome, error: None)
+                self.client.add_async(entry, lambda outcome, error: None)
             except Exception:  # noqa: BLE001
                 self.push_failures += 1
                 return

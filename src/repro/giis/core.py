@@ -35,12 +35,13 @@ from ..ldap.backend import (
     ChangeCallback,
     ChangeType,
     RequestContext,
+    SearchHandle,
     SearchOutcome,
     Subscription,
     _in_scope,
 )
+from ..ldap.executor import CancelToken
 from ..ldap.client import LdapClient, SearchResult
-from ..ldap.dit import Scope
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.protocol import AddRequest, LdapResult, ResultCode, SearchRequest
@@ -163,6 +164,7 @@ class GiisBackend(Backend):
         self._depth_limited = self.metrics.counter("giis.depth_limited")
         self._qcache_hits = self.metrics.counter("giis.query_cache.hits")
         self._qcache_misses = self.metrics.counter("giis.query_cache.misses")
+        self._chain_cancelled = self.metrics.counter("giis.chain.cancelled")
         self._child_latency = self.metrics.histogram("giis.child.seconds")
         self._fanout = self.metrics.histogram(
             "giis.fanout", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -317,7 +319,7 @@ class GiisBackend(Backend):
         return [str(self.suffix)]
 
     def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
-        """Synchronous search sees only the local view (no chaining)."""
+        """Synchronous shim: sees only the local view (no chaining)."""
         return self._local_outcome(req)
 
     def _local_outcome(self, req: SearchRequest) -> SearchOutcome:
@@ -329,12 +331,14 @@ class GiisBackend(Backend):
         ]
         return SearchOutcome(entries=entries)
 
-    def search_async(
+    def submit_search(
         self,
         req: SearchRequest,
         ctx: RequestContext,
         done: Callable[[SearchOutcome], None],
-    ) -> None:
+    ) -> SearchHandle:
+        token = ctx.token if ctx.token is not None else CancelToken()
+        handle = SearchHandle(token)
         base = req.base_dn()
         if not (base.is_within(self.suffix) or self.suffix.is_within(base)):
             done(
@@ -344,7 +348,7 @@ class GiisBackend(Backend):
                     )
                 )
             )
-            return
+            return handle
 
         trace = getattr(ctx, "trace", None)
         cache_key = None
@@ -359,7 +363,7 @@ class GiisBackend(Backend):
                 if trace is not None:
                     trace.child("giis.cache", hit=True).finish()
                 done(_copy_outcome(slot.outcome))
-                return
+                return handle
             self._qcache_misses.inc()
 
         targets = self._targets(req)
@@ -370,7 +374,7 @@ class GiisBackend(Backend):
                 _child_url(registration) for registration in targets
             ]
             done(SearchOutcome(entries=local.entries, referrals=referrals))
-            return
+            return handle
 
         depth = _read_chain_depth(ctx.controls)
         if depth >= self.max_chain_depth:
@@ -378,11 +382,11 @@ class GiisBackend(Backend):
             # view instead of recursing (partial results, §2.2).
             self._depth_limited.inc()
             done(local)
-            return
+            return handle
 
         if self.connector is None or not targets:
             done(local)
-            return
+            return handle
 
         self._fanout.observe(len(targets))
         chain_span = (
@@ -391,10 +395,23 @@ class GiisBackend(Backend):
             else None
         )
         collector = _Collector(
-            self, req, local, len(targets), done, cache_key, span=chain_span
+            self,
+            req,
+            local,
+            len(targets),
+            done,
+            cache_key,
+            span=chain_span,
+            token=token,
         )
+        # Abandon/Unbind/disconnect/deadline all land here: stop waiting
+        # on children, cancel their timers, and never call done().
+        token.on_cancel(collector.abort)
         for registration in targets:
+            if collector.finished:
+                break  # aborted while fanning out
             self._chain_to(registration, req, collector, depth + 1, chain_span)
+        return handle
 
     def _chain_to(
         self,
@@ -420,16 +437,22 @@ class GiisBackend(Backend):
         # Forward without attribute selection or size limit: the parent
         # front end filters and projects authoritatively on full entries
         # (a projected entry could no longer match the filter upstream).
-        req = replace(req, attributes=(), size_limit=0)
+        # The time limit is re-stamped below from this hop's own budget.
+        req = replace(req, attributes=(), size_limit=0, time_limit=0)
 
         def on_timeout() -> None:
             if span is not None:
                 span.tag("timeout", True).finish()
             collector.child_timed_out(url)
 
-        timer = self.clock.call_later(self.child_timeout, on_timeout)
+        # The per-child timeout never exceeds the request's remaining
+        # deadline budget: a child answer arriving after the front end
+        # already said TIME_LIMIT_EXCEEDED is useless.
+        child_timeout = collector.token.clamp(started, self.child_timeout)
+        timer = self.clock.call_later(child_timeout, on_timeout)
+        collector.own_timer(url, timer)
 
-        def on_done(result: SearchResult) -> None:
+        def on_done(result: SearchResult, _error=None) -> None:
             timer.cancel()
             self._child_latency.observe(self.clock.now() - started)
             if span is not None:
@@ -441,7 +464,12 @@ class GiisBackend(Backend):
                 collector.child_failed(url)
 
         try:
-            client.search_async(req, on_done, controls=(_chain_depth_control(depth),))
+            client.search_async(
+                req,
+                on_done,
+                controls=(_chain_depth_control(depth),),
+                deadline=child_timeout,
+            )
         except Exception:  # noqa: BLE001 - connection died under us
             timer.cancel()
             if span is not None:
@@ -470,7 +498,9 @@ class GiisBackend(Backend):
 
             token = make_token(self.credential, service_url, self.clock.now())
             try:
-                client.bind_async(lambda result: None, mechanism="GSI", credentials=token)
+                client.bind_async(
+                    lambda outcome, error: None, mechanism="GSI", credentials=token
+                )
             except Exception:  # noqa: BLE001 - connection died already
                 # Release the freshly dialed socket and don't cache the
                 # half-bound client, or every retry against a flaky
@@ -512,7 +542,13 @@ class GiisBackend(Backend):
 
 
 class _Collector:
-    """Merges chained child results; calls done() exactly once."""
+    """Merges chained child results; calls done() exactly once.
+
+    Cancellation-aware: :meth:`abort` (wired to the request's
+    :class:`~repro.ldap.executor.CancelToken`) stops the fan-out early —
+    outstanding child timers are cancelled, late child answers are
+    dropped, and ``done`` is never invoked.
+    """
 
     def __init__(
         self,
@@ -523,17 +559,38 @@ class _Collector:
         done: Callable[[SearchOutcome], None],
         cache_key,
         span=None,
+        token: Optional[CancelToken] = None,
     ):
         self.giis = giis
         self.req = req
         self.done = done
         self.cache_key = cache_key
         self.span = span
+        self.token = token if token is not None else CancelToken()
         self.pending = pending
         self.finished = False
         self.merged: Dict[DN, Entry] = {e.dn: e for e in local.entries}
         self.referrals: List[str] = list(local.referrals)
         self.responded: set = set()
+        self._timers: Dict[str, object] = {}
+
+    def own_timer(self, url: str, timer) -> None:
+        """Track one child's timeout timer so abort() can cancel it."""
+        if self.finished:
+            timer.cancel()
+        else:
+            self._timers[url] = timer
+
+    def abort(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.giis._chain_cancelled.inc()
+        timers, self._timers = self._timers, {}
+        for timer in timers.values():
+            timer.cancel()
+        if self.span is not None:
+            self.span.tag("cancelled", self.token.reason or True).finish()
 
     def child_done(self, url: str, result: SearchResult) -> None:
         if url in self.responded:
@@ -558,8 +615,10 @@ class _Collector:
         self._decrement()
 
     def _decrement(self) -> None:
+        if self.finished:
+            return
         self.pending -= 1
-        if self.pending > 0 or self.finished:
+        if self.pending > 0:
             return
         self.finished = True
         if self.span is not None:

@@ -69,7 +69,7 @@ class LdapGrrpSender:
         entry = message.to_entry(url.dn)
         self.sends += 1
         try:
-            client.add_async(entry, lambda result: None)
+            client.add_async(entry, lambda outcome, error: None)
         except Exception:  # noqa: BLE001 - connection died; refresh will retry
             self._clients.pop(directory, None)
             self.send_failures += 1

@@ -11,16 +11,14 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..grip.registry import Registration
-from ..ldap.client import LdapClient, SearchResult
+from ..ldap.client import SearchResult
 from ..ldap.dit import Scope
 from ..ldap.entry import Entry
 from ..ldap.filter import parse as parse_filter
 from ..ldap.protocol import SearchRequest
-from ..ldap.url import LdapUrl
-from ..net.transport import ConnectionClosed, TransportError
 from .core import GiisBackend, GiisIndex
 
 __all__ = ["NameIndex", "PullIndex"]
@@ -123,7 +121,7 @@ class PullIndex(GiisIndex):
         )
         self.pulls += 1
 
-        def on_done(result: SearchResult) -> None:
+        def on_done(result: SearchResult, _error=None) -> None:
             if not result.result.ok:
                 self.pull_failures += 1
                 return

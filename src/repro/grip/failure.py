@@ -17,7 +17,7 @@ producers under packet loss — the subject of benchmark E6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..net.clock import Clock, TimerHandle

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from ..ldap.dn import DN, RDN
 from ..ldap.entry import Entry

@@ -17,12 +17,12 @@ what gives observers "timely awareness of when failures have occurred"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..net.clock import Clock, TimerHandle
 from ..obs.metrics import MetricsRegistry
-from .messages import GrrpError, GrrpMessage, NotificationType
+from .messages import GrrpMessage, NotificationType
 
 __all__ = ["Registration", "SoftStateRegistry"]
 

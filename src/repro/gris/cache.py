@@ -15,7 +15,7 @@ must "not interfere with other functions" (§2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ldap.entry import Entry
 from ..obs.metrics import MetricsRegistry

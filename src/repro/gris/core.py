@@ -22,7 +22,7 @@ filtering, §10.1/§10.3) and adds:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..ldap.backend import (
     Backend,
@@ -67,6 +67,7 @@ class GrisBackend(Backend):
         self._provider_errors = self.metrics.counter("gris.provider.errors")
         self._dispatches = self.metrics.counter("gris.provider.dispatches")
         self._pruned = self.metrics.counter("gris.provider.pruned")
+        self._cancelled_collects = self.metrics.counter("gris.collect.cancelled")
         self.metrics.gauge_fn("gris.providers", lambda: len(self._providers))
         self.metrics.gauge_fn("gris.subscriptions", lambda: len(self._subs))
 
@@ -137,7 +138,7 @@ class GrisBackend(Backend):
     def naming_contexts(self):
         return [str(self.suffix)]
 
-    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+    def _search_impl(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
         try:
             base = req.base_dn()
         except Exception:
@@ -152,7 +153,7 @@ class GrisBackend(Backend):
             )
         trace = getattr(ctx, "trace", None)
         span = trace.child("gris.collect") if trace is not None else None
-        entries = self._collect(req, trace=span)
+        entries = self._collect(req, trace=span, token=ctx.token)
         if span is not None:
             span.tag("entries", len(entries)).finish()
         in_scope = [
@@ -168,14 +169,23 @@ class GrisBackend(Backend):
         return SearchOutcome(entries=in_scope)
 
     def _collect(
-        self, req: SearchRequest, trace=None
+        self, req: SearchRequest, trace=None, token=None
     ) -> Dict[DN, Entry]:
-        """Gather the merged view relevant to *req* from all providers."""
+        """Gather the merged view relevant to *req* from all providers.
+
+        A cancelled *token* stops the dispatch loop between providers:
+        the requester is gone (Abandon, disconnect) or past its time
+        limit, so further provider probes are wasted work.  The partial
+        merge is returned; the front end discards it.
+        """
         now = self.clock.now()
         merged: Dict[DN, Entry] = {}
         if self._suffix_entry is not None:
             merged[self.suffix] = self._suffix_entry.copy()
         for provider in self._providers.values():
+            if token is not None and token.cancelled:
+                self._cancelled_collects.inc()
+                break
             if not self._intersects(provider, req):
                 self._pruned.inc()
                 continue

@@ -17,12 +17,11 @@ from __future__ import annotations
 
 import os
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
-from ..net.clock import Clock
 from .provider import FunctionProvider
 
 __all__ = [

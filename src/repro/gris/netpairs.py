@@ -20,12 +20,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
-from ..ldap.dit import Scope
 from ..ldap.dn import DN, RDN
 from ..ldap.entry import Entry
 from ..ldap.filter import And, Equality, Filter
 from ..ldap.protocol import SearchRequest
-from .nws import Forecast, SeriesStore
+from .nws import SeriesStore
 from .provider import InformationProvider
 
 __all__ = ["NetworkPairsProvider", "pair_series"]

@@ -20,7 +20,7 @@ and coerced for comparison.
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 __all__ = [
     "normalize_attr_name",

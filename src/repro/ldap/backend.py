@@ -16,11 +16,12 @@ persistent-search subscriptions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .dit import DIT, DitError, EntryExists, NoSuchEntry, Scope, SizeLimitExceeded
 from .dn import DN
 from .entry import Entry
+from .executor import CancelToken
 from .protocol import (
     AddRequest,
     LdapResult,
@@ -33,6 +34,7 @@ from .schema import SchemaError
 __all__ = [
     "RequestContext",
     "SearchOutcome",
+    "SearchHandle",
     "ChangeType",
     "Subscription",
     "Backend",
@@ -53,6 +55,14 @@ class RequestContext:
     # Per-request trace span (repro.obs.trace.Span) when the front end
     # runs with a tracer; backends open children off it for their hops.
     trace: Optional[object] = None
+    # Cancellation/deadline carrier set by the front end; backends check
+    # it to stop in-flight work on Abandon, Unbind, disconnect, or time
+    # limit expiry.
+    token: Optional[CancelToken] = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.token is not None and self.token.cancelled
 
 
 @dataclass
@@ -91,33 +101,93 @@ class Subscription:
 ChangeCallback = Callable[[Entry, int], None]
 
 
+class SearchHandle:
+    """Handle for one in-flight backend search.
+
+    Returned by :meth:`Backend.submit_search`; :meth:`cancel` aborts the
+    work via the request's :class:`~repro.ldap.executor.CancelToken`
+    (a GIIS stops waiting on chained children, a GRIS stops dispatching
+    providers).  After cancellation the completion callback may never
+    fire — cancellers must not wait for it.
+    """
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: CancelToken):
+        self.token = token
+
+    @property
+    def cancelled(self) -> bool:
+        return self.token.cancelled
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.token.cancel(reason)
+
+
 class Backend:
     """Interface every server backend implements.
 
-    The default write/subscribe implementations refuse, so read-only
-    information providers only implement :meth:`search`.
+    The search path is async-first: the front end always drives
+    :meth:`submit_search`, which invokes its completion callback when
+    the outcome is ready (synchronously for local backends, later for
+    ones that gather results from *remote* services — the GIIS chaining
+    to its registered providers, §10.4).  Local backends implement the
+    synchronous :meth:`_search_impl` hook; remote ones override
+    :meth:`submit_search` itself and must honor ``ctx.token``.
 
-    Backends that gather results from *remote* services (the GIIS
-    chaining to its registered providers, §10.4) override
-    :meth:`search_async` instead: the front end always drives searches
-    through it, and the default bridges to the synchronous
-    :meth:`search`.
+    :meth:`search` is a thin synchronous shim over :meth:`submit_search`
+    for tests and in-process callers.
+
+    The default write/subscribe implementations refuse, so read-only
+    information providers only implement the search hook.
     """
 
-    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+    def _search_impl(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        """Synchronous search hook for local backends."""
         raise NotImplementedError
 
     def naming_contexts(self) -> List[str]:
         """Suffixes this backend serves (advertised in the root DSE)."""
         return []
 
-    def search_async(
+    def submit_search(
         self,
         req: SearchRequest,
         ctx: RequestContext,
-        done: Callable[[SearchOutcome], None],
-    ) -> None:
-        done(self.search(req, ctx))
+        on_done: Callable[[SearchOutcome], None],
+    ) -> SearchHandle:
+        """Start one search; *on_done* receives the single outcome.
+
+        The default runs :meth:`_search_impl` on the calling thread and
+        completes immediately; a cancelled token suppresses the callback
+        (the requester has already gone away).
+        """
+        token = ctx.token if ctx.token is not None else CancelToken()
+        handle = SearchHandle(token)
+        outcome = self._search_impl(req, ctx)
+        if not token.cancelled:
+            on_done(outcome)
+        return handle
+
+    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        """Synchronous shim over :meth:`submit_search`.
+
+        Only valid for backends that complete synchronously (anything
+        local); a backend with remote work in flight answers ``BUSY``
+        rather than blocking the caller.
+        """
+        box: List[SearchOutcome] = []
+        handle = self.submit_search(req, ctx, box.append)
+        if not box:
+            handle.cancel("synchronous caller cannot wait")
+            return SearchOutcome(
+                result=LdapResult(
+                    ResultCode.BUSY,
+                    message="backend did not complete synchronously; "
+                    "use submit_search",
+                )
+            )
+        return box[0]
 
     def add(self, req: AddRequest, ctx: RequestContext) -> LdapResult:
         return LdapResult(ResultCode.UNWILLING_TO_PERFORM, message="read-only backend")
@@ -150,7 +220,7 @@ class DitBackend(Backend):
 
     # -- reads ---------------------------------------------------------------
 
-    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+    def _search_impl(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
         try:
             base = req.base_dn()
         except Exception:

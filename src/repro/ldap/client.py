@@ -1,11 +1,22 @@
 """LDAP client: the consumer side of GRIP.
 
 The client is callback-driven so the same code runs on the simulator
-(single-threaded, virtual time) and over TCP (reader threads).  Async
-methods take completion callbacks; blocking convenience wrappers
+(single-threaded, virtual time) and over TCP (reader threads).  Every
+async method takes one completion callback with the uniform signature
+``on_done(outcome, error)``: *outcome* is always the accumulated
+:class:`SearchResult` (entries/referrals/result), and *error* is
+``None`` on success or the :class:`LdapError` describing a non-success
+result code or transport failure.  Blocking convenience wrappers
 (:meth:`LdapClient.search`, etc.) are provided for real transports and
 for simulator use via a *driver* — a callable that pumps the simulation
 until the operation completes.
+
+``search_async``/``bind_async`` accept an optional ``deadline`` (in
+seconds): it is stamped onto the wire request as the LDAP ``timeLimit``
+(searches) so deadline-aware servers stop working at expiry, and — when
+the client was built with a ``clock`` — also enforced locally, failing
+the pending operation with ``TIME_LIMIT_EXCEEDED`` even against a
+server that never answers.
 
 Subscriptions (persistent search) deliver
 :class:`~repro.ldap.entry.Entry` changes until cancelled; cancel sends
@@ -14,10 +25,12 @@ an Abandon.
 
 from __future__ import annotations
 
+import math
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..net.clock import Clock
 from ..net.transport import Connection, ConnectionClosed
 from .backend import ChangeType
 from .dit import Scope
@@ -51,7 +64,13 @@ from .protocol import (
 )
 from .psearch import EntryChangeNotification, PersistentSearchControl
 
-__all__ = ["LdapError", "SearchResult", "SubscriptionHandle", "LdapClient"]
+__all__ = [
+    "LdapError",
+    "SearchResult",
+    "SubscriptionHandle",
+    "LdapClient",
+    "DoneCallback",
+]
 
 
 class LdapError(Exception):
@@ -100,17 +119,25 @@ class SubscriptionHandle:
         self._client._abandon(self._msg_id)
 
 
+# Uniform completion signature for every async client method: the
+# accumulated result plus None, or the result-so-far plus the LdapError
+# explaining why it is not a success.
+DoneCallback = Callable[[SearchResult, Optional[LdapError]], None]
+
+
 class _Pending:
     """Server-reply bookkeeping for one outstanding message id."""
 
-    __slots__ = ("kind", "acc", "on_done", "on_change", "event")
+    __slots__ = ("kind", "acc", "on_done", "on_change", "event", "timer")
 
-    def __init__(self, kind: str, on_done=None, on_change=None):
+    def __init__(self, kind: str, on_done: Optional[DoneCallback] = None,
+                 on_change=None):
         self.kind = kind
         self.acc = SearchResult()
         self.on_done = on_done
         self.on_change = on_change
         self.event: Optional[threading.Event] = None
+        self.timer = None  # local deadline TimerHandle, when armed
 
 
 # A driver pumps progress while a blocking wrapper waits: for the
@@ -120,11 +147,23 @@ Driver = Callable[[], None]
 
 
 class LdapClient:
-    """One LDAP connection with request/response correlation."""
+    """One LDAP connection with request/response correlation.
 
-    def __init__(self, conn: Connection, driver: Optional[Driver] = None):
+    *clock* is optional and only needed for client-side ``deadline``
+    enforcement; without it a deadline still travels on the wire as the
+    search ``timeLimit`` but a dead server is only detected by the
+    blocking wrappers' own timeout.
+    """
+
+    def __init__(
+        self,
+        conn: Connection,
+        driver: Optional[Driver] = None,
+        clock: Optional[Clock] = None,
+    ):
         self.conn = conn
         self.driver = driver
+        self.clock = clock
         self._next_id = 0
         self._pending: Dict[int, _Pending] = {}
         self._lock = threading.Lock()
@@ -158,10 +197,17 @@ class LdapClient:
         failure = LdapResult(ResultCode.OTHER, message=why)
         for p in pending.values():
             p.acc.result = failure
-            if p.on_done:
-                p.on_done(p.acc)
-            if p.event:
-                p.event.set()
+            self._complete(p)
+
+    def _complete(self, pending: _Pending) -> None:
+        """Deliver one finished operation to its callback and waiter."""
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if pending.on_done:
+            error = None if pending.acc.result.ok else LdapError(pending.acc.result)
+            pending.on_done(pending.acc, error)
+        if pending.event:
+            pending.event.set()
 
     def _abandon(self, msg_id: int) -> None:
         with self._lock:
@@ -207,39 +253,65 @@ class LdapClient:
             return
         with self._lock:
             self._pending.pop(message.message_id, None)
-        if pending.on_done:
-            pending.on_done(pending.acc)
-        if pending.event:
-            pending.event.set()
+        self._complete(pending)
 
     # -- async API ------------------------------------------------------------
+    #
+    # Every method here takes one DoneCallback: on_done(outcome, error).
+
+    def _arm_deadline(self, msg_id: int, deadline: Optional[float]) -> None:
+        """Local deadline enforcement, when a clock is available."""
+        if deadline is None or self.clock is None:
+            return
+
+        def expire() -> None:
+            with self._lock:
+                pending = self._pending.pop(msg_id, None)
+            if pending is None:
+                return
+            pending.acc.result = LdapResult(
+                ResultCode.TIME_LIMIT_EXCEEDED,
+                message=f"client deadline of {deadline}s expired",
+            )
+            self._complete(pending)
+
+        with self._lock:
+            pending = self._pending.get(msg_id)
+        if pending is not None:
+            pending.timer = self.clock.call_later(max(0.0, deadline), expire)
 
     def bind_async(
         self,
-        on_done: Callable[[SearchResult], None],
+        on_done: DoneCallback,
         name: str = "",
         mechanism: str = "simple",
         credentials: bytes = b"",
+        deadline: Optional[float] = None,
     ) -> int:
         pending = _Pending("bind", on_done=on_done)
         msg_id = self._allocate(pending)
         self._send(LdapMessage(msg_id, BindRequest(3, name, mechanism, credentials)))
+        self._arm_deadline(msg_id, deadline)
         return msg_id
 
     def search_async(
         self,
         req: SearchRequest,
-        on_done: Callable[[SearchResult], None],
+        on_done: DoneCallback,
         controls: Tuple[Control, ...] = (),
+        deadline: Optional[float] = None,
     ) -> int:
+        if deadline is not None and not req.time_limit:
+            # Advertise the budget on the wire so deadline-aware servers
+            # (and chained children) stop working when it expires.
+            req = replace(req, time_limit=max(1, math.ceil(deadline)))
         pending = _Pending("search", on_done=on_done)
         msg_id = self._allocate(pending)
         self._send(LdapMessage(msg_id, req, controls))
+        self._arm_deadline(msg_id, deadline)
         return msg_id
 
-    def add_async(
-        self, entry: Entry, on_done: Callable[[SearchResult], None]
-    ) -> int:
+    def add_async(self, entry: Entry, on_done: DoneCallback) -> int:
         pending = _Pending("add", on_done=on_done)
         msg_id = self._allocate(pending)
         self._send(LdapMessage(msg_id, AddRequest.from_entry(entry)))
@@ -249,7 +321,7 @@ class LdapClient:
         self,
         dn: Union[DN, str],
         changes: Sequence[Tuple[int, str, Sequence[str]]],
-        on_done: Callable[[SearchResult], None],
+        on_done: DoneCallback,
     ) -> int:
         pending = _Pending("modify", on_done=on_done)
         msg_id = self._allocate(pending)
@@ -257,16 +329,14 @@ class LdapClient:
         self._send(LdapMessage(msg_id, ModifyRequest(str(dn), wire)))
         return msg_id
 
-    def delete_async(
-        self, dn: Union[DN, str], on_done: Callable[[SearchResult], None]
-    ) -> int:
+    def delete_async(self, dn: Union[DN, str], on_done: DoneCallback) -> int:
         pending = _Pending("delete", on_done=on_done)
         msg_id = self._allocate(pending)
         self._send(LdapMessage(msg_id, DeleteRequest(str(dn))))
         return msg_id
 
     def extended_async(
-        self, oid: str, value: bytes, on_done: Callable[[SearchResult], None]
+        self, oid: str, value: bytes, on_done: DoneCallback
     ) -> int:
         pending = _Pending("extended", on_done=on_done)
         msg_id = self._allocate(pending)
@@ -300,7 +370,7 @@ class LdapClient:
         done = threading.Event()
         box: List[SearchResult] = []
 
-        def on_done(result: SearchResult) -> None:
+        def on_done(result: SearchResult, _error: Optional[LdapError]) -> None:
             box.append(result)
             done.set()
 

@@ -18,7 +18,7 @@ import enum
 import threading
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
-from .dn import DN, DNError
+from .dn import DN
 from .entry import Entry
 from .filter import Filter
 from .schema import Schema

@@ -1,0 +1,223 @@
+"""Request execution: cancellation tokens and the bounded worker pool.
+
+MDS-2 positions a GRIS/GIIS as a server that must stay responsive while
+dispatching to slow information providers and chaining to remote
+directories (§10.3/§10.4).  Executing a search inline on the transport
+reader thread makes every connection head-of-line blocked: one stalled
+provider probe or GIIS fan-out delays every later operation on that
+connection — including the Abandon that should cancel it.
+
+This module supplies the two primitives the front end uses to fix that:
+
+* :class:`CancelToken` — a per-request cancellation/deadline carrier,
+  threaded through :class:`~repro.ldap.backend.RequestContext` so
+  backends (GIIS chaining, GRIS provider collection) can stop in-flight
+  work when the client abandons, unbinds, or disconnects, or when the
+  request's time limit expires.
+* :class:`RequestExecutor` — a sized worker pool with a bounded queue.
+  Decode stays on the reader thread; search execution is submitted
+  here.  Queue overflow is *backpressure*: :meth:`RequestExecutor.submit`
+  refuses and the server answers ``BUSY`` instead of stalling the
+  connection.  ``workers=0`` selects *inline* mode (run on the caller's
+  thread), which keeps the discrete-event simulator single-threaded and
+  deterministic while exercising the same code path.
+
+Both are instrumented on a :class:`~repro.obs.metrics.MetricsRegistry`,
+so pool depth, queue wait, rejections, and cancellations are visible
+under ``cn=monitor`` like every other operational signal.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..net.clock import Clock, WallClock
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["CancelToken", "RequestExecutor"]
+
+
+class CancelToken:
+    """One request's cancellation state plus optional absolute deadline.
+
+    Created by the front end per operation and handed to the backend via
+    ``ctx.token``.  Cancellation is level-triggered and sticky: callbacks
+    registered after :meth:`cancel` fire immediately, so late observers
+    (a chained child completing after an Abandon) cannot miss it.
+    """
+
+    __slots__ = ("deadline", "_lock", "_cancelled", "_reason", "_callbacks")
+
+    def __init__(self, deadline: Optional[float] = None):
+        self.deadline = deadline
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._reason = ""
+        self._callbacks: List[Callable[[], None]] = []
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        """Why the request was cancelled ('' while still live)."""
+        return self._reason
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Idempotent; fires every registered callback exactly once."""
+        with self._lock:
+            if self._cancelled:
+                return
+            self._cancelled = True
+            self._reason = reason
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 - observers must not break cancel
+                pass
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Run *callback* on cancellation (immediately if already cancelled)."""
+        with self._lock:
+            if not self._cancelled:
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    # -- deadline arithmetic --------------------------------------------------
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def remaining(self, now: float) -> Optional[float]:
+        """Budget left before the deadline; None when unbounded."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - now)
+
+    def clamp(self, now: float, timeout: float) -> float:
+        """*timeout* reduced to the remaining deadline budget."""
+        remaining = self.remaining(now)
+        return timeout if remaining is None else min(timeout, remaining)
+
+
+class RequestExecutor:
+    """A bounded worker pool with queue-overflow backpressure.
+
+    ``workers > 0`` starts that many daemon threads draining a FIFO of
+    at most *queue_limit* pending tasks; :meth:`submit` refuses (returns
+    ``False``) when the queue is full, which the LDAP front end maps to
+    a ``BUSY`` result — the client sees fast failure, never a silent
+    stall.  ``workers=0`` is inline mode: tasks run synchronously on the
+    submitting thread, preserving the old single-threaded semantics for
+    the simulator and for embedded use.
+
+    Metric families (all under the supplied registry, hence under
+    ``cn=monitor`` when that registry is served):
+
+    * ``ldap.executor.workers`` / ``ldap.executor.queue.limit`` — sizing
+    * ``ldap.executor.queue.depth`` / ``ldap.executor.active`` — live load
+    * ``ldap.executor.queue.wait.seconds`` — decode-to-execute latency
+    * ``ldap.executor.submitted`` / ``completed`` / ``rejected`` /
+      ``errors`` — lifecycle counters
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        queue_limit: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+        name: str = "ldap",
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.metrics = metrics or MetricsRegistry()
+        self.clock = clock or WallClock()
+        self.name = name
+        labels = {"pool": name}
+        self._submitted = self.metrics.counter("ldap.executor.submitted", labels)
+        self._rejected = self.metrics.counter("ldap.executor.rejected", labels)
+        self._completed = self.metrics.counter("ldap.executor.completed", labels)
+        self._errors = self.metrics.counter("ldap.executor.errors", labels)
+        self._queue_wait = self.metrics.histogram(
+            "ldap.executor.queue.wait.seconds", labels
+        )
+        self.metrics.gauge_fn("ldap.executor.workers", lambda: self.workers, labels)
+        self.metrics.gauge_fn(
+            "ldap.executor.queue.limit", lambda: self.queue_limit, labels
+        )
+        self.metrics.gauge_fn(
+            "ldap.executor.queue.depth", lambda: len(self._queue), labels
+        )
+        self.metrics.gauge_fn("ldap.executor.active", lambda: self._active, labels)
+        self._queue: Deque[Tuple[Callable[[], None], float]] = deque()
+        self._cv = threading.Condition()
+        self._active = 0
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+        for i in range(workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"{name}-exec-{i}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    @property
+    def inline(self) -> bool:
+        """True when tasks run on the submitting thread (workers=0)."""
+        return self.workers == 0
+
+    def submit(self, task: Callable[[], None]) -> bool:
+        """Queue *task*; False = queue full (caller should answer BUSY)."""
+        if self.inline:
+            self._submitted.inc()
+            self._queue_wait.observe(0.0)
+            self._run(task)
+            return True
+        with self._cv:
+            if self._closed or len(self._queue) >= self.queue_limit:
+                self._rejected.inc()
+                return False
+            self._queue.append((task, self.clock.now()))
+            self._submitted.inc()
+            self._cv.notify()
+        return True
+
+    def _run(self, task: Callable[[], None]) -> None:
+        self._active += 1
+        try:
+            task()
+        except Exception:  # noqa: BLE001 - a task must not kill its worker
+            self._errors.inc()
+        finally:
+            self._active -= 1
+            self._completed.inc()
+
+    def _worker(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if self._closed and not self._queue:
+                    return
+                task, enqueued = self._queue.popleft()
+            self._queue_wait.observe(self.clock.now() - enqueued)
+            self._run(task)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drain the queue, then stop the workers."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)

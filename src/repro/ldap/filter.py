@@ -18,7 +18,7 @@ The AST round-trips: ``parse(str(ast)) == ast``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from .attributes import normalize_attr_name, rule_for
 from .entry import Entry

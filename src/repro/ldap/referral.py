@@ -12,13 +12,13 @@ applied to the *client's* identity, not the directory's (§7).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+from typing import Callable, Dict, List, Sequence, Set, Union
 
 from .client import LdapClient, SearchResult
 from .dit import Scope
 from .dn import DN
 from .entry import Entry
-from .filter import Filter, parse as parse_filter
+from .filter import Filter
 from .url import LdapUrl, LdapUrlError
 
 __all__ = ["chase_referrals", "search_following_referrals"]

@@ -13,7 +13,7 @@ works without one); the DIT accepts a schema but defaults to none.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from .attributes import normalize_attr_name

@@ -18,12 +18,27 @@ Responsibilities here:
 * authoritative filter matching, attribute selection, size limits;
 * persistent-search subscriptions and Abandon;
 * dispatch of everything else to the :class:`~repro.ldap.backend.Backend`.
+
+Execution model (the §10.1 interpreter under load): message decode and
+connection state stay on the transport reader thread, but *search*
+execution is submitted to a :class:`~repro.ldap.executor.RequestExecutor`
+— a bounded worker pool.  Binds, unbinds, writes, and Abandons remain
+serialized on the reader thread (so authentication state changes are
+ordered with respect to the requests that follow them), while searches
+on one connection run concurrently: a slow GIIS fan-out or GRIS provider
+probe no longer head-of-line blocks the Abandon meant to cancel it.
+Queue overflow answers ``BUSY`` (backpressure, not stalling); each
+search carries a deadline derived from the LDAP ``timeLimit`` and the
+server-wide default, answering ``TIME_LIMIT_EXCEEDED`` on expiry; and a
+:class:`~repro.ldap.executor.CancelToken` threaded through the
+:class:`~repro.ldap.backend.RequestContext` lets Abandon/Unbind/close
+stop in-flight backend work instead of letting it run to completion.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..net.clock import Clock, WallClock
 from ..net.transport import Connection, ConnectionClosed
@@ -36,6 +51,7 @@ from .backend import Backend, ChangeType, RequestContext, Subscription
 from .dit import Scope
 from .dn import DN
 from .entry import Entry
+from .executor import CancelToken, RequestExecutor
 from .protocol import (
     AbandonRequest,
     AddRequest,
@@ -89,6 +105,8 @@ class LdapServer:
         name: str = "ldap-server",
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        executor: Optional[RequestExecutor] = None,
+        default_time_limit: float = 0.0,
     ):
         self.backend = backend
         self.authenticator = authenticator or AnonymousOnly()
@@ -96,6 +114,10 @@ class LdapServer:
         self.clock = clock or WallClock()
         self.allow_anonymous_writes = allow_anonymous_writes
         self.name = name
+        # Server-side ceiling on search execution time (seconds); the
+        # effective deadline is the tighter of this and the request's
+        # own timeLimit.  0 = no server-imposed limit.
+        self.default_time_limit = default_time_limit
         # Per-operation counters and latency histograms live on the
         # metrics registry (share one across components to aggregate a
         # whole process under cn=monitor); `stats` stays as the
@@ -115,11 +137,27 @@ class LdapServer:
             op: self.metrics.histogram("ldap.request.seconds", {"op": op})
             for op in ("search", "bind", "add", "modify", "delete")
         }
+        # Search execution happens off the reader thread on this pool;
+        # the default inline executor (workers=0) preserves synchronous
+        # single-threaded semantics for the simulator and embedded use.
+        self.executor = (
+            executor
+            if executor is not None
+            else RequestExecutor(
+                workers=0, metrics=self.metrics, clock=self.clock, name=name
+            )
+        )
+        self._search_rejected = self.metrics.counter("ldap.search.rejected")
+        self._search_expired = self.metrics.counter("ldap.search.deadline_expired")
 
     def observe_result(self, op: str, code: int, started: float) -> None:
         """Record one finished operation: result-code count + latency."""
         self.metrics.counter("ldap.results", {"op": op, "code": int(code)}).inc()
         self._latency[op].observe(self.clock.now() - started)
+
+    def observe_cancelled(self, reason: str) -> None:
+        """Count one in-flight search cancelled before completion."""
+        self.metrics.counter("ldap.search.cancelled", {"reason": reason}).inc()
 
     def handle_connection(self, conn: Connection) -> None:
         self._connections.inc()
@@ -176,15 +214,38 @@ class _ServerStats:
         return self._count("ldap.protocol.errors")
 
 
+class _InFlightSearch:
+    """Conclude-once bookkeeping for one search being executed."""
+
+    __slots__ = ("token", "started", "timer")
+
+    def __init__(self, token: CancelToken, started: float):
+        self.token = token
+        self.started = started
+        self.timer = None  # deadline TimerHandle, when armed
+
+
 class _ServerConnection:
-    """Per-connection protocol state machine."""
+    """Per-connection protocol state machine.
+
+    Threading: `_lock` serializes dispatch on the transport reader
+    thread (decode order = processing order for bind/unbind/writes/
+    Abandon).  Searches leave the reader thread via the server's
+    executor, so `_ops_lock` guards the tables shared with worker
+    threads and timer callbacks: in-flight searches and subscriptions.
+    Each search concludes exactly once — whoever pops its record
+    (completion, deadline expiry, Abandon, Unbind, or close) owns the
+    response; everyone else drops theirs.
+    """
 
     def __init__(self, server: LdapServer, conn: Connection):
         self.server = server
         self.conn = conn
         self.identity = ANONYMOUS
         self._lock = threading.Lock()  # serializes dispatch on TCP threads
+        self._ops_lock = threading.Lock()  # guards the two tables below
         self._subscriptions: Dict[int, Subscription] = {}
+        self._inflight: Dict[int, _InFlightSearch] = {}
         conn.set_close_handler(self._on_close)
         conn.set_receiver(self._on_message)
 
@@ -197,9 +258,32 @@ class _ServerConnection:
             self._on_close()
 
     def _on_close(self) -> None:
-        for sub in list(self._subscriptions.values()):
+        """Connection gone: drop subscriptions AND abandon in-flight work.
+
+        Cancelling the in-flight tokens is what stops orphaned GIIS
+        chain queries and GRIS provider dispatch for clients that
+        disconnected mid-search.
+        """
+        with self._ops_lock:
+            subscriptions = list(self._subscriptions.values())
+            self._subscriptions.clear()
+            inflight = list(self._inflight.values())
+            self._inflight.clear()
+        for sub in subscriptions:
             sub.cancel()
-        self._subscriptions.clear()
+        for record in inflight:
+            if record.timer is not None:
+                record.timer.cancel()
+            record.token.cancel("connection closed")
+            self.server.observe_cancelled("disconnect")
+
+    def _take_inflight(self, msg_id: int) -> Optional[_InFlightSearch]:
+        """Claim the right to conclude *msg_id*; None = already concluded."""
+        with self._ops_lock:
+            record = self._inflight.pop(msg_id, None)
+        if record is not None and record.timer is not None:
+            record.timer.cancel()
+        return record
 
     def _context(self) -> RequestContext:
         return RequestContext(
@@ -269,9 +353,7 @@ class _ServerConnection:
                 "delete",
             )
         elif isinstance(op, AbandonRequest):
-            sub = self._subscriptions.pop(op.message_id, None)
-            if sub is not None:
-                sub.cancel()
+            self._abandon(op.message_id)
         elif isinstance(op, ExtendedRequest):
             self._handle_extended(message.message_id, op)
         else:
@@ -279,6 +361,23 @@ class _ServerConnection:
             self.server._protocol_errors.inc()
             self.conn.close()
             self._on_close()
+
+    def _abandon(self, target_id: int) -> None:
+        """Abandon a persistent search or an in-flight operation.
+
+        No response in either case (RFC 4511 §4.11); cancelling the
+        token makes the backend stop chaining/dispatching and makes the
+        eventual completion callback a silent no-op.
+        """
+        with self._ops_lock:
+            sub = self._subscriptions.pop(target_id, None)
+        if sub is not None:
+            sub.cancel()
+            return
+        record = self._take_inflight(target_id)
+        if record is not None:
+            record.token.cancel("abandoned")
+            self.server.observe_cancelled("abandon")
 
     def _handle_bind(self, msg_id: int, op: BindRequest) -> None:
         self.server._requests["bind"].inc()
@@ -394,14 +493,129 @@ class _ServerConnection:
             )
         return sre
 
+    def _deadline_for(self, req: SearchRequest, now: float) -> Optional[float]:
+        """Absolute deadline: tighter of the request's timeLimit and the
+        server default; None when neither bounds the search."""
+        limits = [
+            float(limit)
+            for limit in (req.time_limit, self.server.default_time_limit)
+            if limit and limit > 0
+        ]
+        return (now + min(limits)) if limits else None
+
     def _handle_search(
         self, msg_id: int, req: SearchRequest, controls: Tuple[Control, ...]
     ) -> None:
+        """Admit one search: bookkeeping and executor hand-off.
+
+        Runs on the reader thread and must stay cheap — the actual work
+        happens in :meth:`_execute_search` on the executor (inline when
+        the pool has no workers).  Three exits: queued/executed, BUSY on
+        queue overflow, or TIME_LIMIT_EXCEEDED if the deadline timer
+        wins the race before execution concludes.
+        """
         self.server._requests["search"].inc()
         started = self.server.clock.now()
+        token = CancelToken(deadline=self._deadline_for(req, started))
+        ctx = self._context()
+        ctx.controls = controls
+        ctx.token = token
+        record = _InFlightSearch(token, started)
+        with self._ops_lock:
+            self._inflight[msg_id] = record
+        if token.deadline is not None:
+            record.timer = self.server.clock.call_later(
+                token.deadline - started,
+                lambda: self._deadline_expired(msg_id),
+            )
+        accepted = self.server.executor.submit(
+            lambda: self._run_search_safely(msg_id, req, ctx, started)
+        )
+        if not accepted:
+            # Backpressure: refuse fast instead of stalling the client.
+            record = self._take_inflight(msg_id)
+            if record is None:
+                return  # deadline fired first and already answered
+            record.token.cancel("queue full")
+            self.server._search_rejected.inc()
+            self.server.observe_result("search", ResultCode.BUSY, started)
+            self._send(
+                LdapMessage(
+                    msg_id,
+                    SearchResultDone(
+                        LdapResult(
+                            ResultCode.BUSY,
+                            message="server busy: request queue full",
+                        )
+                    ),
+                )
+            )
+
+    def _run_search_safely(
+        self, msg_id: int, req: SearchRequest, ctx: RequestContext, started: float
+    ) -> None:
+        """Executor entry point: a crashing search answers OTHER, never
+        leaves the message id dangling or kills its worker."""
+        try:
+            self._execute_search(msg_id, req, ctx, started)
+        except Exception as exc:  # noqa: BLE001 - never kill the server
+            if self._take_inflight(msg_id) is None:
+                return
+            self.server.observe_result("search", ResultCode.OTHER, started)
+            self._send(
+                LdapMessage(
+                    msg_id,
+                    SearchResultDone(
+                        LdapResult(
+                            ResultCode.OTHER, message=f"internal error: {exc}"
+                        )
+                    ),
+                )
+            )
+
+    def _deadline_expired(self, msg_id: int) -> None:
+        record = self._take_inflight(msg_id)
+        if record is None:
+            return  # completed (or was abandoned) just in time
+        record.token.cancel("time limit exceeded")
+        self.server._search_expired.inc()
+        self.server.observe_result(
+            "search", ResultCode.TIME_LIMIT_EXCEEDED, record.started
+        )
+        self._send(
+            LdapMessage(
+                msg_id,
+                SearchResultDone(
+                    LdapResult(
+                        ResultCode.TIME_LIMIT_EXCEEDED,
+                        message="search exceeded its time limit",
+                    )
+                ),
+            )
+        )
+
+    def _execute_search(
+        self,
+        msg_id: int,
+        req: SearchRequest,
+        ctx: RequestContext,
+        started: float,
+    ) -> None:
+        """Execute one admitted search (executor worker or inline).
+
+        Every response path must first claim the in-flight record via
+        :meth:`_take_inflight`; a None claim means the deadline timer,
+        an Abandon, or a close already concluded this message id and the
+        outcome is dropped.
+        """
+        token = ctx.token
+        if token.cancelled:
+            return  # cancelled while queued
 
         # Root DSE: BASE search at the empty DN describes the server.
         if req.scope == Scope.BASE and not req.base.strip():
+            if self._take_inflight(msg_id) is None:
+                return
             dse = self._root_dse()
             if req.filter.matches(dse):
                 self.server._entries_returned.inc()
@@ -414,8 +628,10 @@ class _ServerConnection:
             self._send(LdapMessage(msg_id, SearchResultDone(LdapResult())))
             return
         try:
-            psc = PersistentSearchControl.find(controls)
+            psc = PersistentSearchControl.find(ctx.controls)
         except Exception:
+            if self._take_inflight(msg_id) is None:
+                return
             self.server.observe_result("search", ResultCode.PROTOCOL_ERROR, started)
             self._send(
                 LdapMessage(
@@ -430,8 +646,6 @@ class _ServerConnection:
             )
             return
 
-        ctx = self._context()
-        ctx.controls = controls
         span = None
         if self.server.tracer is not None:
             span = self.server.tracer.start(
@@ -460,7 +674,15 @@ class _ServerConnection:
                         )
                     )
                     return
-                self._subscriptions[msg_id] = sub
+                with self._ops_lock:
+                    self._subscriptions[msg_id] = sub
+                if self.conn.closed:
+                    # Lost the race with a disconnect: _on_close may
+                    # already have swept the table before we registered.
+                    with self._ops_lock:
+                        sub = self._subscriptions.pop(msg_id, None)
+                    if sub is not None:
+                        sub.cancel()
                 # No SearchResultDone: the search stays open until Abandon.
                 return
             self._send(LdapMessage(msg_id, SearchResultDone(LdapResult())))
@@ -471,6 +693,11 @@ class _ServerConnection:
                 span.tag("entries", sent).tag("code", code).finish()
 
         def finish(outcome) -> None:
+            if self._take_inflight(msg_id) is None:
+                # Deadline/Abandon/close answered first: drop silently.
+                if span is not None:
+                    span.tag("dropped", token.reason or True).finish()
+                return
             if not outcome.result.ok:
                 conclude(outcome.result.code, 0)
                 self._send(LdapMessage(msg_id, SearchResultDone(outcome.result)))
@@ -500,10 +727,12 @@ class _ServerConnection:
             after_initial()
 
         if psc is not None and psc.changes_only:
+            if self._take_inflight(msg_id) is None:
+                return
             conclude(ResultCode.SUCCESS, 0)
             after_initial()
         else:
-            self.server.backend.search_async(req, ctx, finish)
+            self.server.backend.submit_search(req, ctx, finish)
 
     def _pusher(
         self, msg_id: int, req: SearchRequest, psc: PersistentSearchControl
@@ -529,7 +758,8 @@ class _ServerConnection:
                     )
                 )
             except ConnectionClosed:
-                sub = self._subscriptions.pop(msg_id, None)
+                with self._ops_lock:
+                    sub = self._subscriptions.pop(msg_id, None)
                 if sub is not None:
                     sub.cancel()
 

@@ -21,7 +21,7 @@ attributes and filter are percent-encoded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 from urllib.parse import quote, unquote
 
 from .dit import Scope

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 import time as _time
-from typing import Callable, Optional
+from typing import Callable
 
 __all__ = ["Clock", "WallClock", "TimerHandle"]
 

@@ -10,7 +10,7 @@ Figure 4 and §4.3 experiments sweep.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["LinkModel", "LOCAL", "LAN", "WAN"]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import weakref
 from typing import Callable, Dict, List, Optional
 
 from ..obs.metrics import MetricsRegistry
@@ -185,6 +186,16 @@ class TcpEndpoint:
         self._udp_send: Optional[socket.socket] = None
         self._closing = False
         self._bound_ports: Dict[int, int] = {}
+        # Every connection this endpoint accepted or dialed, so close()
+        # can propagate: each connection's close handler fires, letting
+        # servers cancel in-flight work and clients fail pending ops
+        # instead of leaking reader threads past endpoint shutdown.
+        # Weak, so a connection both sides forgot can be collected.
+        self._conns: "weakref.WeakSet[TcpConnection]" = weakref.WeakSet()
+
+    def _track(self, conn: "TcpConnection") -> "TcpConnection":
+        self._conns.add(conn)
+        return conn
 
     @property
     def address(self) -> Address:
@@ -207,7 +218,7 @@ class TcpEndpoint:
                     break
                 if self.metrics is not None:
                     self.metrics.counter("tcp.connections.accepted").inc()
-                handler(TcpConnection(sock, metrics=self.metrics))
+                handler(self._track(TcpConnection(sock, metrics=self.metrics)))
 
         threading.Thread(target=accept_loop, daemon=True).start()
         return bound
@@ -220,7 +231,7 @@ class TcpEndpoint:
             raise ConnectionClosed(f"cannot connect to {remote}: {exc}") from exc
         if self.metrics is not None:
             self.metrics.counter("tcp.connections.dialed").inc()
-        return TcpConnection(sock, metrics=self.metrics)
+        return self._track(TcpConnection(sock, metrics=self.metrics))
 
     # -- datagrams ----------------------------------------------------------
 
@@ -260,6 +271,8 @@ class TcpEndpoint:
                 server.close()
             except OSError:
                 pass
+        for conn in list(self._conns):
+            conn.close()
         for sock in self._udp_socks.values():
             try:
                 sock.close()

@@ -14,8 +14,7 @@ serves simulated and TCP endpoints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Protocol, Tuple
+from typing import Callable, Protocol, Tuple
 
 __all__ = [
     "Address",

@@ -35,10 +35,12 @@ from ..ldap.backend import (
     ChangeCallback,
     ChangeType,
     RequestContext,
+    SearchHandle,
     SearchOutcome,
     Subscription,
     _in_scope,
 )
+from ..ldap.executor import CancelToken
 from ..ldap.dit import Scope
 from ..ldap.dn import DN, RDN
 from ..ldap.entry import Entry
@@ -144,7 +146,7 @@ class MonitorBackend(Backend):
     def naming_contexts(self) -> List[str]:
         return [str(self.suffix)]
 
-    def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+    def _search_impl(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
         try:
             base = req.base_dn()
         except Exception:
@@ -196,6 +198,8 @@ class MonitoredBackend(Backend):
         return "inner"
 
     def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
+        """Synchronous shim: monitor reads complete inline; data reads
+        delegate to the inner backend's own shim."""
         route = self._route(req)
         if route == "monitor":
             return self.monitor.search(req, ctx)
@@ -204,22 +208,22 @@ class MonitoredBackend(Backend):
             outcome = self._merged(req, ctx, outcome)
         return outcome
 
-    def search_async(
+    def submit_search(
         self,
         req: SearchRequest,
         ctx: RequestContext,
         done: Callable[[SearchOutcome], None],
-    ) -> None:
+    ) -> SearchHandle:
         route = self._route(req)
         if route == "monitor":
+            token = ctx.token if ctx.token is not None else CancelToken()
             done(self.monitor.search(req, ctx))
-            return
+            return SearchHandle(token)
         if route == "both":
-            self.inner.search_async(
+            return self.inner.submit_search(
                 req, ctx, lambda outcome: done(self._merged(req, ctx, outcome))
             )
-            return
-        self.inner.search_async(req, ctx, done)
+        return self.inner.submit_search(req, ctx, done)
 
     def _merged(
         self, req: SearchRequest, ctx: RequestContext, inner: SearchOutcome

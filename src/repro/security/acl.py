@@ -18,8 +18,8 @@ Subjects: ``"*"`` (anyone, including anonymous), ``"authenticated"``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..ldap.attributes import normalize_attr_name
 from ..ldap.dn import DN

@@ -13,10 +13,10 @@ the delegating identity.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
 
-from .rsa import KeyPair, PrivateKey, PublicKey, generate_keypair
+from .rsa import PrivateKey, PublicKey, generate_keypair
 
 __all__ = [
     "CertError",

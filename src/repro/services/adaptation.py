@@ -16,7 +16,7 @@ broker; no better host → degrade accuracy; recovery → restore accuracy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..gris.provider import FunctionProvider

@@ -15,13 +15,12 @@ consulting the authoritative source" (§3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from ..ldap.client import LdapClient
 from ..ldap.dit import Scope
 from ..ldap.entry import Entry
-from ..ldap.filter import parse as parse_filter
 from ..ldap.url import LdapUrl
 
 __all__ = ["JobRequest", "Candidate", "Superscheduler"]

@@ -14,7 +14,7 @@ two triggers §6 names.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ldap.backend import ChangeType

@@ -19,7 +19,7 @@ Pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..gris.provider import FunctionProvider
 from ..ldap.client import LdapClient

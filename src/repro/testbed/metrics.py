@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 __all__ = ["Series", "LatencyTimer", "StalenessProbe", "fmt_row", "fmt_table"]
 

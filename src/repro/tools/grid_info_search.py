@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..ldap.client import LdapClient, LdapError
 from ..ldap.dit import Scope

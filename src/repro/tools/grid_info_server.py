@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 from ..giis.hierarchy import LdapGrrpSender, make_registrant
 from ..gris.config import ConfigError, build_gris, load_config
+from ..ldap.executor import RequestExecutor
 from ..ldap.server import LdapServer
 from ..ldap.url import LdapUrl
 from ..net.clock import WallClock
@@ -45,11 +46,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve live operational metrics under cn=monitor",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="search executor threads (0 = run searches inline on the "
+        "reader thread, serializing each connection)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=128,
+        help="max queued searches before new ones are rejected with busy(51)",
+    )
+    parser.add_argument(
+        "--default-time-limit",
+        type=float,
+        default=0.0,
+        help="server-side cap in seconds on any search's run time "
+        "(0 = no cap; client time limits still apply)",
+    )
     return parser
 
 
 def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
-                 advertise_host: Optional[str] = None, monitor: bool = False):
+                 advertise_host: Optional[str] = None, monitor: bool = False,
+                 workers: int = 8, queue_limit: int = 128,
+                 default_time_limit: float = 0.0):
     """Start everything; returns (endpoint, bound_port, registrants, server).
 
     With ``monitor=True`` one shared :class:`MetricsRegistry` is threaded
@@ -65,8 +88,16 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
         backend = MonitoredBackend(
             gris, MonitorBackend(metrics, server_name="grid-info-server")
         )
+    executor = RequestExecutor(
+        workers=workers,
+        queue_limit=queue_limit,
+        metrics=metrics,
+        clock=clock,
+        name="grid-info-server",
+    )
     server = LdapServer(
-        backend, clock=clock, name="grid-info-server", metrics=metrics
+        backend, clock=clock, name="grid-info-server", metrics=metrics,
+        executor=executor, default_time_limit=default_time_limit,
     )
     endpoint = TcpEndpoint(host, metrics=metrics)
     bound = endpoint.listen(port, server.handle_connection)
@@ -96,7 +127,9 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
     try:
         endpoint, bound, registrants, _server = start_server(
             args.config, args.host, args.port, args.advertise_host,
-            monitor=args.monitor,
+            monitor=args.monitor, workers=args.workers,
+            queue_limit=args.queue_limit,
+            default_time_limit=args.default_time_limit,
         )
     except ConfigError as exc:
         print(f"grid-info-server: {exc}", file=sys.stderr)
@@ -116,6 +149,7 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
             for registrant in registrants:
                 registrant.stop()
             endpoint.close()
+            _server.executor.shutdown()
     return 0
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the backend layer and persistent-search controls."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.ldap.backend import (
@@ -90,12 +89,13 @@ class TestDitBackend:
         assert b.delete("cn=x", CTX).code == ResultCode.UNWILLING_TO_PERFORM
         assert b.subscribe(SearchRequest(), CTX, lambda e, c: None) is None
 
-    def test_search_async_default_bridges(self):
+    def test_submit_search_default_bridges(self):
         results = []
-        backend().search_async(
+        handle = backend().submit_search(
             SearchRequest(base="o=Grid", scope=Scope.SUBTREE), CTX, results.append
         )
         assert len(results) == 1 and results[0].result.ok
+        assert not handle.cancelled
 
 
 class TestSubscriptionSemantics:

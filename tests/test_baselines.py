@@ -12,7 +12,6 @@ from repro.baselines import (
 )
 from repro.gris import FunctionProvider, HostConfig, StaticHostProvider
 from repro.ldap.client import LdapClient
-from repro.ldap.dit import Scope
 from repro.ldap.entry import Entry
 from repro.ldap.filter import parse as parse_filter
 from repro.net.links import LinkModel

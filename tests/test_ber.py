@@ -7,7 +7,6 @@ from repro.ldap import ber
 from repro.ldap.ber import (
     BerError,
     Tag,
-    TagClass,
     TlvReader,
     decode_boolean,
     decode_integer,

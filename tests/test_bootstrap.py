@@ -1,6 +1,5 @@
 """§9: the three directory-configuration techniques, end to end."""
 
-import pytest
 
 from repro.giis.bootstrap import (
     SlpDirectoryAdvertiser,

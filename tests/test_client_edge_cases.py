@@ -32,7 +32,8 @@ class TestClientFailures:
         sim, net, client, server, _ = sim_stack()
         results = []
         client.search_async(
-            SearchRequest(base="o=G", scope=Scope.SUBTREE), results.append
+            SearchRequest(base="o=G", scope=Scope.SUBTREE),
+            lambda r, _e: results.append(r),
         )
         net.partition(["client"], ["server"])
         sim.run()
@@ -100,7 +101,7 @@ class TestClientFailures:
         sim, net, client, server, _ = sim_stack()
         # unsupported extended op returns protocolError
         result = []
-        client.extended_async("9.9.9.9", b"", result.append)
+        client.extended_async("9.9.9.9", b"", lambda r, _e: result.append(r))
         sim.run()
         assert result[0].result.code == ResultCode.PROTOCOL_ERROR
 

@@ -2,7 +2,6 @@
 
 import io
 import json
-import threading
 import time
 
 import pytest

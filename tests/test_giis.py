@@ -1,11 +1,9 @@
 """Tests for the GIIS: GRRP intake, chaining, referrals, hierarchy."""
 
-import pytest
 
 from repro.giis import GiisBackend, NameIndex
 from repro.grip.messages import GrrpMessage, NotificationType
 from repro.ldap.backend import RequestContext
-from repro.ldap.client import LdapError
 from repro.ldap.dit import Scope
 from repro.ldap.protocol import AddRequest, ResultCode, SearchRequest
 from repro.ldap.entry import Entry

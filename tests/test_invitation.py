@@ -1,6 +1,5 @@
 """End-to-end GRRP invitation flow (§10.4) on the simulated network."""
 
-import pytest
 
 from repro.giis.hierarchy import (
     GRRP_DATAGRAM_PORT,

@@ -134,7 +134,7 @@ class TestGiisEdges:
                     "(objectclass=computer)"
                 ),
             ),
-            lambda r: results.__setitem__("a", r),
+            lambda r, _e=None: results.__setitem__("a", r),
         )
         c2.search_async(
             __import__("repro.ldap.protocol", fromlist=["SearchRequest"]).SearchRequest(
@@ -143,7 +143,7 @@ class TestGiisEdges:
                     "(hn=r1)"
                 ),
             ),
-            lambda r: results.__setitem__("b", r),
+            lambda r, _e=None: results.__setitem__("b", r),
         )
         # NB: sim.run() would never drain with live registration streams;
         # advance bounded virtual time instead.

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.gris.netpairs import NetworkPairsProvider
-from repro.gris.netprobe import ECHO_PORT, EchoResponder, NetworkProber
+from repro.gris.netprobe import EchoResponder, NetworkProber
 from repro.ldap.dit import Scope
 from repro.ldap.dn import DN
 from repro.ldap.filter import parse as parse_filter

@@ -542,7 +542,7 @@ class TestMalformedChainDepth:
         giis.apply_grrp(reg_msg(url="ldap://child:2135/", suffix="hn=r1, o=Grid"))
         ctx = RequestContext(controls=(self._malformed_control(),))
         outcomes = []
-        giis.search_async(req("o=Grid"), ctx, outcomes.append)
+        giis.submit_search(req("o=Grid"), ctx, outcomes.append)
         assert len(outcomes) == 1
         assert outcomes[0].result.ok  # partial results, not an error
         assert giis.stats_depth_limited == 1

@@ -1,6 +1,5 @@
 """Cross-module property and stateful tests (hypothesis)."""
 
-import random
 import string
 
 from hypothesis import given, settings, strategies as st

@@ -1,8 +1,6 @@
 """Tests for client-side referral chasing against referral-mode GIISes."""
 
-import pytest
 
-from repro.ldap.dit import Scope
 from repro.ldap.referral import chase_referrals, search_following_referrals
 from repro.testbed import GridTestbed
 

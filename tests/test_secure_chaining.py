@@ -13,10 +13,8 @@ server credential, can read and (per its own policy) redistribute it.
 
 import random
 
-import pytest
 
 from repro.security import (
-    ANONYMOUS,
     CertificateAuthority,
     GsiAuthenticator,
     TrustStore,

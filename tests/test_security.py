@@ -5,7 +5,6 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ldap.dn import DN
 from repro.ldap.entry import Entry
 from repro.security import (
     ANONYMOUS,

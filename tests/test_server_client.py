@@ -390,7 +390,7 @@ class TestRootDseAndTypesOnly:
 
         results = []
         req = SR(base="hn=hostX, o=Grid", scope=Scope.BASE, types_only=True)
-        fx.client.search_async(req, results.append)
+        fx.client.search_async(req, lambda r, _e: results.append(r))
         fx.sim.run()
         entry = results[0].entries[0]
         assert "system" in [a.lower() for a in entry.attribute_names()] or True
@@ -410,7 +410,7 @@ class TestServerRobustness:
             def __init__(self):
                 self.fail = True
 
-            def search(self, req, ctx):
+            def _search_impl(self, req, ctx):
                 if self.fail:
                     raise RuntimeError("backend exploded")
                 from repro.ldap.backend import SearchOutcome

@@ -4,9 +4,8 @@ import random
 
 import pytest
 
-from repro.gris import FunctionProvider, NetworkPairsProvider, SeriesStore
+from repro.gris import NetworkPairsProvider, SeriesStore
 from repro.grip.failure import FailureDetector
-from repro.ldap.dn import DN
 from repro.ldap.entry import Entry
 from repro.net.sim import Simulator
 from repro.services import (

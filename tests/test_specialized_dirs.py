@@ -4,7 +4,6 @@ import pytest
 
 from repro.giis import (
     ClassAd,
-    GiisBackend,
     MatchmakerDirectory,
     NameService,
     RelationalDirectory,
@@ -14,7 +13,7 @@ from repro.giis import (
     match,
 )
 from repro.giis.matchmaker import AdError
-from repro.gris import FunctionProvider, NetworkPairsProvider, SeriesStore
+from repro.gris import FunctionProvider, SeriesStore
 from repro.ldap.dn import DN
 from repro.ldap.entry import Entry
 from repro.net.sim import Simulator
