@@ -138,6 +138,7 @@ class GiisBackend(Backend):
         credential=None,
         max_chain_depth: int = 8,
         metrics: Optional[MetricsRegistry] = None,
+        max_query_cache: int = 256,
     ):
         if mode not in ("chain", "referral"):
             raise ValueError(f"unknown GIIS mode {mode!r}")
@@ -155,6 +156,9 @@ class GiisBackend(Backend):
         # connection is opened with a GSI bind as this credential.
         self.credential = credential
         self.max_chain_depth = max_chain_depth
+        if max_query_cache < 1:
+            raise ValueError("max_query_cache must be >= 1")
+        self.max_query_cache = max_query_cache
         # Chaining fan-out instrumentation; the stats_* names below are
         # kept as read-only compatibility views over these counters.
         self.metrics = metrics or MetricsRegistry()
@@ -164,6 +168,8 @@ class GiisBackend(Backend):
         self._depth_limited = self.metrics.counter("giis.depth_limited")
         self._qcache_hits = self.metrics.counter("giis.query_cache.hits")
         self._qcache_misses = self.metrics.counter("giis.query_cache.misses")
+        self._qcache_evictions = self.metrics.counter("giis.query_cache.evictions")
+        self.metrics.gauge_fn("giis.query_cache.size", lambda: len(self._query_cache))
         self._chain_cancelled = self.metrics.counter("giis.chain.cancelled")
         self._child_latency = self.metrics.histogram("giis.child.seconds")
         self._fanout = self.metrics.histogram(
@@ -310,7 +316,8 @@ class GiisBackend(Backend):
         base = req.base_dn()
         out = []
         for registration in self.registry.active():
-            child_suffix = DN.parse(registration.message.metadata.get("suffix", ""))
+            # suffix_dn is parsed once at GRRP intake, not per query.
+            child_suffix = registration.suffix_dn
             if child_suffix.is_within(base) or base.is_within(child_suffix):
                 out.append(registration)
         return out
@@ -365,6 +372,7 @@ class GiisBackend(Backend):
                 done(_copy_outcome(slot.outcome))
                 return handle
             self._qcache_misses.inc()
+            self._sweep_query_cache(self.clock.now())
 
         targets = self._targets(req)
         local = self._local_outcome(req)
@@ -514,6 +522,33 @@ class GiisBackend(Backend):
         self._clients[service_url] = client
         return client
 
+    # -- query-cache hygiene ------------------------------------------------------------
+
+    def _sweep_query_cache(self, now: float) -> None:
+        """Evict TTL-expired slots (membership changes clear wholesale).
+
+        Without this, distinct one-off queries accumulate dead slots
+        forever in a stable VO; the sweep runs on the miss path so the
+        hot hit path stays a single dict probe.
+        """
+        dead = [
+            key
+            for key, slot in self._query_cache.items()
+            if now - slot.created_at > self.cache_ttl
+        ]
+        for key in dead:
+            del self._query_cache[key]
+
+    def _store_query_result(self, key, slot: _QueryCacheSlot) -> None:
+        """Insert one cached outcome, holding the cache to max_query_cache."""
+        self._query_cache[key] = slot
+        while len(self._query_cache) > self.max_query_cache:
+            oldest = min(
+                self._query_cache, key=lambda k: self._query_cache[k].created_at
+            )
+            del self._query_cache[oldest]
+            self._qcache_evictions.inc()
+
     # -- subscriptions over the membership view -----------------------------------------
 
     def subscribe(
@@ -628,8 +663,9 @@ class _Collector:
         )
         outcome = SearchOutcome(entries=entries, referrals=self.referrals)
         if self.cache_key is not None:
-            self.giis._query_cache[self.cache_key] = _QueryCacheSlot(
-                _copy_outcome(outcome), self.giis.clock.now()
+            self.giis._store_query_result(
+                self.cache_key,
+                _QueryCacheSlot(_copy_outcome(outcome), self.giis.clock.now()),
             )
         self.done(outcome)
 

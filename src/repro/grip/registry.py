@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..ldap.dn import DN
 from ..net.clock import Clock, TimerHandle
 from ..obs.metrics import MetricsRegistry
 from .messages import GrrpMessage, NotificationType
@@ -37,9 +38,36 @@ class Registration:
     refresh_count: int = 0
     source_identity: Optional[str] = None
 
+    def __post_init__(self):
+        # Parsed-DN cache for metadata['suffix'], keyed by message
+        # identity so a refresh that swaps the message re-parses once.
+        self._suffix_for: Optional[GrrpMessage] = None
+        self._suffix_dn: Optional[DN] = None
+
     @property
     def service_url(self) -> str:
         return self.message.service_url
+
+    @property
+    def suffix_dn(self) -> DN:
+        """The advertised namespace as a DN, parsed once per intake.
+
+        GIIS query routing compares this against every query's base; a
+        VO with hundreds of members cannot afford re-parsing the suffix
+        string per registration per query.
+        """
+        message = self.message
+        if self._suffix_for is not message:
+            self._suffix_dn = DN.parse(message.metadata.get("suffix", ""))
+            self._suffix_for = message
+        return self._suffix_dn
+
+    def _prime_suffix(self) -> None:
+        """Parse eagerly at intake; malformed suffixes surface at query time."""
+        try:
+            self.suffix_dn
+        except Exception:  # noqa: BLE001 - keep intake resilient
+            self._suffix_for = None
 
     def expires_at(self, grace: float) -> float:
         return self.message.valid_until + grace * self.message.ttl
@@ -145,6 +173,7 @@ class SoftStateRegistry:
                 last_seen=now,
                 source_identity=source_identity,
             )
+            record._prime_suffix()
             self._records[message.service_url] = record
             if self.on_register:
                 self.on_register(record)
@@ -153,6 +182,7 @@ class SoftStateRegistry:
             existing.last_seen = now
             existing.refresh_count += 1
             existing.source_identity = source_identity or existing.source_identity
+            existing._prime_suffix()
             self._refreshed.inc()
         return True
 

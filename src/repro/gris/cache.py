@@ -1,4 +1,4 @@
-"""Per-provider TTL caching (paper §10.3).
+"""Per-provider TTL caching (paper §10.3), concurrency-safe.
 
 "To control the intrusiveness of GRIS operation, improve response time,
 and maximize deployment flexibility, each provider's results may be
@@ -6,22 +6,51 @@ cached for a configurable period of time to reduce the number of
 provider invocations; this cache time-to-live (TTL) is specified
 per-provider."
 
-The cache stores each provider's last snapshot with its production
-timestamp; :meth:`get` refreshes on expiry.  It also tolerates provider
-failures by serving the stale snapshot (flagged) — unavailable sources
-must "not interfere with other functions" (§2.2).
+The MDS2 performance studies (Zhang & Schopf; Zhang, Freschl & Schopf)
+show GRIS throughput collapsing under concurrent users exactly when the
+cache stops absorbing provider invocations.  Since searches now run on
+a multi-worker executor, this cache is a real concurrency structure:
+
+* **Thread safety** — one lock guards the slot table; snapshots are
+  immutable and swapped wholesale, so serving never holds the lock
+  while copying entries.
+* **Single-flight coalescing** — N concurrent misses for one provider
+  trigger exactly one ``provide()``; the other N-1 callers block on the
+  in-flight refresh and share its result (``gris.cache.coalesced``).
+* **Stale-while-revalidate** — with a serve window configured, a snapshot
+  that outlived its TTL but not ``ttl + stale_while_revalidate`` is
+  served immediately while one background refresh runs on the provider
+  pool (``gris.cache.revalidations``).  Without a refresh runner (the
+  inline/simulator configuration) the window degrades to a plain
+  blocking refresh, keeping discrete-event runs deterministic.
+* **Negative caching with exponential backoff** — a failing provider is
+  not re-invoked until ``backoff_base * 2^(failures-1)`` (capped at
+  ``backoff_max``) has elapsed; meanwhile callers get the stale snapshot
+  if one exists, or an immediate :class:`ProviderError`
+  (``gris.provider.backoff_skips``).  A dead script stops eating a pool
+  slot on every query.
+
+Failure still serves the stale snapshot when available (flagged) —
+unavailable sources must "not interfere with other functions" (§2.2).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ldap.entry import Entry
+from ..net.clock import Clock
 from ..obs.metrics import MetricsRegistry
 from .provider import InformationProvider, ProviderError
 
 __all__ = ["CacheStats", "ProviderCache"]
+
+# Submits a zero-argument refresh task for background execution; returns
+# False when the pool refuses (saturated), in which case the cache
+# refreshes inline instead.
+RefreshRunner = Callable[[Callable[[], None]], bool]
 
 
 class CacheStats:
@@ -30,7 +59,8 @@ class CacheStats:
     Kept attribute-compatible with the old ad-hoc dataclass (``hits``,
     ``misses``, ``failures``, ``stale_served``, ``hit_rate``) while the
     storage moved to :class:`~repro.obs.metrics.MetricsRegistry` so the
-    same numbers surface under ``cn=monitor``.
+    same numbers surface under ``cn=monitor``.  The concurrency overhaul
+    added ``coalesced``, ``revalidations``, and ``backoff_skips``.
     """
 
     def __init__(self, metrics: MetricsRegistry):
@@ -38,6 +68,9 @@ class CacheStats:
         self._misses = metrics.counter("gris.cache.misses")
         self._failures = metrics.counter("gris.cache.failures")
         self._stale_served = metrics.counter("gris.cache.stale_served")
+        self._coalesced = metrics.counter("gris.cache.coalesced")
+        self._revalidations = metrics.counter("gris.cache.revalidations")
+        self._backoff_skips = metrics.counter("gris.provider.backoff_skips")
 
     @property
     def hits(self) -> int:
@@ -56,24 +89,73 @@ class CacheStats:
         return int(self._stale_served.value)
 
     @property
+    def coalesced(self) -> int:
+        return int(self._coalesced.value)
+
+    @property
+    def revalidations(self) -> int:
+        return int(self._revalidations.value)
+
+    @property
+    def backoff_skips(self) -> int:
+        return int(self._backoff_skips.value)
+
+    @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class _CacheSlot:
     entries: List[Entry]
     produced_at: float
 
 
-class ProviderCache:
-    """TTL cache over provider snapshots."""
+class _Flight:
+    """One in-progress refresh; coalesced waiters block on ``done``."""
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
-        self._slots: Dict[str, _CacheSlot] = {}
+    __slots__ = ("done", "slot", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.slot: Optional[_CacheSlot] = None
+        self.error: Optional[ProviderError] = None
+
+
+class _ProviderState:
+    """Everything the cache tracks about one provider."""
+
+    __slots__ = ("slot", "flight", "failures", "retry_at")
+
+    def __init__(self):
+        self.slot: Optional[_CacheSlot] = None
+        self.flight: Optional[_Flight] = None
+        self.failures = 0
+        self.retry_at = 0.0
+
+
+class ProviderCache:
+    """Coalescing, stale-while-revalidate TTL cache over provider snapshots."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+        stale_while_revalidate: float = 0.0,
+        backoff_base: float = 1.0,
+        backoff_max: float = 60.0,
+        refresh_runner: Optional[RefreshRunner] = None,
+    ):
         self.metrics = metrics or MetricsRegistry()
         self.stats = CacheStats(self.metrics)
+        self.clock = clock
+        self.stale_while_revalidate = stale_while_revalidate
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._runner = refresh_runner
+        self._lock = threading.Lock()
+        self._states: Dict[str, _ProviderState] = {}
 
     def get(
         self,
@@ -85,28 +167,115 @@ class ProviderCache:
 
         Entries are copies stamped with the production time so consumers
         can "explicitly model the currency ... of their information"
-        (§2.1).
+        (§2.1).  Concurrent misses coalesce onto one ``provide()``; a
+        provider in failure backoff is not invoked at all.
         """
-        slot = self._slots.get(provider.name)
-        if (
-            slot is not None
-            and provider.cache_ttl > 0
-            and now - slot.produced_at <= provider.cache_ttl
-        ):
-            self.stats._hits.inc()
-            return self._serve(slot, provider)
-        self.stats._misses.inc()
-        try:
-            entries = provider.provide()
-        except ProviderError:
-            self.stats._failures.inc()
+        name = provider.name
+        ttl = provider.cache_ttl
+        leader = False
+        background = False
+        with self._lock:
+            state = self._states.setdefault(name, _ProviderState())
+            slot = state.slot
+            if slot is not None and ttl > 0 and now - slot.produced_at <= ttl:
+                self.stats._hits.inc()
+                return self._serve(slot, provider)
+            stale_ok = (
+                slot is not None
+                and ttl > 0
+                and self.stale_while_revalidate > 0
+                and now - slot.produced_at <= ttl + self.stale_while_revalidate
+            )
+            if state.flight is not None:
+                flight = state.flight
+                if stale_ok:
+                    # A refresh is already under way and the snapshot is
+                    # within the serve window: answer from it now.
+                    self.stats._hits.inc()
+                    return self._serve(slot, provider)
+                self.stats._misses.inc()
+                self.stats._coalesced.inc()
+            elif now < state.retry_at:
+                # Negative cache: the provider failed recently; don't
+                # burn a provider invocation (or a pool slot) on it.
+                self.stats._misses.inc()
+                self.stats._backoff_skips.inc()
+                if slot is not None and serve_stale_on_failure:
+                    self.stats._stale_served.inc()
+                    return self._serve(slot, provider)
+                raise ProviderError(
+                    f"provider {name!r} backing off after "
+                    f"{state.failures} consecutive failures"
+                )
+            else:
+                flight = state.flight = _Flight()
+                leader = True
+                if stale_ok and self._runner is not None:
+                    self.stats._hits.inc()
+                    self.stats._revalidations.inc()
+                    background = True
+                else:
+                    self.stats._misses.inc()
+
+        if leader:
+            if background:
+                # Stale-while-revalidate: serve the stale snapshot right
+                # away; the refresh happens off this request's path.
+                if not self._runner(lambda: self._refresh(provider, flight, now)):
+                    self._refresh(provider, flight, now)  # pool saturated
+                return self._serve(slot, provider)
+            self._refresh(provider, flight, now)
+        else:
+            flight.done.wait()
+
+        if flight.error is not None:
+            with self._lock:
+                slot = self._states[name].slot
             if slot is not None and serve_stale_on_failure:
                 self.stats._stale_served.inc()
                 return self._serve(slot, provider)
-            raise
-        slot = _CacheSlot(entries=entries, produced_at=now)
-        self._slots[provider.name] = slot
-        return self._serve(slot, provider)
+            raise flight.error
+        return self._serve(flight.slot, provider)
+
+    def _refresh(
+        self, provider: InformationProvider, flight: _Flight, now: float
+    ) -> None:
+        """Invoke ``provide()`` once and resolve *flight* (the leader path)."""
+        name = provider.name
+        try:
+            entries = provider.provide()
+        except Exception as exc:  # noqa: BLE001 - must resolve the flight
+            error = (
+                exc
+                if isinstance(exc, ProviderError)
+                else ProviderError(f"provider {name!r} failed: {exc}")
+            )
+            failed_at = self._now(now)
+            self.stats._failures.inc()
+            with self._lock:
+                state = self._states.setdefault(name, _ProviderState())
+                state.failures += 1
+                delay = min(
+                    self.backoff_max,
+                    self.backoff_base * (2 ** (state.failures - 1)),
+                )
+                state.retry_at = failed_at + delay
+                state.flight = None
+            flight.error = error
+            flight.done.set()
+            return
+        slot = _CacheSlot(entries=entries, produced_at=self._now(now))
+        with self._lock:
+            state = self._states.setdefault(name, _ProviderState())
+            state.slot = slot
+            state.failures = 0
+            state.retry_at = 0.0
+            state.flight = None
+        flight.slot = slot
+        flight.done.set()
+
+    def _now(self, fallback: float) -> float:
+        return self.clock.now() if self.clock is not None else fallback
 
     def _serve(
         self, slot: _CacheSlot, provider: InformationProvider
@@ -120,11 +289,29 @@ class ProviderCache:
         return out, slot.produced_at
 
     def invalidate(self, provider_name: str) -> None:
-        self._slots.pop(provider_name, None)
+        """Drop the snapshot and failure history; keep any in-flight refresh."""
+        with self._lock:
+            state = self._states.get(provider_name)
+            if state is not None:
+                state.slot = None
+                state.failures = 0
+                state.retry_at = 0.0
 
     def clear(self) -> None:
-        self._slots.clear()
+        with self._lock:
+            for state in self._states.values():
+                state.slot = None
+                state.failures = 0
+                state.retry_at = 0.0
 
     def age(self, provider_name: str, now: float) -> Optional[float]:
-        slot = self._slots.get(provider_name)
+        with self._lock:
+            state = self._states.get(provider_name)
+            slot = state.slot if state is not None else None
         return None if slot is None else now - slot.produced_at
+
+    def in_backoff(self, provider_name: str, now: float) -> bool:
+        """True while the negative cache is refusing to probe *provider_name*."""
+        with self._lock:
+            state = self._states.get(provider_name)
+            return state is not None and now < state.retry_at

@@ -181,14 +181,31 @@ def load_config(
 
 
 def build_gris(
-    config: GrisConfig, clock: Optional[Clock] = None, metrics=None
+    config: GrisConfig,
+    clock: Optional[Clock] = None,
+    metrics=None,
+    provider_workers: int = 0,
+    provider_queue_limit: int = 64,
+    stale_while_revalidate: float = 0.0,
 ) -> GrisBackend:
     """Instantiate a GRIS backend from a parsed configuration.
 
     Pass a shared :class:`~repro.obs.metrics.MetricsRegistry` to fold
     this GRIS's counters into a process-wide ``cn=monitor`` surface.
+    ``provider_workers`` > 0 probes providers concurrently on a bounded
+    pool (0 keeps the deterministic inline dispatch), and
+    ``stale_while_revalidate`` widens each provider's serve window by
+    that many seconds: expired-but-within-window snapshots are answered
+    immediately while one background refresh runs.
     """
-    gris = GrisBackend(config.suffix, clock=clock or WallClock(), metrics=metrics)
+    gris = GrisBackend(
+        config.suffix,
+        clock=clock or WallClock(),
+        metrics=metrics,
+        provider_workers=provider_workers,
+        provider_queue_limit=provider_queue_limit,
+        stale_while_revalidate=stale_while_revalidate,
+    )
     for provider in config.providers:
         gris.add_provider(provider)
     return gris

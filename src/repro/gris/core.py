@@ -22,6 +22,8 @@ filtering, §10.1/§10.3) and adds:
 
 from __future__ import annotations
 
+import functools
+import threading
 from typing import Dict, List, Optional
 
 from ..ldap.backend import (
@@ -36,6 +38,7 @@ from ..ldap.backend import (
 from ..ldap.dit import Scope
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
+from ..ldap.executor import RequestExecutor
 from ..ldap.protocol import LdapResult, ResultCode, SearchRequest
 from ..net.clock import Clock, TimerHandle
 from ..obs.metrics import MetricsRegistry
@@ -54,12 +57,32 @@ class GrisBackend(Backend):
         clock: Clock,
         poll_interval: float = 5.0,
         metrics: Optional[MetricsRegistry] = None,
+        provider_workers: int = 0,
+        provider_queue_limit: int = 64,
+        stale_while_revalidate: float = 0.0,
     ):
         self.suffix = DN.of(suffix)
         self.clock = clock
         self.poll_interval = poll_interval
         self.metrics = metrics or MetricsRegistry()
-        self.cache = ProviderCache(self.metrics)
+        # Bounded provider pool (§10.3 fan-out).  workers=0 keeps probes
+        # inline on the calling thread, which the discrete-event
+        # simulator needs for determinism; workers>0 makes a cold
+        # collect cost max(provider latency) instead of the sum.
+        self._pool = RequestExecutor(
+            workers=provider_workers,
+            queue_limit=provider_queue_limit,
+            metrics=self.metrics,
+            clock=clock,
+            name="gris-provider",
+            metric_prefix="gris.executor",
+        )
+        self.cache = ProviderCache(
+            self.metrics,
+            clock=clock,
+            stale_while_revalidate=stale_while_revalidate,
+            refresh_runner=None if self._pool.inline else self._pool.submit,
+        )
         self._providers: Dict[str, InformationProvider] = {}
         self._suffix_entry: Optional[Entry] = None
         self._subs: Dict[int, "_PollingSubscription"] = {}
@@ -68,8 +91,13 @@ class GrisBackend(Backend):
         self._dispatches = self.metrics.counter("gris.provider.dispatches")
         self._pruned = self.metrics.counter("gris.provider.pruned")
         self._cancelled_collects = self.metrics.counter("gris.collect.cancelled")
+        self._collect_seconds = self.metrics.histogram("gris.collect.seconds")
         self.metrics.gauge_fn("gris.providers", lambda: len(self._providers))
         self.metrics.gauge_fn("gris.subscriptions", lambda: len(self._subs))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the provider pool threads (no-op in inline mode)."""
+        self._pool.shutdown(wait=wait)
 
     @property
     def provider_errors(self) -> int:
@@ -92,7 +120,10 @@ class GrisBackend(Backend):
         )
 
     def remove_provider(self, name: str) -> None:
-        self._providers.pop(name, None)
+        if self._providers.pop(name, None) is not None:
+            # Drop the per-provider cache-age gauge registered by
+            # add_provider, or cn=monitor keeps serving the ghost.
+            self.metrics.unregister("gris.cache.age", labels={"provider": name})
         self.cache.invalidate(name)
 
     def providers(self) -> List[InformationProvider]:
@@ -173,48 +204,115 @@ class GrisBackend(Backend):
     ) -> Dict[DN, Entry]:
         """Gather the merged view relevant to *req* from all providers.
 
-        A cancelled *token* stops the dispatch loop between providers:
-        the requester is gone (Abandon, disconnect) or past its time
-        limit, so further provider probes are wasted work.  The partial
-        merge is returned; the front end discards it.
+        Namespace-pruned providers are probed concurrently on the
+        provider pool when it has workers (query latency is the max of
+        the provider latencies, not the sum); inline mode probes them
+        sequentially, which keeps the simulator deterministic.  Results
+        merge in registration order either way, so the merged view does
+        not depend on probe completion order.
+
+        A cancelled *token* aborts the fan-out: the requester is gone
+        (Abandon, disconnect) or past its time limit, so outstanding
+        probes are wasted work.  The partial merge is returned; the
+        front end discards it.
         """
         now = self.clock.now()
         merged: Dict[DN, Entry] = {}
         if self._suffix_entry is not None:
             merged[self.suffix] = self._suffix_entry.copy()
+        eligible: List[InformationProvider] = []
         for provider in self._providers.values():
+            if self._intersects(provider, req):
+                eligible.append(provider)
+            else:
+                self._pruned.inc()
+        if self._pool.inline or len(eligible) <= 1:
+            results = self._probe_serial(eligible, req, now, trace, token)
+        else:
+            results = self._probe_parallel(eligible, req, now, trace, token)
+        for entries in results:
+            if not entries:
+                continue
+            for entry in entries:
+                # First provider to name a DN wins; providers are expected
+                # to own disjoint namespaces.
+                merged.setdefault(entry.dn, entry)
+        self._collect_seconds.observe(self.clock.now() - now)
+        return merged
+
+    def _probe_one(
+        self, provider: InformationProvider, req: SearchRequest, now, trace, token
+    ) -> Optional[List[Entry]]:
+        """Probe one provider; absolute entries, or None (failed/cancelled)."""
+        if token is not None and token.cancelled:
+            return None
+        self._dispatches.inc()
+        span = (
+            trace.child("gris.provider", provider=provider.name)
+            if trace is not None
+            else None
+        )
+        started = self.clock.now()
+        direct = provider.search(req, self.suffix)
+        if direct is not None:
+            self._observe_provider(provider, started, span)
+            return list(direct)
+        try:
+            entries, _age = self.cache.get(provider, now)
+        except ProviderError:
+            self._provider_errors.inc()
+            self._observe_provider(provider, started, span, failed=True)
+            return None  # robustness: skip the failed source (§2.2)
+        self._observe_provider(provider, started, span)
+        return [
+            entry.with_dn(DN(entry.dn.rdns + self.suffix.rdns)) for entry in entries
+        ]
+
+    def _probe_serial(
+        self, eligible: List[InformationProvider], req, now, trace, token
+    ) -> List[Optional[List[Entry]]]:
+        results: List[Optional[List[Entry]]] = []
+        for provider in eligible:
             if token is not None and token.cancelled:
                 self._cancelled_collects.inc()
                 break
-            if not self._intersects(provider, req):
-                self._pruned.inc()
-                continue
-            self._dispatches.inc()
-            span = (
-                trace.child("gris.provider", provider=provider.name)
-                if trace is not None
-                else None
-            )
-            started = self.clock.now()
-            direct = provider.search(req, self.suffix)
-            if direct is not None:
-                self._observe_provider(provider, started, span)
-                for entry in direct:
-                    merged.setdefault(entry.dn, entry)
-                continue
+            results.append(self._probe_one(provider, req, now, trace, token))
+        return results
+
+    def _probe_parallel(
+        self, eligible: List[InformationProvider], req, now, trace, token
+    ) -> List[Optional[List[Entry]]]:
+        results: List[Optional[List[Entry]]] = [None] * len(eligible)
+        remaining = [len(eligible)]
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def probe_at(index: int, provider: InformationProvider) -> None:
+            out = None
             try:
-                entries, _age = self.cache.get(provider, now)
-            except ProviderError:
-                self._provider_errors.inc()
-                self._observe_provider(provider, started, span, failed=True)
-                continue  # robustness: skip the failed source (§2.2)
-            self._observe_provider(provider, started, span)
-            for entry in entries:
-                absolute = entry.with_dn(DN(entry.dn.rdns + self.suffix.rdns))
-                # First provider to name a DN wins; providers are expected
-                # to own disjoint namespaces.
-                merged.setdefault(absolute.dn, absolute)
-        return merged
+                out = self._probe_one(provider, req, now, trace, token)
+            finally:
+                with lock:
+                    results[index] = out
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        done.set()
+
+        if token is not None:
+            # Abandon/deadline releases the wait below immediately;
+            # outstanding probes see the cancelled token and no-op.
+            token.on_cancel(done.set)
+        for index, provider in enumerate(eligible):
+            if token is not None and token.cancelled:
+                break
+            if not self._pool.submit(functools.partial(probe_at, index, provider)):
+                probe_at(index, provider)  # pool saturated: probe here
+        done.wait()
+        with lock:
+            snapshot = list(results)
+        if token is not None and token.cancelled:
+            self._cancelled_collects.inc()
+        return snapshot
 
     def snapshot(self, req: Optional[SearchRequest] = None) -> List[Entry]:
         """The full merged view (diagnostics and polling subscriptions)."""

@@ -19,6 +19,7 @@ scoped searches directly (:meth:`search`).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Sequence
 
 from ..ldap.dn import DN
@@ -48,6 +49,9 @@ class InformationProvider:
         self.namespace = DN.of(namespace)
         self.cache_ttl = cache_ttl
         self.invocations = 0
+        # Providers are now invoked from the parallel collect pool, so
+        # invocation/cost accounting must not lose updates across threads.
+        self._stats_lock = threading.Lock()
 
     def provide(self) -> List[Entry]:
         """Produce the full current snapshot of this provider's subtree.
@@ -65,7 +69,8 @@ class InformationProvider:
         return None
 
     def _invoked(self) -> None:
-        self.invocations += 1
+        with self._stats_lock:
+            self.invocations += 1
 
 
 class FunctionProvider(InformationProvider):
@@ -114,7 +119,8 @@ class ScriptProvider(InformationProvider):
 
     def provide(self) -> List[Entry]:
         self._invoked()
-        self.total_cost += self.cost
+        with self._stats_lock:
+            self.total_cost += self.cost
         try:
             text = self._script()
         except Exception as exc:  # noqa: BLE001

@@ -226,8 +226,9 @@ class DIT:
         if scope == Scope.ONELEVEL:
             yield from self._children.get(base, ())
             return
-        # SUBTREE: breadth-first from base.  The base entry itself may be
-        # a glue node with no stored entry; descend regardless.
+        # SUBTREE: iterative depth-first walk (LIFO stack).  The base
+        # entry itself may be a glue node with no stored entry; descend
+        # regardless — callers re-sort results, so visit order is free.
         stack = [base]
         if base in self._entries:
             yield base

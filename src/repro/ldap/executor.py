@@ -133,6 +133,7 @@ class RequestExecutor:
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Clock] = None,
         name: str = "ldap",
+        metric_prefix: str = "ldap.executor",
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -143,22 +144,26 @@ class RequestExecutor:
         self.metrics = metrics or MetricsRegistry()
         self.clock = clock or WallClock()
         self.name = name
+        # The pool is generic: the LDAP front end uses the default
+        # "ldap.executor" family, the GRIS provider pool registers as
+        # "gris.executor" — same instruments, distinct metric namespace.
+        self.metric_prefix = metric_prefix
         labels = {"pool": name}
-        self._submitted = self.metrics.counter("ldap.executor.submitted", labels)
-        self._rejected = self.metrics.counter("ldap.executor.rejected", labels)
-        self._completed = self.metrics.counter("ldap.executor.completed", labels)
-        self._errors = self.metrics.counter("ldap.executor.errors", labels)
+        self._submitted = self.metrics.counter(f"{metric_prefix}.submitted", labels)
+        self._rejected = self.metrics.counter(f"{metric_prefix}.rejected", labels)
+        self._completed = self.metrics.counter(f"{metric_prefix}.completed", labels)
+        self._errors = self.metrics.counter(f"{metric_prefix}.errors", labels)
         self._queue_wait = self.metrics.histogram(
-            "ldap.executor.queue.wait.seconds", labels
+            f"{metric_prefix}.queue.wait.seconds", labels
         )
-        self.metrics.gauge_fn("ldap.executor.workers", lambda: self.workers, labels)
+        self.metrics.gauge_fn(f"{metric_prefix}.workers", lambda: self.workers, labels)
         self.metrics.gauge_fn(
-            "ldap.executor.queue.limit", lambda: self.queue_limit, labels
+            f"{metric_prefix}.queue.limit", lambda: self.queue_limit, labels
         )
         self.metrics.gauge_fn(
-            "ldap.executor.queue.depth", lambda: len(self._queue), labels
+            f"{metric_prefix}.queue.depth", lambda: len(self._queue), labels
         )
-        self.metrics.gauge_fn("ldap.executor.active", lambda: self._active, labels)
+        self.metrics.gauge_fn(f"{metric_prefix}.active", lambda: self._active, labels)
         self._queue: Deque[Tuple[Callable[[], None], float]] = deque()
         self._cv = threading.Condition()
         self._active = 0

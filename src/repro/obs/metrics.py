@@ -333,6 +333,19 @@ class MetricsRegistry:
     ) -> _TimerContext:
         return _TimerContext(self.histogram(name, labels), clock_now)
 
+    def unregister(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> bool:
+        """Remove one instrument; True if it existed.
+
+        Needed when labels track dynamic objects (per-provider gauges):
+        removing the object must remove its instrument, or snapshots and
+        ``cn=monitor`` keep serving the ghost forever.
+        """
+        key = (self._qualify(name), _labels_key(labels))
+        with self._lock:
+            return self._instruments.pop(key, None) is not None
+
     # -- read side -----------------------------------------------------------
 
     def instruments(self) -> List[_Instrument]:

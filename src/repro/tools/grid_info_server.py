@@ -66,13 +66,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="server-side cap in seconds on any search's run time "
         "(0 = no cap; client time limits still apply)",
     )
+    parser.add_argument(
+        "--provider-workers",
+        type=int,
+        default=4,
+        help="provider fan-out threads: information providers for one "
+        "search are probed concurrently on this bounded pool "
+        "(0 = probe sequentially on the search thread)",
+    )
+    parser.add_argument(
+        "--stale-while-revalidate",
+        type=float,
+        default=0.0,
+        help="serve a provider snapshot that outlived its TTL by up to "
+        "this many seconds while refreshing it in the background "
+        "(0 = expired snapshots always block on a refresh)",
+    )
     return parser
 
 
 def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
                  advertise_host: Optional[str] = None, monitor: bool = False,
                  workers: int = 8, queue_limit: int = 128,
-                 default_time_limit: float = 0.0):
+                 default_time_limit: float = 0.0, provider_workers: int = 4,
+                 stale_while_revalidate: float = 0.0):
     """Start everything; returns (endpoint, bound_port, registrants, server).
 
     With ``monitor=True`` one shared :class:`MetricsRegistry` is threaded
@@ -82,7 +99,11 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
     clock = WallClock()
     config = load_config(config_path)
     metrics = MetricsRegistry() if monitor else None
-    gris = build_gris(config, clock=clock, metrics=metrics)
+    gris = build_gris(
+        config, clock=clock, metrics=metrics,
+        provider_workers=provider_workers,
+        stale_while_revalidate=stale_while_revalidate,
+    )
     backend = gris
     if monitor:
         backend = MonitoredBackend(
@@ -130,6 +151,8 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
             monitor=args.monitor, workers=args.workers,
             queue_limit=args.queue_limit,
             default_time_limit=args.default_time_limit,
+            provider_workers=args.provider_workers,
+            stale_while_revalidate=args.stale_while_revalidate,
         )
     except ConfigError as exc:
         print(f"grid-info-server: {exc}", file=sys.stderr)
@@ -150,6 +173,9 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
                 registrant.stop()
             endpoint.close()
             _server.executor.shutdown()
+            backend = getattr(_server.backend, "inner", _server.backend)
+            if hasattr(backend, "shutdown"):
+                backend.shutdown()  # the GRIS provider fan-out pool
     return 0
 
 

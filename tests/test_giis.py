@@ -213,6 +213,33 @@ class TestChaining:
         assert giis.backend.stats_chained == chained  # served from cache
         assert giis.backend.stats_cache_hits == 1
 
+    def test_query_cache_bounded_by_max_entries(self):
+        tb = GridTestbed(seed=1)
+        giis, _ = build_vo(tb, n_gris=1, cache_ttl=1e9, max_query_cache=2)
+        client = tb.client("user", giis)
+        backend = giis.backend
+        for oc in ("computer", "queue", "loadaverage", "network"):
+            client.search("o=Grid", filter=f"(objectclass={oc})")
+        assert len(backend._query_cache) == 2  # capped, oldest evicted
+        evictions = backend.metrics.get("giis.query_cache.evictions")
+        assert evictions is not None and evictions.value == 2
+        size_gauge = backend.metrics.get("giis.query_cache.size")
+        assert size_gauge is not None and size_gauge.value == 2
+
+    def test_query_cache_sweeps_expired_slots_on_miss(self):
+        tb = GridTestbed(seed=1)
+        giis, _ = build_vo(tb, n_gris=1, cache_ttl=5.0)
+        client = tb.client("user", giis)
+        backend = giis.backend
+        client.search("o=Grid", filter="(objectclass=computer)")
+        assert len(backend._query_cache) == 1
+        tb.run(10.0)  # slot outlives cache_ttl
+        client.search("o=Grid", filter="(objectclass=queue)")
+        # The miss path swept the dead slot; only the new result remains.
+        assert len(backend._query_cache) == 1
+        (key,) = backend._query_cache
+        assert "queue" in key[2]
+
     def test_cache_invalidated_by_membership_change(self):
         tb = GridTestbed(seed=1)
         giis, children = build_vo(tb, n_gris=1, cache_ttl=1e9)

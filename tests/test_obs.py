@@ -134,6 +134,25 @@ class TestMetrics:
         m.counter("chained").inc()
         assert "giis1.chained" in m.snapshot()
 
+    def test_unregister_drops_one_label_set(self):
+        m = MetricsRegistry()
+        m.gauge("age", {"provider": "p1"}).set(5)
+        m.gauge("age", {"provider": "p2"}).set(7)
+        assert m.unregister("age", {"provider": "p1"})
+        assert m.get("age", {"provider": "p1"}) is None
+        assert m.get("age", {"provider": "p2"}).value == 7
+        assert not m.unregister("age", {"provider": "p1"})  # already gone
+        assert not m.unregister("nope")
+        # Re-registering after unregister yields a fresh instrument.
+        fresh = m.gauge("age", {"provider": "p1"})
+        assert fresh.value == 0
+
+    def test_unregister_respects_namespace(self):
+        m = MetricsRegistry(namespace="gris1")
+        m.counter("x").inc()
+        assert m.unregister("x")
+        assert "gris1.x" not in m.snapshot()
+
 
 class TestTracer:
     def test_span_tree_and_sink(self):
