@@ -49,6 +49,7 @@ from ..ldap.url import LdapUrl
 from ..net.clock import Clock
 from ..net.transport import Connection, ConnectionClosed, TransportError
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import parse_traceparent
 
 __all__ = [
     "GiisIndex",
@@ -139,6 +140,7 @@ class GiisBackend(Backend):
         max_chain_depth: int = 8,
         metrics: Optional[MetricsRegistry] = None,
         max_query_cache: int = 256,
+        tracer=None,
     ):
         if mode not in ("chain", "referral"):
             raise ValueError(f"unknown GIIS mode {mode!r}")
@@ -159,6 +161,7 @@ class GiisBackend(Backend):
         if max_query_cache < 1:
             raise ValueError("max_query_cache must be >= 1")
         self.max_query_cache = max_query_cache
+        self.tracer = tracer
         # Chaining fan-out instrumentation; the stats_* names below are
         # kept as read-only compatibility views over these counters.
         self.metrics = metrics or MetricsRegistry()
@@ -256,6 +259,33 @@ class GiisBackend(Backend):
         self, message: GrrpMessage, identity: Optional[str] = None
     ) -> LdapResult:
         """GRRP intake independent of transport (datagram or LDAP Add)."""
+        span = None
+        if self.tracer is not None:
+            # REGISTER messages triggered by an invitation carry the
+            # inviter's trace context, correlating intake with cause.
+            remote = (
+                parse_traceparent(message.trace_context)
+                if message.trace_context
+                else None
+            )
+            span = self.tracer.start(
+                "grrp.intake",
+                remote=remote,
+                url=message.service_url,
+                type=message.notification_type,
+            )
+        try:
+            result = self._apply_grrp(message, identity)
+            if span is not None:
+                span.tag("code", result.code)
+            return result
+        finally:
+            if span is not None:
+                span.finish()
+
+    def _apply_grrp(
+        self, message: GrrpMessage, identity: Optional[str] = None
+    ) -> LdapResult:
         was_known = self.registry.lookup(message.service_url) is not None
         changed = self.registry.apply(message, identity)
         if (
@@ -477,6 +507,7 @@ class GiisBackend(Backend):
                 on_done,
                 controls=(_chain_depth_control(depth),),
                 deadline=child_timeout,
+                trace=span,
             )
         except Exception:  # noqa: BLE001 - connection died under us
             timer.cancel()

@@ -59,6 +59,10 @@ class GrrpMessage:
     # Free-form descriptive metadata: the suffix a provider serves, its
     # object classes, the VO it is registering into, etc.
     metadata: Dict[str, str] = field(default_factory=dict)
+    # W3C-traceparent-style context ("00-<trace>-<span>-<flags>") set on
+    # REGISTERs caused by an invitation, so the directory's intake span
+    # can be parented on the invite that triggered it.  Empty = untraced.
+    trace_context: str = ""
 
     def __post_init__(self) -> None:
         if self.notification_type not in NotificationType.ALL:
@@ -88,6 +92,8 @@ class GrrpMessage:
             "until": self.valid_until,
             "meta": self.metadata,
         }
+        if self.trace_context:
+            payload["tracectx"] = self.trace_context
         return json.dumps(payload, sort_keys=True).encode("utf-8")
 
     @classmethod
@@ -100,6 +106,7 @@ class GrrpMessage:
                 timestamp=float(data["ts"]),
                 valid_until=float(data["until"]),
                 metadata={str(k): str(v) for k, v in data.get("meta", {}).items()},
+                trace_context=str(data.get("tracectx", "")),
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise GrrpError(f"malformed GRRP datagram: {exc}") from exc
@@ -116,6 +123,8 @@ class GrrpMessage:
         )
         entry.put("mds-timestamp", repr(self.timestamp))
         entry.put("mds-validto", repr(self.valid_until))
+        if self.trace_context:
+            entry.put("mds-tracecontext", self.trace_context)
         for key, value in self.metadata.items():
             entry.put(f"regmeta-{key}", value)
         return entry
@@ -142,6 +151,7 @@ class GrrpMessage:
             timestamp=timestamp,
             valid_until=valid_until,
             metadata=metadata,
+            trace_context=entry.first("mds-tracecontext", ""),
         )
 
     @classmethod

@@ -24,6 +24,7 @@ import random
 from typing import Callable, Dict, List, Optional
 
 from ..net.clock import Clock, TimerHandle
+from ..obs.trace import format_traceparent
 from .messages import GrrpMessage, NotificationType
 
 __all__ = ["SendFn", "Registrant", "Inviter"]
@@ -68,6 +69,11 @@ class Registrant:
         # over which VOs they are prepared to join" (§2.3).
         self.accept_invitation = accept_invitation
         self._targets: Dict[str, TimerHandle] = {}
+        # directory -> traceparent string of the invitation that caused
+        # the stream; consumed by the first turn-around REGISTER so the
+        # directory's intake correlates with the invite, then dropped
+        # (steady-state refreshes are not part of that trace).
+        self._invite_context: Dict[str, str] = {}
         self.sends = 0
 
     # -- registration streams -----------------------------------------------
@@ -123,6 +129,7 @@ class Registrant:
             timestamp=now,
             valid_until=now + self.ttl,
             metadata=self.metadata,
+            trace_context=self._invite_context.pop(directory, ""),
         )
         self.send(directory, message)
         self.sends += 1
@@ -147,6 +154,8 @@ class Registrant:
             directory, message
         ):
             return False
+        if message.trace_context and directory not in self._targets:
+            self._invite_context[directory] = message.trace_context
         self.register_with(directory)
         return True
 
@@ -172,11 +181,21 @@ class Inviter:
         self.directory_url = directory_url
         self.send = send
 
-    def invite(self, provider: str, ttl: float = 300.0, vo: str = "") -> None:
+    def invite(
+        self, provider: str, ttl: float = 300.0, vo: str = "", trace=None
+    ) -> None:
         now = self.clock.now()
         metadata = {"directory": self.directory_url}
         if vo:
             metadata["vo"] = vo
+        trace_context = ""
+        if trace is not None:
+            trace_context = format_traceparent(
+                trace.trace_id, trace.span_id, trace.sampled
+            )
+            tracer = getattr(trace, "tracer", None)
+            if tracer is not None:
+                tracer.propagated()
         self.send(
             provider,
             GrrpMessage(
@@ -185,5 +204,6 @@ class Inviter:
                 timestamp=now,
                 valid_until=now + ttl,
                 metadata=metadata,
+                trace_context=trace_context,
             ),
         )

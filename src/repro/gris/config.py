@@ -23,7 +23,12 @@ role::
       "registrations": [
         {"directory": "ldap://giis.example:2135/o=Grid",
          "interval": 30, "ttl": 90, "name": "myhost", "vo": "DemoVO"}
-      ]
+      ],
+      "tracing": {
+        "trace_log": "/var/log/mds/myhost-spans.jsonl",
+        "sample_rate": 0.1, "slow_query_ms": 250,
+        "server_id": "myhost:2135"
+      }
     }
 
 ``type: ldif`` providers serve a static LDIF file — the common way MDS
@@ -47,7 +52,14 @@ from .host import DynamicHostProvider, HostConfig, StaticHostProvider, real_load
 from .provider import FunctionProvider, InformationProvider
 from .storage import QueueProvider, StorageProvider, real_filesystem_stat
 
-__all__ = ["ConfigError", "RegistrationSpec", "GrisConfig", "load_config", "build_gris"]
+__all__ = [
+    "ConfigError",
+    "RegistrationSpec",
+    "TracingSpec",
+    "GrisConfig",
+    "load_config",
+    "build_gris",
+]
 
 
 class ConfigError(ValueError):
@@ -65,6 +77,27 @@ class RegistrationSpec:
     vo: str = ""
 
 
+@dataclass(frozen=True)
+class TracingSpec:
+    """Distributed-tracing options (the optional ``tracing`` object).
+
+    ``trace_log`` is a JSONL span-export path, ``sample_rate`` the
+    head-based sampling probability applied at local roots,
+    ``slow_query_ms`` the slow-tree capture threshold (0 disables), and
+    ``server_id`` the identifier stamped into exported span records
+    (defaults to the listen address when started via grid-info-server).
+    """
+
+    trace_log: str = ""
+    sample_rate: float = 1.0
+    slow_query_ms: float = 0.0
+    server_id: str = ""
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.trace_log) or self.slow_query_ms > 0
+
+
 @dataclass
 class GrisConfig:
     """A parsed configuration."""
@@ -72,6 +105,7 @@ class GrisConfig:
     suffix: str
     providers: List[InformationProvider] = field(default_factory=list)
     registrations: List[RegistrationSpec] = field(default_factory=list)
+    tracing: TracingSpec = field(default_factory=TracingSpec)
 
 
 def _require(spec: Dict, key: str, provider_type: str):
@@ -175,8 +209,25 @@ def load_config(
                 vo=spec.get("vo", ""),
             )
         )
+    tracing_spec = data.get("tracing", {})
+    if not isinstance(tracing_spec, dict):
+        raise ConfigError(f"{path}: 'tracing' must be an object")
+    try:
+        tracing = TracingSpec(
+            trace_log=str(tracing_spec.get("trace_log", "")),
+            sample_rate=float(tracing_spec.get("sample_rate", 1.0)),
+            slow_query_ms=float(tracing_spec.get("slow_query_ms", 0.0)),
+            server_id=str(tracing_spec.get("server_id", "")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{path}: bad tracing section: {exc}") from exc
+    if not 0.0 <= tracing.sample_rate <= 1.0:
+        raise ConfigError(f"{path}: sample_rate must be within [0, 1]")
     return GrisConfig(
-        suffix=data["suffix"], providers=providers, registrations=registrations
+        suffix=data["suffix"],
+        providers=providers,
+        registrations=registrations,
+        tracing=tracing,
     )
 
 

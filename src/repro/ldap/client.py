@@ -58,6 +58,7 @@ from .protocol import (
     SearchResultDone,
     SearchResultEntry,
     SearchResultReference,
+    TraceContext,
     UnbindRequest,
     decode_message,
     encode_message,
@@ -300,11 +301,20 @@ class LdapClient:
         on_done: DoneCallback,
         controls: Tuple[Control, ...] = (),
         deadline: Optional[float] = None,
+        trace=None,
     ) -> int:
         if deadline is not None and not req.time_limit:
             # Advertise the budget on the wire so deadline-aware servers
             # (and chained children) stop working when it expires.
             req = replace(req, time_limit=max(1, math.ceil(deadline)))
+        if trace is not None:
+            # Export the caller's span so the remote server parents its
+            # root span on us instead of minting a disjoint trace.
+            ctx = TraceContext(trace.trace_id, trace.span_id, trace.sampled)
+            controls = tuple(controls) + (ctx.to_control(),)
+            tracer = getattr(trace, "tracer", None)
+            if tracer is not None:
+                tracer.propagated()
         pending = _Pending("search", on_done=on_done)
         msg_id = self._allocate(pending)
         self._send(LdapMessage(msg_id, req, controls))
@@ -411,6 +421,8 @@ class LdapClient:
         size_limit: int = 0,
         timeout: float = 10.0,
         check: bool = True,
+        controls: Tuple[Control, ...] = (),
+        trace=None,
     ) -> SearchResult:
         filt = parse_filter(filter) if isinstance(filter, str) else filter
         req = SearchRequest(
@@ -420,7 +432,10 @@ class LdapClient:
             filter=filt,
             attributes=tuple(attrs),
         )
-        out = self._blocking(lambda cb: self.search_async(req, cb), timeout)
+        out = self._blocking(
+            lambda cb: self.search_async(req, cb, controls=controls, trace=trace),
+            timeout,
+        )
         if check and not out.result.ok:
             raise LdapError(out.result)
         return out

@@ -44,6 +44,8 @@ __all__ = [
     "ResultCode",
     "LdapResult",
     "Control",
+    "TRACE_CONTEXT_OID",
+    "TraceContext",
     "BindRequest",
     "BindResponse",
     "UnbindRequest",
@@ -145,6 +147,82 @@ class Control:
     oid: str
     criticality: bool = False
     value: bytes = b""
+
+
+# Distributed-tracing context, carried as a NON-critical control on
+# outbound searches (and mirrored in GRRP registration metadata).  The
+# payload follows W3C trace-context semantics: the caller's trace id,
+# the span the callee should parent on, and the root's head-sampling
+# decision.  Non-critical means a malformed payload is *ignored* — the
+# search proceeds with an unparented root span — unlike the fail-closed
+# chain-depth control (:data:`repro.giis.core.CHAIN_DEPTH_OID`), because
+# tracing is advisory while loop protection is load-bearing.
+TRACE_CONTEXT_OID = "1.3.6.1.4.1.57264.1.2"
+
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Decoded trace-context control payload.
+
+    BER shape::
+
+        TraceContext ::= SEQUENCE {
+            traceId       OCTET STRING,  -- 32 lowercase hex chars
+            parentSpanId  OCTET STRING,  -- 16 lowercase hex chars
+            sampled       BOOLEAN }
+    """
+
+    trace_id: str
+    parent_span_id: str
+    sampled: bool = True
+
+    def to_control(self) -> Control:
+        body = (
+            ber.encode_octet_string(self.trace_id)
+            + ber.encode_octet_string(self.parent_span_id)
+            + ber.encode_boolean(self.sampled)
+        )
+        return Control(TRACE_CONTEXT_OID, False, ber.encode_sequence(body))
+
+    @classmethod
+    def from_control(cls, control: Control) -> "TraceContext":
+        """Decode; raises :class:`ProtocolError` on any malformation."""
+        if control.oid != TRACE_CONTEXT_OID:
+            raise ProtocolError(f"not a trace-context control: {control.oid}")
+        try:
+            tag, body, end = ber.decode_tlv(control.value)
+            if end != len(control.value) or tag.octet != ber.TAG_SEQUENCE:
+                raise ProtocolError("trace context must be one SEQUENCE")
+            r = TlvReader(body)
+            trace_id = r.read_string()
+            parent_span_id = r.read_string()
+            sampled = r.read_boolean()
+            r.expect_end()
+        except BerError as exc:
+            raise ProtocolError(f"bad trace context: {exc}") from exc
+        if len(trace_id) != 32 or not set(trace_id) <= _HEX_DIGITS:
+            raise ProtocolError(f"bad trace id {trace_id!r}")
+        if len(parent_span_id) != 16 or not set(parent_span_id) <= _HEX_DIGITS:
+            raise ProtocolError(f"bad parent span id {parent_span_id!r}")
+        return cls(trace_id, parent_span_id, sampled)
+
+    @classmethod
+    def find(cls, controls: Sequence[Control]) -> Optional["TraceContext"]:
+        """First well-formed trace context in *controls*, else None.
+
+        Malformed payloads yield None rather than raising: the control
+        is non-critical, so a bad context degrades to an untraced hop
+        instead of failing the operation.
+        """
+        for control in controls or ():
+            if control.oid == TRACE_CONTEXT_OID:
+                try:
+                    return cls.from_control(control)
+                except ProtocolError:
+                    return None
+        return None
 
 
 # --------------------------------------------------------------------------

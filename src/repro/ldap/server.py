@@ -73,6 +73,8 @@ from .protocol import (
     SearchResultDone,
     SearchResultEntry,
     SearchResultReference,
+    TRACE_CONTEXT_OID,
+    TraceContext,
     UnbindRequest,
     decode_message,
     encode_message,
@@ -127,6 +129,7 @@ class LdapServer:
         self.stats = _ServerStats(self.metrics)
         self._connections = self.metrics.counter("ldap.connections")
         self._protocol_errors = self.metrics.counter("ldap.protocol.errors")
+        self._trace_malformed = self.metrics.counter("trace.context.malformed")
         self._entries_returned = self.metrics.counter("ldap.entries.returned")
         self._entries_suppressed = self.metrics.counter("ldap.entries.suppressed")
         self._requests = {
@@ -648,8 +651,22 @@ class _ServerConnection:
 
         span = None
         if self.server.tracer is not None:
+            # Parent the root span on the remote caller when the request
+            # carries a trace-context control; the control is
+            # non-critical, so a malformed payload is counted and the
+            # search proceeds with a fresh local trace.
+            remote = None
+            for control in ctx.controls or ():
+                if control.oid == TRACE_CONTEXT_OID:
+                    try:
+                        tc = TraceContext.from_control(control)
+                        remote = (tc.trace_id, tc.parent_span_id, tc.sampled)
+                    except ProtocolError:
+                        self.server._trace_malformed.inc()
+                    break
             span = self.server.tracer.start(
                 "ldap.search",
+                remote=remote,
                 base=req.base,
                 scope=int(req.scope),
                 filter=str(req.filter),

@@ -21,7 +21,17 @@ from .metrics import (
     MetricsRegistry,
 )
 from .monitor import MONITOR_SUFFIX, MonitorBackend, MonitoredBackend
-from .trace import RingSink, Span, Tracer
+from .trace import (
+    JsonlSink,
+    RemoteSpan,
+    RingSink,
+    SlowSpanLog,
+    Span,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+    span_record,
+)
 
 __all__ = [
     "LATENCY_BUCKETS",
@@ -32,7 +42,13 @@ __all__ = [
     "MONITOR_SUFFIX",
     "MonitorBackend",
     "MonitoredBackend",
+    "JsonlSink",
+    "RemoteSpan",
     "RingSink",
+    "SlowSpanLog",
     "Span",
     "Tracer",
+    "format_traceparent",
+    "parse_traceparent",
+    "span_record",
 ]

@@ -28,6 +28,7 @@ plain attributes, so ``(&(objectclass=mdsmetric)(op=search))`` works.
 
 from __future__ import annotations
 
+import json
 from typing import Callable, List, Optional
 
 from ..ldap.backend import (
@@ -52,10 +53,12 @@ from ..ldap.protocol import (
     SearchRequest,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import SlowSpanLog, span_record
 
-__all__ = ["MONITOR_SUFFIX", "MonitorBackend", "MonitoredBackend"]
+__all__ = ["MONITOR_SUFFIX", "SLOW_SUFFIX", "MonitorBackend", "MonitoredBackend"]
 
 MONITOR_SUFFIX = DN.parse("cn=monitor")
+SLOW_SUFFIX = DN.parse("cn=slow,cn=monitor")
 
 
 def _fmt(value: object) -> str:
@@ -87,10 +90,12 @@ class MonitorBackend(Backend):
         metrics: MetricsRegistry,
         server_name: str = "",
         suffix: DN | str = MONITOR_SUFFIX,
+        slow_log: Optional[SlowSpanLog] = None,
     ):
         self.metrics = metrics
         self.server_name = server_name
         self.suffix = DN.of(suffix)
+        self.slow_log = slow_log
 
     # -- entry generation ----------------------------------------------------
 
@@ -133,12 +138,56 @@ class MonitorBackend(Backend):
                 entry.put(f"mdsbucket-{_fmt(bound)}", cumulative)
         return entry
 
+    # -- slow-query subtree --------------------------------------------------
+
+    @property
+    def slow_suffix(self) -> DN:
+        return self.suffix.child(RDN.single("cn", "slow"))
+
+    def _slow_entries(self) -> List[Entry]:
+        """``cn=slow``: one entry per captured slow span tree."""
+        traces = self.slow_log.slow_traces() if self.slow_log is not None else []
+        root_entry = Entry(
+            self.slow_suffix,
+            objectclass=["top", "mdsslowlog"],
+            cn="slow",
+            description="span trees whose root exceeded the slow-query threshold",
+        )
+        root_entry.put("mdsslowthresholdms", _fmt(
+            self.slow_log.threshold_ms if self.slow_log is not None else 0.0
+        ))
+        root_entry.put("mdsslowcount", len(traces))
+        out = [root_entry]
+        for root, tree in traces:
+            dn = self.slow_suffix.child(RDN.single("mdstraceid", root.trace_id))
+            entry = Entry(
+                dn,
+                objectclass=["top", "mdsslowtrace"],
+                mdstraceid=root.trace_id,
+                mdsrootname=root.name,
+            )
+            entry.put("mdsrootms", _fmt(root.duration * 1000.0))
+            entry.put("mdsspancount", len(tree))
+            # One JSON span record per value: grid-info-trace consumes
+            # these exactly like JSONL lines read from disk.
+            entry.put(
+                "mdsspan",
+                [
+                    json.dumps(span_record(span), sort_keys=True, default=str)
+                    for span in tree
+                ],
+            )
+            out.append(entry)
+        return out
+
     def entries(self) -> List[Entry]:
         """The full monitor view, regenerated from live instruments."""
         instruments = self.metrics.instruments()
         out = [self._root_entry(len(instruments))]
         for instrument in sorted(instruments, key=lambda i: i.full_name):
             out.append(self._metric_entry(instrument))
+        if self.slow_log is not None:
+            out.extend(self._slow_entries())
         return out
 
     # -- Backend interface ---------------------------------------------------

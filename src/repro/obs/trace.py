@@ -1,35 +1,117 @@
-"""Lightweight per-request trace spans with pluggable sinks.
+"""Distributed per-request trace spans with pluggable sinks.
 
-One GRIP search can fan out across layers — front-end dispatch, GRIS
-provider cache, GIIS chaining, per-child sub-queries — and the MDS2
-performance studies show the interesting latency usually hides in one
-of those hops.  A :class:`Tracer` stitches the hops of one request into
-a span tree:
+One GRIP search can fan out across layers *and across servers* — a GIIS
+chains to child GRIS servers, each of which dispatches providers — and
+the MDS2 performance studies show the interesting latency usually hides
+in one of those hops.  A :class:`Tracer` stitches the hops of one
+request into a span tree:
 
-* the LDAP front end opens a root span per operation and threads it to
-  the backend via :attr:`RequestContext.trace <repro.ldap.backend.RequestContext>`;
+* ids are globally unique: 128-bit trace ids and 64-bit span ids drawn
+  from a per-tracer RNG (seedable, so simulator tests are
+  deterministic), rendered as lowercase hex exactly like
+  W3C trace-context;
+* the LDAP front end opens a root span per operation — parented on the
+  *remote caller's* span when the request carries a trace-context
+  control (:data:`repro.ldap.protocol.TRACE_CONTEXT_OID`) — and threads
+  it to the backend via
+  :attr:`RequestContext.trace <repro.ldap.backend.RequestContext>`;
 * backends open children (``gris.collect``, ``giis.chain``,
-  ``giis.child``) off whatever span the context carries;
-* finished spans flow to pluggable sinks — keep the ring buffer for
-  ``cn=monitor``-style inspection, or plug in a log writer.
+  ``giis.child``) off whatever span the context carries, and
+  :class:`~repro.ldap.client.LdapClient` re-exports the context on
+  outbound searches, so a four-server chain yields one tree;
+* head-based sampling: the root decides (``sample_rate``), children and
+  downstream servers honor the root's decision via the propagated
+  ``sampled`` flag;
+* finished spans flow to pluggable sinks — :class:`RingSink` for
+  ``cn=monitor``-style inspection, :class:`JsonlSink` for one-line-per-
+  span export that ``grid-info-trace`` merges across servers, and
+  :class:`SlowSpanLog` which captures whole trees whose root outlived a
+  threshold.
 
 Spans are deliberately tiny (slots, no stack introspection, no context
-vars): when no tracer is configured the cost is one ``None`` check.
+vars): when no tracer is configured the cost is one ``None`` check, and
+id generation is two calls on an already-seeded ``random.Random`` — no
+wall-clock or OS entropy on the hot path.
 """
 
 from __future__ import annotations
 
+import json
+import random
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-__all__ = ["Span", "Tracer", "RingSink"]
+from .metrics import MetricsRegistry
 
-# A sink receives each span exactly once, when it finishes.
+__all__ = [
+    "SCHEMA_VERSION",
+    "Span",
+    "RemoteSpan",
+    "Tracer",
+    "RingSink",
+    "JsonlSink",
+    "SlowSpanLog",
+    "span_record",
+    "format_traceparent",
+    "parse_traceparent",
+]
+
+# Version stamped into every exported span record ("v"); bump when the
+# record shape changes so multi-server merges can reject mixed dumps.
+SCHEMA_VERSION = 1
+
+_TRACE_BITS = 128
+_SPAN_BITS = 64
+_HEXDIGITS = set("0123456789abcdef")
+
+# A sink receives each sampled span exactly once, when it finishes.
 SpanSink = Callable[["Span"], None]
 
 
+def _is_hex_id(value: object, width: int) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == width
+        and set(value) <= _HEXDIGITS
+    )
+
+
+def format_traceparent(trace_id: str, span_id: str, sampled: bool) -> str:
+    """W3C-traceparent-style rendering: ``00-<trace>-<span>-<flags>``."""
+    return f"00-{trace_id}-{span_id}-{'01' if sampled else '00'}"
+
+
+def parse_traceparent(value: str) -> Optional[Tuple[str, str, bool]]:
+    """``(trace_id, span_id, sampled)``; None for anything malformed."""
+    parts = value.split("-")
+    if len(parts) != 4 or parts[0] != "00":
+        return None
+    trace_id, span_id, flags = parts[1], parts[2], parts[3]
+    if not _is_hex_id(trace_id, _TRACE_BITS // 4):
+        return None
+    if not _is_hex_id(span_id, _SPAN_BITS // 4):
+        return None
+    if flags not in ("00", "01"):
+        return None
+    return trace_id, span_id, flags == "01"
+
+
+class RemoteSpan:
+    """A parent span living in another process (decoded from the wire)."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteSpan({format_traceparent(self.trace_id, self.span_id, self.sampled)})"
+
+
 class Span:
-    """One timed operation within a request."""
+    """One timed operation within a (possibly multi-server) request."""
 
     __slots__ = (
         "tracer",
@@ -37,6 +119,7 @@ class Span:
         "parent",
         "trace_id",
         "span_id",
+        "sampled",
         "start",
         "end",
         "tags",
@@ -46,9 +129,10 @@ class Span:
         self,
         tracer: "Tracer",
         name: str,
-        parent: Optional["Span"],
-        trace_id: int,
-        span_id: int,
+        parent: Optional[Union["Span", RemoteSpan]],
+        trace_id: str,
+        span_id: str,
+        sampled: bool,
         start: float,
     ):
         self.tracer = tracer
@@ -56,12 +140,17 @@ class Span:
         self.parent = parent
         self.trace_id = trace_id
         self.span_id = span_id
+        self.sampled = sampled
         self.start = start
         self.end: Optional[float] = None
         self.tags: Dict[str, str] = {}
 
     def tag(self, key: str, value: object) -> "Span":
-        self.tags[key] = str(value)
+        # Unsampled spans never reach a sink, so their tags are never
+        # read; skipping the str() keeps sampled-out tracing close to
+        # free (stringifying a DN costs more than the span itself).
+        if self.sampled:
+            self.tags[key] = str(value)
         return self
 
     def child(self, name: str, **tags: object) -> "Span":
@@ -76,7 +165,19 @@ class Span:
 
     @property
     def duration(self) -> float:
-        return (self.end if self.end is not None else self.tracer.now()) - self.start
+        """Elapsed seconds, clamped at zero.
+
+        A simulator clock rewound between start and finish (time-travel
+        tests, snapshot restores) would otherwise report a negative
+        duration and corrupt latency math downstream; the clamp is
+        counted so skew does not pass silently.
+        """
+        end = self.end if self.end is not None else self.tracer.now()
+        elapsed = end - self.start
+        if elapsed < 0:
+            self.tracer._clock_skew.inc()
+            return 0.0
+        return elapsed
 
     def __enter__(self) -> "Span":
         return self
@@ -89,44 +190,119 @@ class Span:
         return f"Span({self.name!r}, {state}, tags={self.tags!r})"
 
 
+def span_record(span: Span, server_id: str = "") -> Dict[str, object]:
+    """The one-line export shape shared by JSONL files and cn=monitor."""
+    parent = span.parent
+    return {
+        "v": SCHEMA_VERSION,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_span_id": parent.span_id if parent is not None else None,
+        "name": span.name,
+        "server_id": server_id or getattr(span.tracer, "server_id", ""),
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "tags": dict(span.tags),
+    }
+
+
 class Tracer:
     """Factory and fan-out point for spans.
 
-    ``clock_now`` is any zero-argument time source — pass
-    ``clock.now`` so simulated and wall time both work.
+    ``clock_now`` is any zero-argument time source — pass ``clock.now``
+    so simulated and wall time both work.  ``seed`` fixes the id stream
+    for deterministic tests; unseeded tracers draw entropy once at
+    construction.  ``sample_rate`` is the head-based sampling
+    probability applied at *local* roots only — spans with a parent
+    (local or remote) inherit the root's decision, so one trace is
+    either exported everywhere or nowhere.
     """
 
     def __init__(
         self,
         clock_now: Callable[[], float],
         sinks: Tuple[SpanSink, ...] = (),
+        seed: Optional[int] = None,
+        sample_rate: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+        server_id: str = "",
     ):
         self.now = clock_now
+        self.sample_rate = float(sample_rate)
+        self.server_id = server_id
         self._sinks: List[SpanSink] = list(sinks)
         self._lock = threading.Lock()
-        self._next_trace = 0
-        self._next_span = 0
+        self._rng = random.Random(seed)
+        self.metrics = metrics or MetricsRegistry()
+        self._started = self.metrics.counter("trace.spans.started")
+        self._finished_count = self.metrics.counter("trace.spans.finished")
+        self._sampled_out = self.metrics.counter("trace.spans.sampled_out")
+        self._propagated = self.metrics.counter("trace.propagated")
+        self._clock_skew = self.metrics.counter("trace.clock_skew")
 
     def add_sink(self, sink: SpanSink) -> None:
         self._sinks.append(sink)
 
+    def _new_trace_id(self) -> str:
+        return f"{self._rng.getrandbits(_TRACE_BITS):032x}"
+
+    def _new_span_id(self) -> str:
+        return f"{self._rng.getrandbits(_SPAN_BITS):016x}"
+
+    def _sample(self) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        return self._rng.random() < self.sample_rate
+
     def start(
-        self, name: str, parent: Optional[Span] = None, **tags: object
+        self,
+        name: str,
+        parent: Optional[Union[Span, RemoteSpan]] = None,
+        remote: Optional[Union[RemoteSpan, Tuple[str, str, bool]]] = None,
+        **tags: object,
     ) -> Span:
+        """Open a span.
+
+        *parent* is a local :class:`Span`; *remote* is the decoded
+        trace context of a caller in another process (a
+        :class:`RemoteSpan` or a ``(trace_id, span_id, sampled)``
+        tuple) — the new span joins that trace instead of minting one.
+        """
+        if parent is None and remote is not None:
+            parent = (
+                remote
+                if isinstance(remote, RemoteSpan)
+                else RemoteSpan(*remote)
+            )
         with self._lock:
-            self._next_span += 1
-            span_id = self._next_span
+            span_id = self._new_span_id()
             if parent is None:
-                self._next_trace += 1
-                trace_id = self._next_trace
+                trace_id = self._new_trace_id()
+                sampled = self._sample()
             else:
                 trace_id = parent.trace_id
-        span = Span(self, name, parent, trace_id, span_id, self.now())
-        for key, value in tags.items():
-            span.tag(key, value)
+                sampled = parent.sampled
+        self._started.inc()
+        span = Span(self, name, parent, trace_id, span_id, sampled, self.now())
+        if sampled:
+            for key, value in tags.items():
+                span.tag(key, value)
         return span
 
+    def propagated(self) -> None:
+        """Count one trace context exported onto the wire."""
+        self._propagated.inc()
+
     def _finished(self, span: Span) -> None:
+        self._finished_count.inc()
+        if not span.sampled:
+            # Head-based sampling: the root's decision silences the
+            # whole tree, here and on every downstream server.
+            self._sampled_out.inc()
+            return
         for sink in self._sinks:
             try:
                 sink(span)
@@ -135,20 +311,40 @@ class Tracer:
 
 
 class RingSink:
-    """Keeps the last *capacity* finished spans for inspection."""
+    """Keeps the last *capacity* finished spans for inspection.
 
-    def __init__(self, capacity: int = 512):
+    Eviction is counted (``trace.ring.dropped`` when wired to a
+    registry, always on :attr:`dropped`) and occupancy is exposed as a
+    live gauge (``trace.ring.size``) so a saturated ring is visible in
+    ``cn=monitor`` instead of silently forgetting history.
+    """
+
+    def __init__(self, capacity: int = 512, metrics: Optional[MetricsRegistry] = None):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._lock = threading.Lock()
         self._spans: List[Span] = []
+        self._dropped = (
+            metrics.counter("trace.ring.dropped") if metrics is not None else None
+        )
+        self._dropped_local = 0
+        if metrics is not None:
+            metrics.gauge_fn("trace.ring.size", lambda: len(self._spans))
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped_local
 
     def __call__(self, span: Span) -> None:
         with self._lock:
             self._spans.append(span)
-            if len(self._spans) > self.capacity:
-                del self._spans[: len(self._spans) - self.capacity]
+            overflow = len(self._spans) - self.capacity
+            if overflow > 0:
+                del self._spans[:overflow]
+                self._dropped_local += overflow
+                if self._dropped is not None:
+                    self._dropped.inc(overflow)
 
     def spans(self, name: Optional[str] = None) -> List[Span]:
         with self._lock:
@@ -157,9 +353,9 @@ class RingSink:
             out = [s for s in out if s.name == name]
         return out
 
-    def traces(self) -> Dict[int, List[Span]]:
+    def traces(self) -> Dict[str, List[Span]]:
         """Finished spans grouped by trace id, in finish order."""
-        out: Dict[int, List[Span]] = {}
+        out: Dict[str, List[Span]] = {}
         for span in self.spans():
             out.setdefault(span.trace_id, []).append(span)
         return out
@@ -167,3 +363,105 @@ class RingSink:
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+
+
+class JsonlSink:
+    """Appends one JSON line per finished span to a file.
+
+    The record shape is :func:`span_record` (schema-versioned, carries
+    ``server_id``), so dumps from every server in a hierarchy can be
+    concatenated and re-grouped by trace id — exactly what
+    ``grid-info-trace`` does.
+    """
+
+    def __init__(self, path, server_id: str = ""):
+        self.server_id = server_id
+        self._lock = threading.Lock()
+        if hasattr(path, "write"):
+            self._file = path
+            self._owns = False
+            self.path = getattr(path, "name", "<stream>")
+        else:
+            self.path = str(path)
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._owns = True
+
+    def __call__(self, span: Span) -> None:
+        line = json.dumps(
+            span_record(span, self.server_id), sort_keys=True, default=str
+        )
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns and self._file is not None:
+                self._file.close()
+            self._file = None
+
+
+class SlowSpanLog:
+    """Captures completed span *trees* whose root exceeded a threshold.
+
+    Spans are buffered per trace as they finish; when a local root (no
+    parent, or a remote parent — i.e. this server's topmost span for
+    the trace) finishes, the whole buffered tree is either captured
+    (root duration ≥ ``threshold_ms``) or discarded.  The last
+    *capacity* slow trees are kept and published under
+    ``cn=slow,cn=monitor`` by :class:`~repro.obs.monitor.MonitorBackend`.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        capacity: int = 32,
+        max_pending: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = capacity
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        # trace_id -> finished spans seen so far (insertion-ordered so
+        # the oldest pending trace is evicted first on overflow).
+        self._pending: Dict[str, List[Span]] = {}
+        self._slow: List[Tuple[Span, List[Span]]] = []
+        self._captured = (
+            metrics.counter("trace.slow.captured") if metrics is not None else None
+        )
+
+    def __call__(self, span: Span) -> None:
+        with self._lock:
+            bucket = self._pending.setdefault(span.trace_id, [])
+            bucket.append(span)
+            if not isinstance(span.parent, Span) or span.parent is None:
+                # Local root finished: resolve the buffered tree.
+                tree = self._pending.pop(span.trace_id)
+                if span.duration * 1000.0 >= self.threshold_ms:
+                    self._slow.append((span, tree))
+                    if self._captured is not None:
+                        self._captured.inc()
+                    overflow = len(self._slow) - self.capacity
+                    if overflow > 0:
+                        del self._slow[:overflow]
+                return
+            # Roots that never finish (dropped responses) must not pin
+            # their buffers forever.
+            while len(self._pending) > self.max_pending:
+                oldest = next(iter(self._pending))
+                del self._pending[oldest]
+
+    def slow_traces(self) -> List[Tuple[Span, List[Span]]]:
+        """``(root, finished spans of that tree)``, oldest first."""
+        with self._lock:
+            return [(root, list(tree)) for root, tree in self._slow]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._pending.clear()
+            self._slow.clear()

@@ -103,6 +103,7 @@ class GridTestbed:
         policy: Optional[AccessPolicy] = None,
         authenticator: Optional[Authenticator] = None,
         suffix_entry: Optional[Entry] = None,
+        tracer=None,
     ) -> Deployment:
         node = self.host(host, site)
         backend = GrisBackend(suffix, clock=self.sim)
@@ -116,6 +117,7 @@ class GridTestbed:
             policy=policy,
             authenticator=authenticator,
             name=f"gris-{host}",
+            tracer=tracer,
         )
         node.listen(port, server.handle_connection)
         deployment = Deployment(
@@ -180,6 +182,7 @@ class GridTestbed:
         authenticator: Optional[Authenticator] = None,
         datagram_grrp: bool = True,
         credential=None,
+        tracer=None,
         **backend_kwargs,
     ) -> Deployment:
         node = self.host(host, site)
@@ -197,6 +200,7 @@ class GridTestbed:
             cache_ttl=cache_ttl,
             accept=accept,
             credential=credential,
+            tracer=tracer,
             **backend_kwargs,
         )
         if purge_interval is not None:
@@ -207,6 +211,7 @@ class GridTestbed:
             policy=policy,
             authenticator=authenticator,
             name=f"giis-{host}",
+            tracer=tracer,
         )
         node.listen(port, server.handle_connection)
         if datagram_grrp:

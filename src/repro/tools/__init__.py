@@ -1,11 +1,13 @@
-"""Command-line tools: the grid-info-search / grid-info-server pair.
+"""Command-line tools: grid-info-search / grid-info-server / grid-info-trace.
 
 These mirror the Globus deployment commands (``grid-info-search`` was
-how operators queried MDS): a client CLI printing LDIF and a server CLI
-that runs a GRIS from a configuration file over real TCP.
+how operators queried MDS): a client CLI printing LDIF, a server CLI
+that runs a GRIS from a configuration file over real TCP, and a trace
+viewer that merges per-server span exports into one tree per query.
 """
 
 from .grid_info_search import main as search_main
 from .grid_info_server import main as server_main
+from .grid_info_trace import main as trace_main
 
-__all__ = ["search_main", "server_main"]
+__all__ = ["search_main", "server_main", "trace_main"]

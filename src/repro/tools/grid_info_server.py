@@ -23,7 +23,14 @@ from ..ldap.server import LdapServer
 from ..ldap.url import LdapUrl
 from ..net.clock import WallClock
 from ..net.tcp import TcpEndpoint
-from ..obs import MetricsRegistry, MonitorBackend, MonitoredBackend
+from ..obs import (
+    JsonlSink,
+    MetricsRegistry,
+    MonitorBackend,
+    MonitoredBackend,
+    SlowSpanLog,
+    Tracer,
+)
 
 __all__ = ["main", "start_server"]
 
@@ -82,6 +89,37 @@ def build_parser() -> argparse.ArgumentParser:
         "this many seconds while refreshing it in the background "
         "(0 = expired snapshots always block on a refresh)",
     )
+    parser.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per finished span to PATH "
+        "(merge across servers with grid-info-trace)",
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="head-based sampling probability in [0,1] applied at local "
+        "root spans; children and downstream servers honor the root's "
+        "decision (default 1.0)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="capture the whole span tree of queries whose root exceeds "
+        "MS milliseconds, published under cn=slow,cn=monitor "
+        "(0 = disabled)",
+    )
+    parser.add_argument(
+        "--server-id",
+        default=None,
+        help="identifier stamped into exported span records "
+        "(default: the listen address host:port)",
+    )
     return parser
 
 
@@ -89,16 +127,50 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
                  advertise_host: Optional[str] = None, monitor: bool = False,
                  workers: int = 8, queue_limit: int = 128,
                  default_time_limit: float = 0.0, provider_workers: int = 4,
-                 stale_while_revalidate: float = 0.0):
+                 stale_while_revalidate: float = 0.0,
+                 trace_log: Optional[str] = None,
+                 trace_sample_rate: Optional[float] = None,
+                 slow_query_ms: Optional[float] = None,
+                 server_id: Optional[str] = None):
     """Start everything; returns (endpoint, bound_port, registrants, server).
 
     With ``monitor=True`` one shared :class:`MetricsRegistry` is threaded
     through the transport, the GRIS, and the LDAP front end, and served
     as a GRIP-queryable ``cn=monitor`` subtree alongside the data suffix.
+
+    Tracing arguments default to the config file's ``tracing`` section
+    (explicit arguments win); a tracer is built when a span log or a
+    slow-query threshold is configured, and ``server_id`` falls back to
+    the listen address so multi-server JSONL merges stay unambiguous.
     """
     clock = WallClock()
     config = load_config(config_path)
     metrics = MetricsRegistry() if monitor else None
+
+    tracing = config.tracing
+    trace_log = trace_log if trace_log is not None else (tracing.trace_log or None)
+    sample_rate = (
+        trace_sample_rate if trace_sample_rate is not None else tracing.sample_rate
+    )
+    slow_ms = slow_query_ms if slow_query_ms is not None else tracing.slow_query_ms
+    server_id = server_id if server_id is not None else (tracing.server_id or None)
+    if not 0.0 <= sample_rate <= 1.0:
+        raise ConfigError("--trace-sample-rate must be within [0, 1]")
+    tracer = None
+    slow_log = None
+    if trace_log or slow_ms > 0:
+        tracer = Tracer(
+            clock.now,
+            sample_rate=sample_rate,
+            metrics=metrics,
+            server_id=server_id or "",
+        )
+        if slow_ms > 0:
+            slow_log = SlowSpanLog(slow_ms, metrics=metrics)
+            tracer.add_sink(slow_log)
+        if trace_log:
+            tracer.add_sink(JsonlSink(trace_log))
+
     gris = build_gris(
         config, clock=clock, metrics=metrics,
         provider_workers=provider_workers,
@@ -107,7 +179,10 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
     backend = gris
     if monitor:
         backend = MonitoredBackend(
-            gris, MonitorBackend(metrics, server_name="grid-info-server")
+            gris,
+            MonitorBackend(
+                metrics, server_name="grid-info-server", slow_log=slow_log
+            ),
         )
     executor = RequestExecutor(
         workers=workers,
@@ -118,10 +193,13 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
     )
     server = LdapServer(
         backend, clock=clock, name="grid-info-server", metrics=metrics,
-        executor=executor, default_time_limit=default_time_limit,
+        tracer=tracer, executor=executor, default_time_limit=default_time_limit,
     )
     endpoint = TcpEndpoint(host, metrics=metrics)
     bound = endpoint.listen(port, server.handle_connection)
+    if tracer is not None and not tracer.server_id:
+        # The default server id is the listen address, known only now.
+        tracer.server_id = f"{host}:{bound}"
 
     registrants = []
     if config.registrations:
@@ -153,6 +231,10 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
             default_time_limit=args.default_time_limit,
             provider_workers=args.provider_workers,
             stale_while_revalidate=args.stale_while_revalidate,
+            trace_log=args.trace_log,
+            trace_sample_rate=args.trace_sample_rate,
+            slow_query_ms=args.slow_query_ms,
+            server_id=args.server_id,
         )
     except ConfigError as exc:
         print(f"grid-info-server: {exc}", file=sys.stderr)
@@ -160,6 +242,8 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
     print(f"grid-info-server: listening on ldap://{args.host}:{bound}/")
     if args.monitor:
         print("grid-info-server: serving live metrics under cn=monitor")
+    if args.trace_log:
+        print(f"grid-info-server: exporting trace spans to {args.trace_log}")
     if registrants:
         targets = [d for r in registrants for d in r.directories()]
         print(f"grid-info-server: registering with {', '.join(targets)}")
