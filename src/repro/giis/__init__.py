@@ -6,14 +6,14 @@ relational with joins, and Condor-style matchmaking.
 """
 
 from .bootstrap import SlpDirectoryAdvertiser, discover_directories, discover_via_slp
-from .core import Connector, GiisBackend, GiisIndex
+from .core import Connector, GiisBackend, GiisIndex, RegistrationSuffixIndex
 from .hierarchy import (
     GRRP_DATAGRAM_PORT,
     DatagramGrrpSender,
     LdapGrrpSender,
     make_registrant,
 )
-from .indexes import NameIndex, PullIndex
+from .indexes import EntryCacheIndex, NameIndex, PullIndex
 from .matchmaker import (
     UNDEFINED,
     AdError,
@@ -38,6 +38,8 @@ __all__ = [
     "LdapGrrpSender",
     "make_registrant",
     "NameIndex",
+    "EntryCacheIndex",
+    "RegistrationSuffixIndex",
     "PullIndex",
     "UNDEFINED",
     "AdError",

@@ -25,8 +25,10 @@ entry plus one entry per active registration, so hierarchical discovery
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..grip.messages import GrrpError, GrrpMessage, NotificationType
 from ..grip.registry import Registration, SoftStateRegistry
@@ -40,9 +42,11 @@ from ..ldap.backend import (
     Subscription,
     _in_scope,
 )
+from ..ldap.attributes import CASE_EXACT
 from ..ldap.executor import CancelToken
 from ..ldap.client import LdapClient, SearchResult
 from ..ldap.dn import DN
+from ..ldap.index import AttributeIndex
 from ..ldap.entry import Entry
 from ..ldap.protocol import AddRequest, LdapResult, ResultCode, SearchRequest
 from ..ldap.url import LdapUrl
@@ -53,6 +57,7 @@ from ..obs.trace import parse_traceparent
 
 __all__ = [
     "GiisIndex",
+    "RegistrationSuffixIndex",
     "GiisBackend",
     "Connector",
     "CHAIN_DEPTH_OID",
@@ -112,6 +117,100 @@ class GiisIndex:
         """A provider explicitly left."""
 
 
+def _canonical_dn(dn: DN) -> str:
+    """A canonical string form two equal DNs always share.
+
+    ``str(dn)`` is not canonical (AVA order in multi-valued RDNs, case,
+    whitespace), so the registrant-selection index keys postings by the
+    repr of the normalized RDN tuple instead — exact by construction.
+    """
+    return repr(dn.normalized())
+
+
+class RegistrationSuffixIndex(GiisIndex):
+    """Registrant selection on the shared :class:`AttributeIndex` engine.
+
+    Query routing must find the registrations whose advertised namespace
+    intersects a search base: ``suffix.is_within(base)`` or
+    ``base.is_within(suffix)``.  Instead of DN-comparing every active
+    registration per query, each registration (keyed by service URL) is
+    indexed under two synthetic attributes:
+
+    * ``regwithin`` — the canonical form of every ancestor-or-self of
+      its suffix, so one posting lookup on the query base yields all
+      suffixes *within* the base;
+    * ``regsuffix`` — the canonical suffix itself, probed with the query
+      base's ancestor-or-self chain to find suffixes *containing* the
+      base.
+
+    Both use exact matching over canonical DN forms, so the candidate
+    set equals the DN-math answer (callers still intersect it with the
+    swept active list, which handles expiry).
+    """
+
+    WITHIN = "regwithin"
+    EXACT = "regsuffix"
+
+    def __init__(self):
+        self._index = AttributeIndex(
+            (self.WITHIN, self.EXACT),
+            rules={self.WITHIN: CASE_EXACT, self.EXACT: CASE_EXACT},
+        )
+        self._lock = threading.Lock()
+
+    def _values(self, registration: Registration) -> Dict[str, List[str]]:
+        suffix = registration.suffix_dn
+        chain = [_canonical_dn(suffix)]
+        chain.extend(_canonical_dn(a) for a in suffix.ancestors())
+        return {self.WITHIN: chain, self.EXACT: [_canonical_dn(suffix)]}
+
+    def _reindex(self, registration: Registration) -> None:
+        try:
+            values = self._values(registration)
+        except Exception:  # noqa: BLE001 - malformed suffix: route via scan
+            values = {}
+        with self._lock:
+            self._index.discard(registration.service_url)
+            self._index.add(registration.service_url, lambda a: values.get(a, ()))
+
+    def on_register(self, registration: Registration) -> None:
+        self._reindex(registration)
+
+    def on_refresh(self, registration: Registration) -> None:
+        # A refresh may legitimately advertise a new suffix (§5.2).
+        self._reindex(registration)
+
+    def on_expire(self, registration: Registration) -> None:
+        with self._lock:
+            self._index.discard(registration.service_url)
+
+    def on_unregister(self, registration: Registration) -> None:
+        self.on_expire(registration)
+
+    def rebuild(self, registrations: Iterable[Registration]) -> None:
+        with self._lock:
+            self._index.clear()
+        for registration in registrations:
+            self._reindex(registration)
+
+    def targets(self, base: DN) -> Set[str]:
+        """Service URLs whose namespace intersects *base*."""
+        probes = [_canonical_dn(base)]
+        probes.extend(_canonical_dn(a) for a in base.ancestors())
+        with self._lock:
+            eligible: Set[str] = set(
+                self._index.equality(self.WITHIN, probes[0]) or ()
+            )
+            for probe in probes:
+                hit = self._index.equality(self.EXACT, probe)
+                if hit:
+                    eligible.update(hit)
+        return eligible
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
 class _QueryCacheSlot:
     __slots__ = ("outcome", "created_at")
 
@@ -141,6 +240,7 @@ class GiisBackend(Backend):
         metrics: Optional[MetricsRegistry] = None,
         max_query_cache: int = 256,
         tracer=None,
+        index_attrs: Iterable[str] = (),
     ):
         if mode not in ("chain", "referral"):
             raise ValueError(f"unknown GIIS mode {mode!r}")
@@ -189,8 +289,17 @@ class GiisBackend(Backend):
             metrics=self.metrics,
         )
         self.indexes: List[GiisIndex] = []
+        # Default index_attrs for attached indexes that materialize
+        # entries (e.g. EntryCacheIndex) but don't pick their own.
+        self.index_attrs = tuple(index_attrs)
+        # Registrant selection: maintained from the same hooks as the
+        # pluggable indexes, consulted by _targets instead of per-query
+        # DN math over every active registration.
+        self._reg_index = RegistrationSuffixIndex()
         self._clients: Dict[str, LdapClient] = {}
-        self._query_cache: Dict[Tuple, _QueryCacheSlot] = {}
+        # LRU over query outcomes: most-recently-hit keys live at the
+        # tail, eviction pops the head.
+        self._query_cache: "OrderedDict[Tuple, _QueryCacheSlot]" = OrderedDict()
         self._subs: Dict[int, Tuple[SearchRequest, int, ChangeCallback]] = {}
         self._next_sub = 0
 
@@ -224,18 +333,21 @@ class GiisBackend(Backend):
 
     def _fan_register(self, registration: Registration) -> None:
         self._query_cache.clear()
+        self._reg_index.on_register(registration)
         for index in self.indexes:
             index.on_register(registration)
         self._notify_subs(self._registration_entry(registration), ChangeType.ADD)
 
     def _fan_expire(self, registration: Registration) -> None:
         self._query_cache.clear()
+        self._reg_index.on_expire(registration)
         for index in self.indexes:
             index.on_expire(registration)
         self._notify_subs(self._registration_entry(registration), ChangeType.DELETE)
 
     def _fan_unregister(self, registration: Registration) -> None:
         self._query_cache.clear()
+        self._reg_index.on_unregister(registration)
         for index in self.indexes:
             index.on_unregister(registration)
         self._notify_subs(self._registration_entry(registration), ChangeType.DELETE)
@@ -300,6 +412,7 @@ class GiisBackend(Backend):
         if changed and was_known:
             registration = self.registry.lookup(message.service_url)
             if registration is not None:
+                self._reg_index.on_refresh(registration)
                 for index in self.indexes:
                     index.on_refresh(registration)
         return LdapResult()
@@ -344,13 +457,15 @@ class GiisBackend(Backend):
     def _targets(self, req: SearchRequest) -> List[Registration]:
         """Registrations whose advertised namespace intersects the query."""
         base = req.base_dn()
-        out = []
-        for registration in self.registry.active():
-            # suffix_dn is parsed once at GRRP intake, not per query.
-            child_suffix = registration.suffix_dn
-            if child_suffix.is_within(base) or base.is_within(child_suffix):
-                out.append(registration)
-        return out
+        active = self.registry.active()
+        if len(self._reg_index) != len(active):
+            # Registrations that bypassed the hook path (tests poking the
+            # registry, malformed-suffix entries): rebuild and stay exact.
+            self._reg_index.rebuild(active)
+        eligible = self._reg_index.targets(base)
+        # Membership order (= registry order) is preserved: chaining
+        # fan-out and merge precedence depend on it.
+        return [r for r in active if r.service_url in eligible]
 
     def naming_contexts(self):
         return [str(self.suffix)]
@@ -396,6 +511,7 @@ class GiisBackend(Backend):
                 slot is not None
                 and self.clock.now() - slot.created_at <= self.cache_ttl
             ):
+                self._query_cache.move_to_end(cache_key)
                 self._qcache_hits.inc()
                 if trace is not None:
                     trace.child("giis.cache", hit=True).finish()
@@ -571,13 +687,16 @@ class GiisBackend(Backend):
             del self._query_cache[key]
 
     def _store_query_result(self, key, slot: _QueryCacheSlot) -> None:
-        """Insert one cached outcome, holding the cache to max_query_cache."""
+        """Insert one cached outcome, holding the cache to max_query_cache.
+
+        The cache is an LRU: hits and (re)inserts move the key to the
+        tail, so eviction pops the least-recently-used head in O(1)
+        instead of min-scanning creation times.
+        """
         self._query_cache[key] = slot
+        self._query_cache.move_to_end(key)
         while len(self._query_cache) > self.max_query_cache:
-            oldest = min(
-                self._query_cache, key=lambda k: self._query_cache[k].created_at
-            )
-            del self._query_cache[oldest]
+            self._query_cache.popitem(last=False)
             self._qcache_evictions.inc()
 
     # -- subscriptions over the membership view -----------------------------------------
@@ -690,7 +809,7 @@ class _Collector:
         if self.span is not None:
             self.span.finish()
         entries = sorted(
-            self.merged.values(), key=lambda e: (len(e.dn), str(e.dn).lower())
+            self.merged.values(), key=lambda e: e.dn.sort_key
         )
         outcome = SearchOutcome(entries=entries, referrals=self.referrals)
         if self.cache_key is not None:

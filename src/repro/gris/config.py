@@ -106,6 +106,7 @@ class GrisConfig:
     providers: List[InformationProvider] = field(default_factory=list)
     registrations: List[RegistrationSpec] = field(default_factory=list)
     tracing: TracingSpec = field(default_factory=TracingSpec)
+    index_attrs: List[str] = field(default_factory=list)
 
 
 def _require(spec: Dict, key: str, provider_type: str):
@@ -223,11 +224,17 @@ def load_config(
         raise ConfigError(f"{path}: bad tracing section: {exc}") from exc
     if not 0.0 <= tracing.sample_rate <= 1.0:
         raise ConfigError(f"{path}: sample_rate must be within [0, 1]")
+    indexes = data.get("indexes", [])
+    if not isinstance(indexes, list) or not all(
+        isinstance(a, str) and a for a in indexes
+    ):
+        raise ConfigError(f"{path}: 'indexes' must be a list of attribute names")
     return GrisConfig(
         suffix=data["suffix"],
         providers=providers,
         registrations=registrations,
         tracing=tracing,
+        index_attrs=[a for a in indexes],
     )
 
 
@@ -247,7 +254,10 @@ def build_gris(
     pool (0 keeps the deterministic inline dispatch), and
     ``stale_while_revalidate`` widens each provider's serve window by
     that many seconds: expired-but-within-window snapshots are answered
-    immediately while one background refresh runs.
+    immediately while one background refresh runs.  A non-empty
+    ``indexes`` list in the config maintains a materialized view of the
+    provider caches with posting lists over those attributes, letting
+    equality/presence searches skip the linear merge scan.
     """
     gris = GrisBackend(
         config.suffix,
@@ -256,6 +266,7 @@ def build_gris(
         provider_workers=provider_workers,
         provider_queue_limit=provider_queue_limit,
         stale_while_revalidate=stale_while_revalidate,
+        index_attrs=config.index_attrs or None,
     )
     for provider in config.providers:
         gris.add_provider(provider)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import functools
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..ldap.backend import (
     Backend,
@@ -35,7 +35,7 @@ from ..ldap.backend import (
     Subscription,
     _in_scope,
 )
-from ..ldap.dit import Scope
+from ..ldap.dit import DIT, DitError, Scope
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.executor import RequestExecutor
@@ -60,6 +60,7 @@ class GrisBackend(Backend):
         provider_workers: int = 0,
         provider_queue_limit: int = 64,
         stale_while_revalidate: float = 0.0,
+        index_attrs: Optional[Iterable[str]] = None,
     ):
         self.suffix = DN.of(suffix)
         self.clock = clock
@@ -94,6 +95,24 @@ class GrisBackend(Backend):
         self._collect_seconds = self.metrics.histogram("gris.collect.seconds")
         self.metrics.gauge_fn("gris.providers", lambda: len(self._providers))
         self.metrics.gauge_fn("gris.subscriptions", lambda: len(self._subs))
+        # Materialized view: cached provider snapshots mirrored into an
+        # indexed DIT so plannable filters probe posting lists instead
+        # of filter-matching every merged entry.  Providers are assumed
+        # to own disjoint namespaces (as the merge in _collect already
+        # assumes).  None = linear matching, the historical behavior.
+        self._view: Optional[DIT] = None
+        self._view_lock = threading.Lock()
+        self._view_versions: Dict[str, float] = {}
+        self._view_dns: Dict[str, List[DN]] = {}
+        self.index_attrs: tuple = tuple(index_attrs or ())
+        if self.index_attrs:
+            self._view = DIT(
+                index_attrs=self.index_attrs,
+                metrics=self.metrics,
+                name="gris-view",
+            )
+        self._search_indexed = self.metrics.counter("gris.search.indexed")
+        self._search_scanned = self.metrics.counter("gris.search.scanned")
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the provider pool threads (no-op in inline mode)."""
@@ -125,6 +144,62 @@ class GrisBackend(Backend):
             # add_provider, or cn=monitor keeps serving the ghost.
             self.metrics.unregister("gris.cache.age", labels={"provider": name})
         self.cache.invalidate(name)
+        self._drop_view(name)
+
+    # -- materialized view -------------------------------------------------------
+
+    def _drop_view(self, name: str) -> None:
+        if self._view is None:
+            return
+        with self._view_lock:
+            self._view_versions.pop(name, None)
+            for dn in sorted(self._view_dns.pop(name, ()), key=len, reverse=True):
+                try:
+                    self._view.delete(dn)
+                except DitError:
+                    pass  # shared glue ancestor: another provider's child
+
+    def _sync_view(self, name: str, version: float, entries: List[Entry]) -> None:
+        """Mirror one provider's cache snapshot into the view DIT.
+
+        ``version`` is the snapshot's produced_at stamp from the
+        provider cache: one sync per refresh, no matter how many
+        searches serve that snapshot.
+        """
+        if self._view is None:
+            return
+        with self._view_lock:
+            if self._view_versions.get(name) == version:
+                return
+            for dn in sorted(self._view_dns.get(name, ()), key=len, reverse=True):
+                try:
+                    self._view.delete(dn)
+                except DitError:
+                    pass
+            stored: List[DN] = []
+            for entry in sorted(entries, key=lambda e: len(e.dn)):
+                self._view.add(entry, replace=True)
+                stored.append(entry.dn)
+            self._view_dns[name] = stored
+            self._view_versions[name] = version
+
+    def _view_candidates(self, req: SearchRequest, info: Dict) -> Optional[set]:
+        """Candidate DNs for this collect, or None to match linearly.
+
+        Falls back whenever (a) no view is configured, (b) any provider
+        answered per-request (its entries bypass the cache and thus the
+        view), (c) a concurrent refresh moved the view past the snapshot
+        versions this collect served (candidates could miss DNs present
+        in the merged dict), or (d) the filter is not index-answerable.
+        """
+        if self._view is None or info.get("direct"):
+            return None
+        with self._view_lock:
+            versions = info.get("versions", {})
+            for name, version in versions.items():
+                if self._view_versions.get(name) != version:
+                    return None
+            return self._view.candidates(req.filter)
 
     def providers(self) -> List[InformationProvider]:
         return list(self._providers.values())
@@ -184,23 +259,51 @@ class GrisBackend(Backend):
             )
         trace = getattr(ctx, "trace", None)
         span = trace.child("gris.collect") if trace is not None else None
-        entries = self._collect(req, trace=span, token=ctx.token)
+        info: Dict = {"direct": False, "versions": {}}
+        entries = self._collect(req, trace=span, token=ctx.token, info=info)
         if span is not None:
             span.tag("entries", len(entries)).finish()
-        in_scope = [
-            e
-            for e in entries.values()
-            if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
-        ]
+        candidates = (
+            self._view_candidates(req, info) if req.scope != Scope.BASE else None
+        )
+        if candidates is not None:
+            self._search_indexed.inc()
+            in_scope = []
+            # The suffix entry never enters the view (it is not a cached
+            # provider snapshot): check it linearly, then the candidates.
+            suffix_entry = entries.get(self.suffix)
+            if (
+                suffix_entry is not None
+                and _in_scope(suffix_entry.dn, base, req.scope)
+                and req.filter.matches(suffix_entry)
+            ):
+                in_scope.append(suffix_entry)
+            for dn in candidates:
+                if dn == self.suffix:
+                    continue
+                entry = entries.get(dn)
+                if entry is None:
+                    continue  # stale posting: not part of this collect
+                if _in_scope(entry.dn, base, req.scope) and req.filter.matches(
+                    entry
+                ):
+                    in_scope.append(entry)
+        else:
+            self._search_scanned.inc()
+            in_scope = [
+                e
+                for e in entries.values()
+                if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
+            ]
         if req.scope == Scope.BASE and not in_scope:
             return SearchOutcome(
                 result=LdapResult(ResultCode.NO_SUCH_OBJECT, matched_dn=req.base)
             )
-        in_scope.sort(key=lambda e: (len(e.dn), str(e.dn).lower()))
+        in_scope.sort(key=lambda e: e.dn.sort_key)
         return SearchOutcome(entries=in_scope)
 
     def _collect(
-        self, req: SearchRequest, trace=None, token=None
+        self, req: SearchRequest, trace=None, token=None, info: Optional[Dict] = None
     ) -> Dict[DN, Entry]:
         """Gather the merged view relevant to *req* from all providers.
 
@@ -227,9 +330,9 @@ class GrisBackend(Backend):
             else:
                 self._pruned.inc()
         if self._pool.inline or len(eligible) <= 1:
-            results = self._probe_serial(eligible, req, now, trace, token)
+            results = self._probe_serial(eligible, req, now, trace, token, info)
         else:
-            results = self._probe_parallel(eligible, req, now, trace, token)
+            results = self._probe_parallel(eligible, req, now, trace, token, info)
         for entries in results:
             if not entries:
                 continue
@@ -241,7 +344,13 @@ class GrisBackend(Backend):
         return merged
 
     def _probe_one(
-        self, provider: InformationProvider, req: SearchRequest, now, trace, token
+        self,
+        provider: InformationProvider,
+        req: SearchRequest,
+        now,
+        trace,
+        token,
+        info: Optional[Dict] = None,
     ) -> Optional[List[Entry]]:
         """Probe one provider; absolute entries, or None (failed/cancelled)."""
         if token is not None and token.cancelled:
@@ -256,31 +365,39 @@ class GrisBackend(Backend):
         direct = provider.search(req, self.suffix)
         if direct is not None:
             self._observe_provider(provider, started, span)
+            if info is not None:
+                # Filter-aware providers answer outside the cache; the
+                # materialized view cannot vouch for those entries.
+                info["direct"] = True
             return list(direct)
         try:
-            entries, _age = self.cache.get(provider, now)
+            entries, produced_at = self.cache.get(provider, now)
         except ProviderError:
             self._provider_errors.inc()
             self._observe_provider(provider, started, span, failed=True)
             return None  # robustness: skip the failed source (§2.2)
         self._observe_provider(provider, started, span)
-        return [
+        rebased = [
             entry.with_dn(DN(entry.dn.rdns + self.suffix.rdns)) for entry in entries
         ]
+        if info is not None:
+            info["versions"][provider.name] = produced_at
+        self._sync_view(provider.name, produced_at, rebased)
+        return rebased
 
     def _probe_serial(
-        self, eligible: List[InformationProvider], req, now, trace, token
+        self, eligible: List[InformationProvider], req, now, trace, token, info=None
     ) -> List[Optional[List[Entry]]]:
         results: List[Optional[List[Entry]]] = []
         for provider in eligible:
             if token is not None and token.cancelled:
                 self._cancelled_collects.inc()
                 break
-            results.append(self._probe_one(provider, req, now, trace, token))
+            results.append(self._probe_one(provider, req, now, trace, token, info))
         return results
 
     def _probe_parallel(
-        self, eligible: List[InformationProvider], req, now, trace, token
+        self, eligible: List[InformationProvider], req, now, trace, token, info=None
     ) -> List[Optional[List[Entry]]]:
         results: List[Optional[List[Entry]]] = [None] * len(eligible)
         remaining = [len(eligible)]
@@ -290,7 +407,7 @@ class GrisBackend(Backend):
         def probe_at(index: int, provider: InformationProvider) -> None:
             out = None
             try:
-                out = self._probe_one(provider, req, now, trace, token)
+                out = self._probe_one(provider, req, now, trace, token, info)
             finally:
                 with lock:
                     results[index] = out

@@ -10,6 +10,8 @@ from .dit import DIT, DitError, EntryExists, NoSuchEntry, Scope, SizeLimitExceed
 from .dn import DN, RDN, DNError
 from .entry import Entry
 from .filter import Filter, FilterError, parse as parse_filter
+from .index import AttributeIndex
+from .plan import candidates_for, is_plannable
 from .ldif import format_ldif, parse_ldif
 from .referral import chase_referrals, search_following_referrals
 from .schema import GRID_SCHEMA, ObjectClass, Schema, SchemaError
@@ -31,6 +33,9 @@ __all__ = [
     "Filter",
     "FilterError",
     "parse_filter",
+    "AttributeIndex",
+    "candidates_for",
+    "is_plannable",
     "format_ldif",
     "parse_ldif",
     "chase_referrals",

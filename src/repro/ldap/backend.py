@@ -18,7 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .dit import DIT, DitError, EntryExists, NoSuchEntry, Scope, SizeLimitExceeded
+from .dit import (
+    DIT,
+    DitError,
+    EntryExists,
+    NoSuchEntry,
+    SizeLimitExceeded,
+    in_scope,
+)
 from .dn import DN
 from .entry import Entry
 from .executor import CancelToken
@@ -231,16 +238,22 @@ class DitBackend(Backend):
             # The front end applies the authoritative filter after access
             # control; the backend pre-filters as an optimization but may
             # return supersets (e.g. cached providers, §10.3).
-            entries = self.dit.search(base, req.scope, req.filter, attrs=None)
+            entries = self.dit.search(
+                base, req.scope, req.filter, attrs=None,
+                size_limit=req.size_limit,
+            )
         except NoSuchEntry:
             return SearchOutcome(
                 result=LdapResult(
                     ResultCode.NO_SUCH_OBJECT, matched_dn=str(base)
                 )
             )
-        except SizeLimitExceeded:
+        except SizeLimitExceeded as exc:
+            # LDAP sizeLimitExceeded still delivers the first `limit`
+            # entries; the DIT carries them on the exception.
             return SearchOutcome(
-                result=LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED)
+                entries=exc.partial,
+                result=LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED),
             )
         return SearchOutcome(entries=entries)
 
@@ -333,9 +346,6 @@ class DitBackend(Backend):
         return len(self._subscriptions)
 
 
-def _in_scope(dn: DN, base: DN, scope: Scope) -> bool:
-    if scope == Scope.BASE:
-        return dn == base
-    if scope == Scope.ONELEVEL:
-        return not dn.is_root() and dn.parent() == base
-    return dn.is_within(base)
+# Scope membership lives next to the DIT now (the planner needs it per
+# candidate); keep the historical name for the GIIS/GRIS/monitor callers.
+_in_scope = in_scope

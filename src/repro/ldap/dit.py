@@ -6,6 +6,15 @@ only), ``ONELEVEL`` (immediate children), ``SUBTREE`` (entry and all
 descendants) — plus size limits, attribute selection, and optional
 schema validation on write.
 
+The store is a small storage engine: alongside the tree it maintains an
+:class:`~repro.ldap.index.AttributeIndex` (equality + presence postings,
+``objectclass`` always indexed, more attributes via ``index_attrs``)
+kept incrementally consistent on every write.  Searches consult the
+:mod:`~repro.ldap.plan` planner first and fall back to the full subtree
+walk when the filter is not index-answerable; candidates are always
+re-verified with ``filt.matches`` so planned and scanned results are
+byte-identical.
+
 This store backs the GRIS/GIIS servers when they hold materialized data;
 providers that generate entries lazily plug in at the backend layer
 instead (paper §4.1: "there is no requirement that an information
@@ -16,14 +25,36 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
+from typing import TYPE_CHECKING
+
+from .attributes import normalize_attr_name
 from .dn import DN
 from .entry import Entry
 from .filter import Filter
+from .index import AttributeIndex
+from .plan import candidates_for
 from .schema import Schema
 
-__all__ = ["Scope", "DitError", "NoSuchEntry", "EntryExists", "SizeLimitExceeded", "DIT"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Scope",
+    "DitError",
+    "NoSuchEntry",
+    "EntryExists",
+    "SizeLimitExceeded",
+    "DIT",
+    "in_scope",
+]
+
+OBJECTCLASS = "objectclass"
+
+# Candidate-set-size buckets: how much of the entry space the planner
+# had to verify (powers of four up to 64k entries).
+_CANDIDATE_BUCKETS = (0, 1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
 
 
 class Scope(enum.IntEnum):
@@ -61,26 +92,111 @@ class NotAllowedOnNonLeaf(DitError):
 
 
 class SizeLimitExceeded(DitError):
-    """A search produced more entries than its size limit allows."""
+    """A search produced more entries than its size limit allows.
 
-    def __init__(self, limit: int):
+    Per LDAP sizeLimitExceeded semantics the first ``limit`` entries (in
+    canonical result order) are still delivered: they ride on
+    ``partial`` for the backend to return alongside the error code.
+    """
+
+    def __init__(self, limit: int, partial: Optional[List[Entry]] = None):
         super().__init__(f"size limit {limit} exceeded")
         self.limit = limit
+        self.partial: List[Entry] = partial if partial is not None else []
+
+
+def in_scope(dn: DN, base: DN, scope: Scope) -> bool:
+    """Whether *dn* falls inside the (base, scope) search cone."""
+    if scope == Scope.BASE:
+        return dn == base
+    if scope == Scope.ONELEVEL:
+        return not dn.is_root() and dn.parent() == base
+    return dn.is_within(base)
 
 
 class DIT:
-    """A thread-safe hierarchical entry store.
+    """A thread-safe hierarchical entry store with secondary indexes.
 
     Entries may be added under any DN; missing intermediate ("glue")
     nodes are tolerated, as OpenLDAP-backed GRIS instances materialize
     subtrees piecemeal from providers.
+
+    ``index_attrs`` selects extra equality/presence-indexed attributes
+    (``objectclass`` is always indexed).  Pass a shared
+    :class:`MetricsRegistry` to expose planner counters and per-index
+    size gauges under ``cn=monitor``; ``name`` labels them when one
+    process hosts several DITs.
     """
 
-    def __init__(self, schema: Optional[Schema] = None):
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        index_attrs: Iterable[str] = (),
+        metrics: Optional["MetricsRegistry"] = None,
+        name: str = "",
+    ):
         self._schema = schema
         self._lock = threading.RLock()
         self._entries: Dict[DN, Entry] = {}
         self._children: Dict[DN, Set[DN]] = {}
+        self._name = name
+        if metrics is None:
+            # Imported lazily: repro.obs pulls in the monitor backend,
+            # which imports this module (a cycle at import time only).
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._labels = {"dit": name} if name else None
+        self._planned = self.metrics.counter("ldap.search.planned", self._labels)
+        self._scanned = self.metrics.counter("ldap.search.scanned", self._labels)
+        self._candidate_sizes = self.metrics.histogram(
+            "ldap.search.candidates", self._labels, buckets=_CANDIDATE_BUCKETS
+        )
+        self._index = AttributeIndex(())
+        self._gauged_attrs: Set[str] = set()
+        self.set_index_attrs(index_attrs)
+
+    # -- index management ------------------------------------------------------
+
+    @property
+    def index_attrs(self) -> frozenset:
+        """The currently indexed attribute names (always has objectclass)."""
+        return self._index.attrs()
+
+    def set_index_attrs(self, attrs: Iterable[str]) -> None:
+        """Reconfigure the indexed attribute set and rebuild postings."""
+        wanted = {OBJECTCLASS}
+        wanted.update(normalize_attr_name(a) for a in attrs or ())
+        with self._lock:
+            self._index = AttributeIndex(wanted)
+            for dn, entry in self._entries.items():
+                self._index.add(dn, entry.get)
+            for attr in sorted(wanted - self._gauged_attrs):
+                labels = dict(self._labels or {})
+                labels["attr"] = attr
+                self.metrics.gauge_fn(
+                    "ldap.index.size",
+                    lambda a=attr: float(self._index.size(a)),
+                    labels,
+                )
+            for attr in sorted(self._gauged_attrs - wanted):
+                labels = dict(self._labels or {})
+                labels["attr"] = attr
+                self.metrics.unregister("ldap.index.size", labels)
+            self._gauged_attrs = set(wanted)
+
+    def index_sizes(self) -> Dict[str, int]:
+        with self._lock:
+            return self._index.sizes()
+
+    @property
+    def stats_planned(self) -> int:
+        return int(self._planned.value)
+
+    @property
+    def stats_scanned(self) -> int:
+        return int(self._scanned.value)
 
     # -- write ops -----------------------------------------------------------
 
@@ -88,9 +204,14 @@ class DIT:
         if self._schema is not None:
             self._schema.validate(entry)
         with self._lock:
-            if entry.dn in self._entries and not replace:
+            existing = entry.dn in self._entries
+            if existing and not replace:
                 raise EntryExists(entry.dn)
-            self._entries[entry.dn] = entry.copy()
+            stored = entry.copy()
+            if existing:
+                self._index.discard(entry.dn)
+            self._entries[entry.dn] = stored
+            self._index.add(entry.dn, stored.get)
             self._link(entry.dn)
 
     def _link(self, dn: DN) -> None:
@@ -138,6 +259,7 @@ class DIT:
                         for sub in list(self._children.get(kid, ())):
                             self.delete(sub, force=True)
             del self._entries[dn]
+            self._index.discard(dn)
             self._unlink(dn)
 
     def modify(self, dn: DN | str, mutator: Callable[[Entry], None]) -> Entry:
@@ -153,12 +275,14 @@ class DIT:
             if self._schema is not None:
                 self._schema.validate(updated)
             self._entries[dn] = updated
+            self._index.replace(dn, updated.get)
             return updated.copy()
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._children.clear()
+            self._index.clear()
 
     # -- read ops -------------------------------------------------------------
 
@@ -177,7 +301,7 @@ class DIT:
     def children(self, dn: DN | str) -> List[DN]:
         with self._lock:
             return sorted(
-                self._children.get(DN.of(dn), ()), key=lambda d: str(d).lower()
+                self._children.get(DN.of(dn), ()), key=lambda d: d.sort_key
             )
 
     def __len__(self) -> int:
@@ -187,6 +311,22 @@ class DIT:
     def dns(self) -> List[DN]:
         with self._lock:
             return list(self._entries)
+
+    def candidates(self, filt: Optional[Filter]) -> Optional[Set[DN]]:
+        """Planner probe for external engines (the GRIS materialized view).
+
+        Returns a *copy* of the candidate DN set for *filt*, or None when
+        the filter is not index-answerable.  Counts toward the
+        planned/scanned statistics like a search would.
+        """
+        with self._lock:
+            candidates = candidates_for(filt, self._index)
+            if candidates is None:
+                self._scanned.inc()
+                return None
+            self._planned.inc()
+            self._candidate_sizes.observe(float(len(candidates)))
+            return set(candidates)
 
     def search(
         self,
@@ -201,21 +341,56 @@ class DIT:
         A missing base yields an empty result for ONELEVEL/SUBTREE (the
         GIIS merges results from many providers, some of which may not
         hold the subtree) and raises for BASE, matching LDAP semantics.
+
+        When the filter is index-answerable the planner verifies only the
+        candidate DNs; otherwise the subtree is walked.  Either way every
+        result passed ``filt.matches``, and results are sorted into
+        canonical order before the size limit applies, so the two paths
+        are byte-identical — including the partial set carried on
+        :class:`SizeLimitExceeded`.
         """
         base = DN.of(base)
-        results: List[Entry] = []
+        matched: List[Entry] = []
         with self._lock:
-            for dn in self._candidates(base, scope):
-                entry = self._entries.get(dn)
-                if entry is None:
-                    continue
-                if filt is not None and not filt.matches(entry):
-                    continue
-                results.append(entry.project(attrs))
-                if size_limit and len(results) > size_limit:
-                    raise SizeLimitExceeded(size_limit)
-        results.sort(key=lambda e: (len(e.dn), str(e.dn).lower()))
-        return results
+            candidates = (
+                candidates_for(filt, self._index)
+                if scope != Scope.BASE
+                else None
+            )
+            if scope == Scope.BASE:
+                if base not in self._entries:
+                    raise NoSuchEntry(base)
+                entry = self._entries[base]
+                if filt is None or filt.matches(entry):
+                    matched.append(entry)
+            elif candidates is not None:
+                self._planned.inc()
+                self._candidate_sizes.observe(float(len(candidates)))
+                for dn in candidates:
+                    entry = self._entries.get(dn)
+                    if entry is None:
+                        continue
+                    if not in_scope(dn, base, scope):
+                        continue
+                    if filt is not None and not filt.matches(entry):
+                        continue
+                    matched.append(entry)
+            else:
+                self._scanned.inc()
+                for dn in self._candidates(base, scope):
+                    entry = self._entries.get(dn)
+                    if entry is None:
+                        continue
+                    if filt is not None and not filt.matches(entry):
+                        continue
+                    matched.append(entry)
+            matched.sort(key=lambda e: e.dn.sort_key)
+            if size_limit and len(matched) > size_limit:
+                raise SizeLimitExceeded(
+                    size_limit,
+                    partial=[e.project(attrs) for e in matched[:size_limit]],
+                )
+            return [e.project(attrs) for e in matched]
 
     def _candidates(self, base: DN, scope: Scope) -> Iterator[DN]:
         if scope == Scope.BASE:
@@ -252,7 +427,5 @@ class DIT:
         with self._lock:
             return [
                 self._entries[dn].copy()
-                for dn in sorted(
-                    self._entries, key=lambda d: (len(d), str(d).lower())
-                )
+                for dn in sorted(self._entries, key=lambda d: d.sort_key)
             ]

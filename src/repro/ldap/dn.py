@@ -140,9 +140,15 @@ class RDN:
         return self.avas[0][1]
 
     def normalized(self) -> Tuple[Tuple[str, str], ...]:
-        return tuple(
-            sorted((a.lower(), " ".join(v.lower().split())) for a, v in self.avas)
-        )
+        # Memoized: RDNs are frozen, and normalization backs __eq__ and
+        # __hash__, both hot in every DIT dictionary operation.
+        cached = self.__dict__.get("_normalized")
+        if cached is None:
+            cached = tuple(
+                sorted((a.lower(), " ".join(v.lower().split())) for a, v in self.avas)
+            )
+            object.__setattr__(self, "_normalized", cached)
+        return cached
 
     def __str__(self) -> str:
         return "+".join(f"{a}={_escape_value(v)}" for a, v in self.avas)
@@ -156,7 +162,11 @@ class RDN:
         return self.normalized() < other.normalized()
 
     def __hash__(self) -> int:
-        return hash(self.normalized())
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.normalized())
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -241,7 +251,25 @@ class DN:
             yield dn
 
     def normalized(self) -> Tuple[Tuple[Tuple[str, str], ...], ...]:
-        return tuple(r.normalized() for r in self.rdns)
+        cached = self.__dict__.get("_normalized")
+        if cached is None:
+            cached = tuple(r.normalized() for r in self.rdns)
+            object.__setattr__(self, "_normalized", cached)
+        return cached
+
+    @property
+    def sort_key(self) -> Tuple[int, str]:
+        """Canonical result-ordering key: ``(depth, lowercased string)``.
+
+        Memoized on the (frozen) instance — every search re-sorts its
+        result set, and rebuilding the lowercased string per comparison
+        was measurable O(N log N) string work on the query hot path.
+        """
+        cached = self.__dict__.get("_sort_key")
+        if cached is None:
+            cached = (len(self.rdns), str(self).lower())
+            object.__setattr__(self, "_sort_key", cached)
+        return cached
 
     def __str__(self) -> str:
         return ", ".join(str(r) for r in self.rdns)
@@ -252,7 +280,11 @@ class DN:
         return self.normalized() == other.normalized()
 
     def __hash__(self) -> int:
-        return hash(self.normalized())
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.normalized())
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __len__(self) -> int:
         return len(self.rdns)

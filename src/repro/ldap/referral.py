@@ -78,7 +78,7 @@ def chase_referrals(
                 merged.setdefault(entry.dn, entry)
             next_frontier.extend(out.referrals)
         frontier = next_frontier
-    entries = sorted(merged.values(), key=lambda e: (len(e.dn), str(e.dn).lower()))
+    entries = sorted(merged.values(), key=lambda e: e.dn.sort_key)
     return SearchResult(entries=entries, referrals=frontier, result=initial.result)
 
 

@@ -716,7 +716,19 @@ class _ServerConnection:
                     span.tag("dropped", token.reason or True).finish()
                 return
             if not outcome.result.ok:
-                conclude(outcome.result.code, 0)
+                # sizeLimitExceeded still delivers the partial entry set
+                # (LDAP semantics); other failures return no entries.
+                sent = 0
+                for entry in outcome.entries:
+                    if req.size_limit and sent >= req.size_limit:
+                        break
+                    visible = self._visible(req, entry)
+                    if visible is None:
+                        continue
+                    self.server._entries_returned.inc()
+                    sent += 1
+                    self._send(LdapMessage(msg_id, self._wire_entry(req, visible)))
+                conclude(outcome.result.code, sent)
                 self._send(LdapMessage(msg_id, SearchResultDone(outcome.result)))
                 return
             sent = 0

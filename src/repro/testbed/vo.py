@@ -104,9 +104,10 @@ class GridTestbed:
         authenticator: Optional[Authenticator] = None,
         suffix_entry: Optional[Entry] = None,
         tracer=None,
+        index_attrs=None,
     ) -> Deployment:
         node = self.host(host, site)
-        backend = GrisBackend(suffix, clock=self.sim)
+        backend = GrisBackend(suffix, clock=self.sim, index_attrs=index_attrs)
         for provider in providers:
             backend.add_provider(provider)
         if suffix_entry is not None:

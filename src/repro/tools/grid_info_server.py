@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = expired snapshots always block on a refresh)",
     )
     parser.add_argument(
+        "--index-attrs",
+        default=None,
+        metavar="ATTRS",
+        help="comma-separated attributes to maintain posting-list indexes "
+        "for; equality/presence searches over them skip the linear "
+        "merge scan (overrides the config file's 'indexes' list)",
+    )
+    parser.add_argument(
         "--trace-log",
         default=None,
         metavar="PATH",
@@ -128,6 +136,7 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
                  workers: int = 8, queue_limit: int = 128,
                  default_time_limit: float = 0.0, provider_workers: int = 4,
                  stale_while_revalidate: float = 0.0,
+                 index_attrs: Optional[str] = None,
                  trace_log: Optional[str] = None,
                  trace_sample_rate: Optional[float] = None,
                  slow_query_ms: Optional[float] = None,
@@ -145,6 +154,10 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
     """
     clock = WallClock()
     config = load_config(config_path)
+    if index_attrs is not None:
+        config.index_attrs = [
+            a.strip() for a in index_attrs.split(",") if a.strip()
+        ]
     metrics = MetricsRegistry() if monitor else None
 
     tracing = config.tracing
@@ -231,6 +244,7 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
             default_time_limit=args.default_time_limit,
             provider_workers=args.provider_workers,
             stale_while_revalidate=args.stale_while_revalidate,
+            index_attrs=args.index_attrs,
             trace_log=args.trace_log,
             trace_sample_rate=args.trace_sample_rate,
             slow_query_ms=args.slow_query_ms,
@@ -240,6 +254,10 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
         print(f"grid-info-server: {exc}", file=sys.stderr)
         return 2
     print(f"grid-info-server: listening on ldap://{args.host}:{bound}/")
+    gris_backend = getattr(_server.backend, "inner", _server.backend)
+    indexed = getattr(gris_backend, "index_attrs", ())
+    if indexed:
+        print(f"grid-info-server: indexing attributes {', '.join(indexed)}")
     if args.monitor:
         print("grid-info-server: serving live metrics under cn=monitor")
     if args.trace_log:
