@@ -45,6 +45,7 @@ from ..ldap.backend import (
 from ..ldap.attributes import CASE_EXACT
 from ..ldap.executor import CancelToken
 from ..ldap.client import LdapClient, SearchResult
+from ..ldap.pool import LdapClientPool
 from ..ldap.dn import DN
 from ..ldap.index import AttributeIndex
 from ..ldap.entry import Entry
@@ -241,6 +242,7 @@ class GiisBackend(Backend):
         max_query_cache: int = 256,
         tracer=None,
         index_attrs: Iterable[str] = (),
+        pool_size: int = 2,
     ):
         if mode not in ("chain", "referral"):
             raise ValueError(f"unknown GIIS mode {mode!r}")
@@ -296,7 +298,11 @@ class GiisBackend(Backend):
         # pluggable indexes, consulted by _targets instead of per-query
         # DN math over every active registration.
         self._reg_index = RegistrationSuffixIndex()
-        self._clients: Dict[str, LdapClient] = {}
+        # Persistent child connections: chained queries pipeline over a
+        # few warm sockets per child instead of dialing per query.
+        self.pool = LdapClientPool(
+            self._dial_child, size=pool_size, metrics=self.metrics
+        )
         # LRU over query outcomes: most-recently-hit keys live at the
         # tail, eviction pops the head.
         self._query_cache: "OrderedDict[Tuple, _QueryCacheSlot]" = OrderedDict()
@@ -629,21 +635,21 @@ class GiisBackend(Backend):
             timer.cancel()
             if span is not None:
                 span.tag("error", "send failed").finish()
-            self._clients.pop(url, None)
+            self.pool.discard(url, client)
             self._child_errors.inc()
             collector.child_failed(url)
 
     def _client_for(self, service_url: str) -> Optional[LdapClient]:
-        client = self._clients.get(service_url)
-        if client is not None and not client.closed:
-            return client
+        return self.pool.client_for(service_url)
+
+    def _dial_child(self, service_url: str) -> Optional[LdapClient]:
+        """Pool dialer: connect and (when configured) GSI-bind."""
         if self.connector is None:
             return None
         try:
             url = LdapUrl.parse(service_url)
             conn = self.connector(url)
         except (ConnectionClosed, TransportError, ValueError):
-            self._clients.pop(service_url, None)
             return None
         client = LdapClient(conn)
         if self.credential is not None:
@@ -657,17 +663,19 @@ class GiisBackend(Backend):
                     lambda outcome, error: None, mechanism="GSI", credentials=token
                 )
             except Exception:  # noqa: BLE001 - connection died already
-                # Release the freshly dialed socket and don't cache the
-                # half-bound client, or every retry against a flaky
-                # child leaks one connection.
+                # Release the freshly dialed socket and don't hand the
+                # half-bound client to the pool, or every retry against
+                # a flaky child leaks one connection.
                 try:
                     client.unbind()
                 except Exception:  # noqa: BLE001 - already torn down
                     pass
-                self._clients.pop(service_url, None)
                 return None
-        self._clients[service_url] = client
         return client
+
+    def shutdown(self) -> None:
+        """Release child connections (pool redials if queried again)."""
+        self.pool.close()
 
     # -- query-cache hygiene ------------------------------------------------------------
 

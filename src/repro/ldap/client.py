@@ -106,7 +106,14 @@ class SearchResult:
 
 
 class SubscriptionHandle:
-    """A live persistent search; cancel() abandons it."""
+    """A live persistent search; cancel() abandons it.
+
+    ``active`` turns False either locally (:meth:`cancel`) or when the
+    server side concludes the search — a ``SearchResultDone`` answer or
+    a connection loss failing all pendings.  A cancel after that is a
+    no-op: sending an Abandon for a message id the server already
+    concluded could cancel an unrelated future operation.
+    """
 
     def __init__(self, client: "LdapClient", msg_id: int):
         self._client = client
@@ -127,9 +134,18 @@ DoneCallback = Callable[[SearchResult, Optional[LdapError]], None]
 
 
 class _Pending:
-    """Server-reply bookkeeping for one outstanding message id."""
+    """Server-reply bookkeeping for one outstanding message id.
 
-    __slots__ = ("kind", "acc", "on_done", "on_change", "event", "timer")
+    Conclude-once contract: a pending is concluded by whoever *pops* it
+    out of ``LdapClient._pending`` under the client lock — server reply,
+    local deadline expiry, or connection-death ``_fail_all``.  Only the
+    popper may call ``_complete``; a contender that finds the id already
+    gone drops its outcome.  This is what makes a server answer racing a
+    deadline timer deliver exactly one ``on_done``.
+    """
+
+    __slots__ = ("kind", "acc", "on_done", "on_change", "event", "timer",
+                 "handle")
 
     def __init__(self, kind: str, on_done: Optional[DoneCallback] = None,
                  on_change=None):
@@ -139,6 +155,7 @@ class _Pending:
         self.on_change = on_change
         self.event: Optional[threading.Event] = None
         self.timer = None  # local deadline TimerHandle, when armed
+        self.handle: Optional[SubscriptionHandle] = None  # subscribe only
 
 
 # A driver pumps progress while a blocking wrapper waits: for the
@@ -175,6 +192,12 @@ class LdapClient:
 
     # -- low-level ----------------------------------------------------------
 
+    @property
+    def pending_count(self) -> int:
+        """Operations in flight — the pool's least-loaded signal."""
+        with self._lock:
+            return len(self._pending)
+
     def _allocate(self, pending: _Pending) -> int:
         with self._lock:
             self._next_id += 1
@@ -201,9 +224,18 @@ class LdapClient:
             self._complete(p)
 
     def _complete(self, pending: _Pending) -> None:
-        """Deliver one finished operation to its callback and waiter."""
+        """Deliver one finished operation to its callback and waiter.
+
+        Callers must have popped *pending* from ``_pending`` themselves
+        (conclude-once): the pop is the claim, and exactly one claimant
+        exists per message id.
+        """
         if pending.timer is not None:
             pending.timer.cancel()
+        if pending.handle is not None:
+            # A concluded persistent search is dead server-side; a later
+            # cancel() must not Abandon its (reusable) message id.
+            pending.handle.active = False
         if pending.on_done:
             error = None if pending.acc.result.ok else LdapError(pending.acc.result)
             pending.on_done(pending.acc, error)
@@ -219,18 +251,30 @@ class LdapClient:
             except LdapError:
                 pass
 
+    # Ops that conclude a pending operation; everything else streams.
+    _TERMINAL_OPS = (
+        SearchResultDone,
+        BindResponse,
+        AddResponse,
+        ModifyResponse,
+        DeleteResponse,
+        ExtendedResponse,
+    )
+
     def _on_message(self, raw: bytes) -> None:
         try:
             message = decode_message(raw)
         except ProtocolError:
             self.conn.close()
             return
-        with self._lock:
-            pending = self._pending.get(message.message_id)
-        if pending is None:
-            return
         op = message.op
+        # Streaming ops (entries, references) accumulate without
+        # concluding; they only need to observe the pending, not own it.
         if isinstance(op, SearchResultEntry):
+            with self._lock:
+                pending = self._pending.get(message.message_id)
+            if pending is None:
+                return
             if pending.kind == "subscribe" and pending.on_change is not None:
                 ec = EntryChangeNotification.find(message.controls)
                 change = ec.change_type if ec else 0  # 0 = initial state
@@ -239,21 +283,27 @@ class LdapClient:
             pending.acc.entries.append(op.to_entry())
             return
         if isinstance(op, SearchResultReference):
+            with self._lock:
+                pending = self._pending.get(message.message_id)
+            if pending is None:
+                return
             pending.acc.referrals.extend(op.uris)
             return
-        if isinstance(op, SearchResultDone):
-            pending.acc.result = op.result
-        elif isinstance(op, (BindResponse, AddResponse, ModifyResponse, DeleteResponse)):
-            pending.acc.result = op.result
-            if isinstance(op, BindResponse):
-                pending.acc.referrals = [op.server_credentials.decode("latin-1")]
-        elif isinstance(op, ExtendedResponse):
-            pending.acc.result = op.result
-            pending.acc.referrals = [op.value.decode("utf-8", "replace")]
-        else:
+        if not isinstance(op, self._TERMINAL_OPS):
             return
+        # Terminal op: conclude-once.  The pop under the lock is the
+        # claim — if a deadline expiry or _fail_all got there first the
+        # pending is gone and this (late) server answer is dropped,
+        # never firing a second contradictory on_done.
         with self._lock:
-            self._pending.pop(message.message_id, None)
+            pending = self._pending.pop(message.message_id, None)
+        if pending is None:
+            return
+        pending.acc.result = op.result
+        if isinstance(op, BindResponse):
+            pending.acc.referrals = [op.server_credentials.decode("latin-1")]
+        elif isinstance(op, ExtendedResponse):
+            pending.acc.referrals = [op.value.decode("utf-8", "replace")]
         self._complete(pending)
 
     # -- async API ------------------------------------------------------------
@@ -266,6 +316,8 @@ class LdapClient:
             return
 
         def expire() -> None:
+            # Conclude-once: expiry claims the pending with the same pop
+            # a server reply uses; whoever pops second gets None.
             with self._lock:
                 pending = self._pending.pop(msg_id, None)
             if pending is None:
@@ -276,10 +328,15 @@ class LdapClient:
             )
             self._complete(pending)
 
+        timer = self.clock.call_later(max(0.0, deadline), expire)
         with self._lock:
             pending = self._pending.get(msg_id)
-        if pending is not None:
-            pending.timer = self.clock.call_later(max(0.0, deadline), expire)
+            if pending is not None:
+                pending.timer = timer
+        if pending is None:
+            # Answered before the deadline was even armed; the timer
+            # would fire into a no-op, but don't leave it ticking.
+            timer.cancel()
 
     def bind_async(
         self,
@@ -368,11 +425,16 @@ class LdapClient:
         """
         pending = _Pending("subscribe", on_change=on_change)
         msg_id = self._allocate(pending)
+        # Attach the handle before sending so however the pending
+        # concludes — server SearchResultDone, disconnect, deadline —
+        # _complete can flip it inactive.
+        handle = SubscriptionHandle(self, msg_id)
+        pending.handle = handle
         psc = PersistentSearchControl(
             change_types=change_types, changes_only=changes_only
         )
         self._send(LdapMessage(msg_id, req, (psc.to_control(),)))
-        return SubscriptionHandle(self, msg_id)
+        return handle
 
     # -- blocking wrappers ------------------------------------------------------
 

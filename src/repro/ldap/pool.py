@@ -1,0 +1,141 @@
+"""Client connection pool with request pipelining.
+
+A :class:`~repro.ldap.client.LdapClient` already multiplexes many
+in-flight operations over one connection via message ids, so pipelining
+is free — the pool's job is to keep a small number of warm, healthy
+connections per remote and hand out the least-loaded one, instead of
+the dial-per-query pattern that dominated GIIS chain latency.
+
+Health checking is passive: a client whose connection died flips its
+``closed`` flag (close handler → ``_fail_all``), and the next checkout
+for that remote evicts it and redials.  Callers that watch a send fail
+can accelerate this with :meth:`LdapClientPool.discard`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry
+from .client import LdapClient
+
+__all__ = ["LdapClientPool"]
+
+# A pool is transport- and credential-agnostic: the owner supplies the
+# whole dial (connect + optional bind), returning None on failure.
+Dialer = Callable[[str], Optional[LdapClient]]
+
+
+class LdapClientPool:
+    """Bounded warm connections per remote, least-loaded checkout.
+
+    *dial* builds a fresh bound client for a remote key (an LDAP URL
+    string), or returns None if the remote is unreachable.  *size*
+    bounds the warm connections kept per remote; checkout grows the
+    pool toward the bound only while every existing connection is busy
+    (has operations in flight), so an idle remote sits at one socket.
+    """
+
+    def __init__(
+        self,
+        dial: Dialer,
+        size: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self._dial = dial
+        self._size = size
+        self._lock = threading.Lock()
+        self._clients: Dict[str, List[LdapClient]] = {}
+        metrics = metrics or MetricsRegistry()
+        self._dials = metrics.counter("pool.dials")
+        self._reuses = metrics.counter("pool.reuses")
+        self._evictions = metrics.counter("pool.evictions")
+        metrics.gauge_fn("pool.connections", self.__len__)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._clients.values())
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _sweep(self, remote: str) -> List[LdapClient]:
+        """Drop dead clients for *remote*; caller holds the lock."""
+        clients = self._clients.get(remote)
+        if not clients:
+            return []
+        live = [c for c in clients if not c.closed]
+        if len(live) != len(clients):
+            self._evictions.inc(len(clients) - len(live))
+            if live:
+                self._clients[remote] = live
+            else:
+                del self._clients[remote]
+        return live
+
+    def client_for(self, remote: str) -> Optional[LdapClient]:
+        """Check out a healthy client for *remote*, dialing if needed.
+
+        Checkout is non-exclusive — pipelining means many callers share
+        one connection — so there is no check-in; just stop using it.
+        """
+        with self._lock:
+            live = self._sweep(remote)
+            if live:
+                best = min(live, key=lambda c: c.pending_count)
+                # Reuse unless everything is busy and there is still
+                # headroom to warm another connection.
+                if best.pending_count == 0 or len(live) >= self._size:
+                    self._reuses.inc()
+                    return best
+        client = self._dial(remote)  # no lock held: dialing can block
+        if client is None:
+            # Unreachable right now; an existing live connection (even a
+            # busy one) still beats failing the caller's query outright.
+            with self._lock:
+                live = self._sweep(remote)
+                if live:
+                    self._reuses.inc()
+                    return min(live, key=lambda c: c.pending_count)
+            return None
+        self._dials.inc()
+        with self._lock:
+            live = self._sweep(remote)
+            if len(live) >= self._size:
+                # Raced another dialer past the bound; fold back onto
+                # the pool and release the surplus socket.
+                surplus = client
+                self._reuses.inc()
+                client = min(live, key=lambda c: c.pending_count)
+            else:
+                surplus = None
+                self._clients.setdefault(remote, []).append(client)
+        if surplus is not None:
+            surplus.unbind()
+        return client
+
+    def discard(self, remote: str, client: LdapClient) -> None:
+        """Evict *client* after the caller saw it fail mid-operation."""
+        with self._lock:
+            clients = self._clients.get(remote)
+            if clients and client in clients:
+                clients.remove(client)
+                self._evictions.inc()
+                if not clients:
+                    del self._clients[remote]
+        client.unbind()
+
+    def clear(self) -> None:
+        """Close every pooled connection (they redial on next checkout)."""
+        with self._lock:
+            drained, self._clients = self._clients, {}
+        for clients in drained.values():
+            for client in clients:
+                client.unbind()
+
+    def close(self) -> None:
+        self.clear()

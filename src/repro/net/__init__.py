@@ -1,13 +1,18 @@
 """Distributed substrate: clocks, discrete-event simulation, transports.
 
-One :class:`~repro.net.transport.Endpoint` interface with two
+One :class:`~repro.net.transport.Endpoint` interface with three
 implementations — a deterministic simulator (:mod:`repro.net.simnet`)
-for the partition/loss experiments, and real TCP/UDP
-(:mod:`repro.net.tcp`) proving the wire protocol is real.
+for the partition/loss experiments, and two real TCP/UDP transports
+proving the wire protocol is real: thread-per-connection
+(:mod:`repro.net.tcp`) and a single-threaded selector reactor
+(:mod:`repro.net.reactor`) for high client counts.
 """
+
+from typing import Optional
 
 from .clock import Clock, TimerHandle, WallClock
 from .links import LAN, LOCAL, WAN, LinkModel
+from .reactor import Reactor, ReactorConnection, ReactorEndpoint
 from .sim import SimulationError, Simulator
 from .simnet import SimConnection, SimNetwork, SimNode
 from .tcp import TcpConnection, TcpEndpoint
@@ -35,10 +40,39 @@ __all__ = [
     "SimNode",
     "TcpConnection",
     "TcpEndpoint",
+    "Reactor",
+    "ReactorConnection",
+    "ReactorEndpoint",
     "Address",
     "Connection",
     "ConnectionClosed",
     "ConnectionHandler",
     "Endpoint",
     "TransportError",
+    "TRANSPORTS",
+    "make_endpoint",
 ]
+
+# Real-wire transport registry, keyed by the --transport flag values.
+TRANSPORTS = ("reactor", "threads")
+
+
+def make_endpoint(
+    transport: str = "reactor",
+    host: str = "127.0.0.1",
+    metrics: Optional[object] = None,
+):
+    """Build a real-wire endpoint by transport name.
+
+    ``"reactor"`` multiplexes every socket on one event-loop thread
+    (scales to thousands of clients); ``"threads"`` spawns a reader
+    thread per connection (simplest, fine for a handful of peers).
+    Both speak the identical framing, so they interoperate freely.
+    """
+    if transport in ("reactor", "event-loop", "selector"):
+        return ReactorEndpoint(host, metrics=metrics)
+    if transport in ("threads", "thread", "tcp"):
+        return TcpEndpoint(host, metrics=metrics)
+    raise ValueError(
+        f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+    )

@@ -10,6 +10,7 @@ function calls.
 
 from __future__ import annotations
 
+import logging
 import socket
 import struct
 import threading
@@ -26,6 +27,8 @@ from .transport import (
 )
 
 __all__ = ["TcpConnection", "TcpEndpoint", "MAX_FRAME"]
+
+log = logging.getLogger(__name__)
 
 _HEADER = struct.Struct("!I")
 MAX_FRAME = 64 * 1024 * 1024  # defensive bound on frame size
@@ -218,7 +221,25 @@ class TcpEndpoint:
                     break
                 if self.metrics is not None:
                     self.metrics.counter("tcp.connections.accepted").inc()
-                handler(self._track(TcpConnection(sock, metrics=self.metrics)))
+                try:
+                    conn = self._track(TcpConnection(sock, metrics=self.metrics))
+                except OSError:
+                    # Peer reset before we could even wrap the socket.
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                    continue
+                # One bad handshake must not kill the accept loop for
+                # every future client: count it, drop the connection,
+                # keep listening.
+                try:
+                    handler(conn)
+                except Exception:  # noqa: BLE001 - handler bug, not ours
+                    log.exception("tcp: connection handler failed")
+                    if self.metrics is not None:
+                        self.metrics.counter("tcp.accept.handler_errors").inc()
+                    conn.close()
 
         threading.Thread(target=accept_loop, daemon=True).start()
         return bound
@@ -256,7 +277,13 @@ class TcpEndpoint:
         return bound
 
     def send_datagram(self, remote: Address, payload: bytes) -> None:
+        # The _closing check lives under the same lock that guards the
+        # lazy socket creation: a sender racing close() can neither be
+        # handed a just-closed socket nor resurrect a new one on a dead
+        # endpoint.
         with self._udp_send_lock:
+            if self._closing:
+                return
             if self._udp_send is None:
                 self._udp_send = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
             try:
@@ -278,5 +305,10 @@ class TcpEndpoint:
                 sock.close()
             except OSError:
                 pass
-        if self._udp_send is not None:
-            self._udp_send.close()
+        with self._udp_send_lock:
+            if self._udp_send is not None:
+                try:
+                    self._udp_send.close()
+                except OSError:
+                    pass
+                self._udp_send = None

@@ -21,8 +21,8 @@ from ..gris.config import ConfigError, build_gris, load_config
 from ..ldap.executor import RequestExecutor
 from ..ldap.server import LdapServer
 from ..ldap.url import LdapUrl
+from ..net import TRANSPORTS, make_endpoint
 from ..net.clock import WallClock
-from ..net.tcp import TcpEndpoint
 from ..obs import (
     JsonlSink,
     MetricsRegistry,
@@ -52,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--monitor",
         action="store_true",
         help="serve live operational metrics under cn=monitor",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="reactor",
+        help="real-wire transport: 'reactor' multiplexes every socket on "
+        "one event-loop thread (scales to thousands of clients), "
+        "'threads' spawns a reader thread per connection",
     )
     parser.add_argument(
         "--workers",
@@ -140,7 +148,8 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
                  trace_log: Optional[str] = None,
                  trace_sample_rate: Optional[float] = None,
                  slow_query_ms: Optional[float] = None,
-                 server_id: Optional[str] = None):
+                 server_id: Optional[str] = None,
+                 transport: str = "reactor"):
     """Start everything; returns (endpoint, bound_port, registrants, server).
 
     With ``monitor=True`` one shared :class:`MetricsRegistry` is threaded
@@ -208,7 +217,7 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
         backend, clock=clock, name="grid-info-server", metrics=metrics,
         tracer=tracer, executor=executor, default_time_limit=default_time_limit,
     )
-    endpoint = TcpEndpoint(host, metrics=metrics)
+    endpoint = make_endpoint(transport, host, metrics=metrics)
     bound = endpoint.listen(port, server.handle_connection)
     if tracer is not None and not tracer.server_id:
         # The default server id is the listen address, known only now.
@@ -249,6 +258,7 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
             trace_sample_rate=args.trace_sample_rate,
             slow_query_ms=args.slow_query_ms,
             server_id=args.server_id,
+            transport=args.transport,
         )
     except ConfigError as exc:
         print(f"grid-info-server: {exc}", file=sys.stderr)

@@ -147,10 +147,14 @@ class TestConfig:
 
 
 class TestCliTools:
-    @pytest.fixture
-    def running_server(self, tmp_path):
+    # The reactor is the default transport; the threaded one must stay
+    # wired through the same flag.
+    @pytest.fixture(params=["reactor", "threads"])
+    def running_server(self, request, tmp_path):
         path = write_config(tmp_path)
-        endpoint, port, registrants, server = start_server(str(path), port=0)
+        endpoint, port, registrants, server = start_server(
+            str(path), port=0, transport=request.param
+        )
         yield port
         endpoint.close()
 

@@ -530,7 +530,7 @@ class TestBindFailureCleanup:
             assert client is None
         assert len(dialed) == 3
         assert all(c.close_count == 1 for c in dialed)  # no leaked sockets
-        assert giis._clients == {}  # no half-bound client cached
+        assert len(giis.pool) == 0  # no half-bound client pooled
 
 
 # ---------------------------------------------------------------------------

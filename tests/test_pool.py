@@ -1,0 +1,164 @@
+"""LdapClientPool: warm reuse, bounded growth, health-checked redial."""
+
+import pytest
+
+from repro.ldap.pool import LdapClientPool
+from repro.obs.metrics import MetricsRegistry
+from repro.testbed.vo import GridTestbed
+
+
+def build_vo(tb, n_gris=2, **giis_kwargs):
+    """One GIIS with *n_gris* registered standard GRIS children."""
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO-A", **giis_kwargs)
+    for i in range(n_gris):
+        host = f"r{i}"
+        gris = tb.standard_gris(host, f"hn={host}, o=Grid", load_mean=0.5 + i)
+        tb.register(gris, giis, interval=20.0, ttl=60.0, name=host)
+    tb.run(1.0)  # let first registrations land
+    return giis
+
+
+class FakeClient:
+    """Pool-facing slice of LdapClient: load, health, release."""
+
+    def __init__(self, remote):
+        self.remote = remote
+        self.closed = False
+        self.pending_count = 0
+        self.unbound = 0
+
+    def unbind(self):
+        self.unbound += 1
+        self.closed = True
+
+
+class PoolFixture:
+    def __init__(self, size=2, fail=False):
+        self.dialed = []
+        self.fail = fail
+        self.metrics = MetricsRegistry()
+        self.pool = LdapClientPool(self._dial, size=size, metrics=self.metrics)
+
+    def _dial(self, remote):
+        if self.fail:
+            return None
+        client = FakeClient(remote)
+        self.dialed.append(client)
+        return client
+
+    def counter(self, name):
+        return self.metrics.counter(name).value
+
+
+class TestCheckout:
+    def test_idle_client_is_reused_not_redialed(self):
+        fx = PoolFixture()
+        first = fx.pool.client_for("ldap://a:2135/")
+        again = fx.pool.client_for("ldap://a:2135/")
+        assert first is again
+        assert len(fx.dialed) == 1
+        assert fx.counter("pool.dials") == 1
+        assert fx.counter("pool.reuses") == 1
+
+    def test_busy_clients_warm_up_to_bound(self):
+        fx = PoolFixture(size=2)
+        a = fx.pool.client_for("ldap://a:2135/")
+        a.pending_count = 1  # busy: checkout may warm another socket
+        b = fx.pool.client_for("ldap://a:2135/")
+        assert b is not a
+        b.pending_count = 5
+        # Bound reached: further checkouts share the least-loaded.
+        c = fx.pool.client_for("ldap://a:2135/")
+        assert c is a
+        assert len(fx.dialed) == 2
+
+    def test_least_loaded_selection(self):
+        fx = PoolFixture(size=2)
+        a = fx.pool.client_for("ldap://a:2135/")
+        a.pending_count = 3
+        b = fx.pool.client_for("ldap://a:2135/")
+        b.pending_count = 1
+        assert fx.pool.client_for("ldap://a:2135/") is b
+        b.pending_count = 4
+        assert fx.pool.client_for("ldap://a:2135/") is a
+
+    def test_remotes_are_pooled_independently(self):
+        fx = PoolFixture()
+        a = fx.pool.client_for("ldap://a:2135/")
+        b = fx.pool.client_for("ldap://b:2135/")
+        assert a is not b
+        assert len(fx.pool) == 2
+
+    def test_dead_client_evicted_and_redialed(self):
+        fx = PoolFixture()
+        first = fx.pool.client_for("ldap://a:2135/")
+        first.closed = True  # connection died under us
+        second = fx.pool.client_for("ldap://a:2135/")
+        assert second is not first
+        assert len(fx.dialed) == 2
+        assert fx.counter("pool.evictions") == 1
+        assert len(fx.pool) == 1
+
+    def test_dial_failure_falls_back_to_busy_live_client(self):
+        fx = PoolFixture(size=2)
+        a = fx.pool.client_for("ldap://a:2135/")
+        a.pending_count = 1  # busy enough that checkout wants to grow
+        fx.fail = True
+        assert fx.pool.client_for("ldap://a:2135/") is a
+
+    def test_dial_failure_with_no_live_client_returns_none(self):
+        fx = PoolFixture(fail=True)
+        assert fx.pool.client_for("ldap://a:2135/") is None
+        assert len(fx.pool) == 0
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LdapClientPool(lambda remote: None, size=0)
+
+
+class TestLifecycle:
+    def test_discard_unbinds_and_next_checkout_redials(self):
+        fx = PoolFixture()
+        first = fx.pool.client_for("ldap://a:2135/")
+        fx.pool.discard("ldap://a:2135/", first)
+        assert first.unbound == 1
+        assert len(fx.pool) == 0
+        second = fx.pool.client_for("ldap://a:2135/")
+        assert second is not first
+
+    def test_discard_of_unknown_client_still_unbinds(self):
+        fx = PoolFixture()
+        stray = FakeClient("ldap://a:2135/")
+        fx.pool.discard("ldap://a:2135/", stray)
+        assert stray.unbound == 1
+
+    def test_clear_unbinds_everything(self):
+        fx = PoolFixture()
+        a = fx.pool.client_for("ldap://a:2135/")
+        b = fx.pool.client_for("ldap://b:2135/")
+        fx.pool.clear()
+        assert a.unbound == 1 and b.unbound == 1
+        assert len(fx.pool) == 0
+
+
+class TestGiisIntegration:
+    def test_chained_queries_share_warm_connections(self):
+        """N distinct VO-wide searches dial each child exactly once."""
+        tb = GridTestbed(seed=1)
+        giis = build_vo(tb, n_gris=3)
+        client = tb.client("user", giis)
+        dials = giis.backend.metrics.counter("pool.dials")
+        for i in range(4):
+            out = client.search("o=Grid", filter=f"(hn=r{i % 3})")
+            assert len(out) == 1
+        assert dials.value == 3  # one warm connection per child, ever
+        assert giis.backend.metrics.counter("pool.reuses").value > 0
+
+    def test_shutdown_releases_child_connections(self):
+        tb = GridTestbed(seed=1)
+        giis = build_vo(tb, n_gris=2)
+        client = tb.client("user", giis)
+        client.search("o=Grid", filter="(objectclass=computer)")
+        assert len(giis.backend.pool) == 2
+        giis.backend.shutdown()
+        assert len(giis.backend.pool) == 0

@@ -1,17 +1,22 @@
-"""Integration tests for the real TCP/UDP transport."""
+"""Integration tests for the real TCP/UDP transports.
+
+Parametrized over both wire transports — thread-per-connection and the
+selector reactor — since they promise identical framing and Connection
+semantics.
+"""
 
 import threading
 import time
 
 import pytest
 
-from repro.net.tcp import TcpEndpoint
+from repro.net import make_endpoint
 from repro.net.transport import ConnectionClosed
 
 
-@pytest.fixture
-def endpoint():
-    ep = TcpEndpoint()
+@pytest.fixture(params=["threads", "reactor"])
+def endpoint(request):
+    ep = make_endpoint(request.param)
     yield ep
     ep.close()
 
