@@ -30,7 +30,7 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from ..grip.messages import GrrpError, GrrpMessage, NotificationType
+from ..grip.messages import GrrpError, GrrpMessage, NotificationType, registration_dn
 from ..grip.registry import Registration, SoftStateRegistry
 from ..ldap.backend import (
     Backend,
@@ -50,6 +50,7 @@ from ..ldap.dn import DN
 from ..ldap.index import AttributeIndex
 from ..ldap.entry import Entry
 from ..ldap.protocol import AddRequest, LdapResult, ResultCode, SearchRequest
+from ..ldap.storage import ChangeOp, StorageEngine
 from ..ldap.url import LdapUrl
 from ..net.clock import Clock
 from ..net.transport import Connection, ConnectionClosed, TransportError
@@ -243,6 +244,7 @@ class GiisBackend(Backend):
         tracer=None,
         index_attrs: Iterable[str] = (),
         pool_size: int = 2,
+        storage: Optional[StorageEngine] = None,
     ):
         if mode not in ("chain", "referral"):
             raise ValueError(f"unknown GIIS mode {mode!r}")
@@ -308,6 +310,16 @@ class GiisBackend(Backend):
         self._query_cache: "OrderedDict[Tuple, _QueryCacheSlot]" = OrderedDict()
         self._subs: Dict[int, Tuple[SearchRequest, int, ChangeCallback]] = {}
         self._next_sub = 0
+        # Durable registration state: every membership change is
+        # mirrored into the engine as the registration *entry* (the
+        # same post-image the GIIS serves), so a restart replays the
+        # membership list instead of waiting a full soft-state refresh
+        # cycle to repopulate.
+        self.storage = storage
+        self._recovering = False
+        self.replayed_registrations = 0
+        if self.storage is not None:
+            self._recover_registrations()
 
     # Compatibility views over the registry-backed counters.
 
@@ -342,6 +354,7 @@ class GiisBackend(Backend):
         self._reg_index.on_register(registration)
         for index in self.indexes:
             index.on_register(registration)
+        self._persist_put(registration)
         self._notify_subs(self._registration_entry(registration), ChangeType.ADD)
 
     def _fan_expire(self, registration: Registration) -> None:
@@ -349,6 +362,7 @@ class GiisBackend(Backend):
         self._reg_index.on_expire(registration)
         for index in self.indexes:
             index.on_expire(registration)
+        self._persist_delete(registration)
         self._notify_subs(self._registration_entry(registration), ChangeType.DELETE)
 
     def _fan_unregister(self, registration: Registration) -> None:
@@ -356,7 +370,54 @@ class GiisBackend(Backend):
         self._reg_index.on_unregister(registration)
         for index in self.indexes:
             index.on_unregister(registration)
+        self._persist_delete(registration)
         self._notify_subs(self._registration_entry(registration), ChangeType.DELETE)
+
+    # -- durable registration state --------------------------------------------
+
+    def _persist_put(self, registration: Registration) -> None:
+        if self.storage is None or self._recovering:
+            return
+        self.storage.apply(ChangeOp.put(self._registration_entry(registration)))
+
+    def _persist_delete(self, registration: Registration) -> None:
+        if self.storage is None or self._recovering:
+            return
+        dn = registration_dn(registration.service_url, self.suffix)
+        self.storage.apply(ChangeOp.delete(dn))
+
+    def _recover_registrations(self) -> None:
+        """Warm restart: replay persisted registrations into the registry.
+
+        Each stored entry is decoded back to its GRRP message and pushed
+        through the normal ``registry.apply`` intake, so VO membership
+        policy and expiry both re-run: entries whose lifetime lapsed
+        while the server was down are rejected there and purged from
+        storage — soft-state semantics hold across restarts.  The
+        ``_recovering`` guard keeps the register hooks from writing the
+        very entries being replayed back to disk.
+        """
+        self._recovering = True
+        try:
+            self.storage.replay()
+            for entry in list(self.storage.entries.values()):
+                if not GrrpMessage.is_registration_entry(entry):
+                    self.storage.apply(ChangeOp.delete(entry.dn))
+                    continue
+                try:
+                    message = GrrpMessage.from_entry(entry)
+                except GrrpError:
+                    self.storage.apply(ChangeOp.delete(entry.dn))
+                    continue
+                identity = entry.first("regsource")
+                if identity == "unknown":
+                    identity = None
+                if self.registry.apply(message, identity):
+                    self.replayed_registrations += 1
+                else:
+                    self.storage.apply(ChangeOp.delete(entry.dn))
+        finally:
+            self._recovering = False
 
     # -- GRRP intake (the write path) --------------------------------------------
 
@@ -421,6 +482,10 @@ class GiisBackend(Backend):
                 self._reg_index.on_refresh(registration)
                 for index in self.indexes:
                     index.on_refresh(registration)
+                # Refreshes extend valid_until; without re-persisting,
+                # recovery would resurrect the stale lifetime and purge
+                # a registrant that was alive moments before the crash.
+                self._persist_put(registration)
         return LdapResult()
 
     def handle_grrp_datagram(self, source, payload: bytes) -> None:
@@ -674,8 +739,10 @@ class GiisBackend(Backend):
         return client
 
     def shutdown(self) -> None:
-        """Release child connections (pool redials if queried again)."""
+        """Release child connections and flush durable state."""
         self.pool.close()
+        if self.storage is not None:
+            self.storage.close()
 
     # -- query-cache hygiene ------------------------------------------------------------
 

@@ -288,6 +288,22 @@ class ProviderCache:
             out.append(copy)
         return out, slot.produced_at
 
+    def seed(
+        self, provider_name: str, entries: List[Entry], produced_at: float
+    ) -> None:
+        """Install a snapshot without invoking the provider (warm restart).
+
+        Used by durable-view recovery: entries replayed from storage
+        stand in for the pre-crash ``provide()`` result, stamped with
+        the original production time so TTL expiry still measures real
+        information age, not process uptime.  Never overwrites a slot a
+        live refresh already produced.
+        """
+        with self._lock:
+            state = self._states.setdefault(provider_name, _ProviderState())
+            if state.slot is None:
+                state.slot = _CacheSlot(entries=list(entries), produced_at=produced_at)
+
     def invalidate(self, provider_name: str) -> None:
         """Drop the snapshot and failure history; keep any in-flight refresh."""
         with self._lock:

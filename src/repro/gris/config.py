@@ -46,7 +46,9 @@ from typing import Callable, Dict, List, Optional
 
 from ..ldap.dn import DN
 from ..ldap.ldif import parse_ldif
+from ..ldap.storage import StorageError, StorageSpec, make_storage, parse_storage_spec
 from ..net.clock import Clock, WallClock
+from ..obs.metrics import MetricsRegistry
 from .core import GrisBackend
 from .host import DynamicHostProvider, HostConfig, StaticHostProvider, real_load_sensor
 from .provider import FunctionProvider, InformationProvider
@@ -56,9 +58,11 @@ __all__ = [
     "ConfigError",
     "RegistrationSpec",
     "TracingSpec",
+    "GiisSpec",
     "GrisConfig",
     "load_config",
     "build_gris",
+    "build_giis",
 ]
 
 
@@ -98,6 +102,17 @@ class TracingSpec:
         return bool(self.trace_log) or self.slow_query_ms > 0
 
 
+@dataclass(frozen=True)
+class GiisSpec:
+    """The optional ``giis`` object: run the server as an aggregate
+    directory (GIIS) over the configured suffix instead of a GRIS."""
+
+    mode: str = "chain"
+    vo: str = ""
+    cache_ttl: float = 0.0
+    registration_grace: float = 0.0
+
+
 @dataclass
 class GrisConfig:
     """A parsed configuration."""
@@ -107,6 +122,8 @@ class GrisConfig:
     registrations: List[RegistrationSpec] = field(default_factory=list)
     tracing: TracingSpec = field(default_factory=TracingSpec)
     index_attrs: List[str] = field(default_factory=list)
+    storage: Optional[StorageSpec] = None
+    giis: Optional[GiisSpec] = None
 
 
 def _require(spec: Dict, key: str, provider_type: str):
@@ -229,13 +246,70 @@ def load_config(
         isinstance(a, str) and a for a in indexes
     ):
         raise ConfigError(f"{path}: 'indexes' must be a list of attribute names")
+    storage = None
+    if "storage" in data:
+        try:
+            storage = parse_storage_spec(data["storage"])
+        except StorageError as exc:
+            raise ConfigError(f"{path}: {exc}") from exc
+    giis = None
+    if "giis" in data:
+        giis_data = data["giis"]
+        if not isinstance(giis_data, dict):
+            raise ConfigError(f"{path}: 'giis' must be an object")
+        mode = str(giis_data.get("mode", "chain"))
+        if mode not in ("chain", "referral"):
+            raise ConfigError(
+                f"{path}: giis mode must be 'chain' or 'referral', not {mode!r}"
+            )
+        try:
+            giis = GiisSpec(
+                mode=mode,
+                vo=str(giis_data.get("vo", "")),
+                cache_ttl=float(giis_data.get("cache_ttl", 0.0)),
+                registration_grace=float(giis_data.get("registration_grace", 0.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"{path}: bad giis section: {exc}") from exc
     return GrisConfig(
         suffix=data["suffix"],
         providers=providers,
         registrations=registrations,
         tracing=tracing,
         index_attrs=[a for a in indexes],
+        storage=storage,
+        giis=giis,
     )
+
+
+def _make_engine(
+    config: GrisConfig,
+    data_dir: Optional[str],
+    subdir: str,
+    metrics: MetricsRegistry,
+    tracer,
+):
+    """Instantiate the configured storage engine for one consumer.
+
+    ``data_dir`` (the ``--data-dir`` flag) overrides the spec's path; a
+    bare ``--data-dir`` with no storage object implies the WAL backend.
+    """
+    spec = config.storage
+    if spec is None:
+        if not data_dir:
+            return None
+        spec = StorageSpec(backend="wal")
+    try:
+        return make_storage(
+            spec,
+            data_dir,
+            subdir=subdir,
+            metrics=metrics,
+            tracer=tracer,
+            name=subdir,
+        )
+    except StorageError as exc:
+        raise ConfigError(str(exc)) from exc
 
 
 def build_gris(
@@ -245,6 +319,8 @@ def build_gris(
     provider_workers: int = 0,
     provider_queue_limit: int = 64,
     stale_while_revalidate: float = 0.0,
+    data_dir: Optional[str] = None,
+    tracer=None,
 ) -> GrisBackend:
     """Instantiate a GRIS backend from a parsed configuration.
 
@@ -257,8 +333,13 @@ def build_gris(
     immediately while one background refresh runs.  A non-empty
     ``indexes`` list in the config maintains a materialized view of the
     provider caches with posting lists over those attributes, letting
-    equality/presence searches skip the linear merge scan.
+    equality/presence searches skip the linear merge scan.  A
+    ``storage`` object (or ``data_dir``) makes that view durable: the
+    server restarts warm, serving pre-crash snapshots until their TTLs
+    lapse.
     """
+    metrics = metrics or MetricsRegistry()
+    storage = _make_engine(config, data_dir, "gris-view", metrics, tracer)
     gris = GrisBackend(
         config.suffix,
         clock=clock or WallClock(),
@@ -267,7 +348,44 @@ def build_gris(
         provider_queue_limit=provider_queue_limit,
         stale_while_revalidate=stale_while_revalidate,
         index_attrs=config.index_attrs or None,
+        storage=storage,
     )
     for provider in config.providers:
         gris.add_provider(provider)
     return gris
+
+
+def build_giis(
+    config: GrisConfig,
+    clock: Optional[Clock] = None,
+    metrics=None,
+    connector=None,
+    data_dir: Optional[str] = None,
+    tracer=None,
+    url=None,
+):
+    """Instantiate a GIIS backend (the ``giis`` config object).
+
+    With a ``storage`` object (or ``data_dir``), the registration list
+    survives restarts: a GIIS killed and restarted over the same data
+    directory serves the same registrations immediately instead of
+    waiting out a full soft-state refresh cycle.
+    """
+    from ..giis.core import GiisBackend
+
+    metrics = metrics or MetricsRegistry()
+    storage = _make_engine(config, data_dir, "giis-registrations", metrics, tracer)
+    spec = config.giis or GiisSpec()
+    return GiisBackend(
+        config.suffix,
+        clock or WallClock(),
+        connector=connector,
+        url=url,
+        mode=spec.mode,
+        cache_ttl=spec.cache_ttl,
+        registration_grace=spec.registration_grace,
+        vo_name=spec.vo,
+        metrics=metrics,
+        tracer=tracer,
+        storage=storage,
+    )

@@ -36,16 +36,30 @@ from ..ldap.backend import (
     _in_scope,
 )
 from ..ldap.dit import DIT, DitError, Scope
-from ..ldap.dn import DN
+from ..ldap.dn import DN, RDN
 from ..ldap.entry import Entry
 from ..ldap.executor import RequestExecutor
 from ..ldap.protocol import LdapResult, ResultCode, SearchRequest
+from ..ldap.storage import StorageEngine
 from ..net.clock import Clock, TimerHandle
 from ..obs.metrics import MetricsRegistry
 from .cache import ProviderCache
 from .provider import InformationProvider, ProviderError
 
 __all__ = ["GrisBackend"]
+
+# Object class of the per-provider bookkeeping entries a durable view
+# stores alongside the mirrored snapshots (see _sync_view).
+_VIEW_META_CLASS = "grisviewmeta"
+
+
+def _view_marker_dn(provider_name: str) -> DN:
+    """Where provider *provider_name*'s view-metadata entry lives.
+
+    A top-level branch separate from the GRIS suffix, so markers never
+    collide with (or leak into) the mirrored provider namespace.
+    """
+    return DN((RDN.single("gris-view-provider", provider_name),))
 
 
 class GrisBackend(Backend):
@@ -61,6 +75,7 @@ class GrisBackend(Backend):
         provider_queue_limit: int = 64,
         stale_while_revalidate: float = 0.0,
         index_attrs: Optional[Iterable[str]] = None,
+        storage: Optional[StorageEngine] = None,
     ):
         self.suffix = DN.of(suffix)
         self.clock = clock
@@ -105,18 +120,24 @@ class GrisBackend(Backend):
         self._view_versions: Dict[str, float] = {}
         self._view_dns: Dict[str, List[DN]] = {}
         self.index_attrs: tuple = tuple(index_attrs or ())
-        if self.index_attrs:
+        self.recovered_view_providers = 0
+        if self.index_attrs or storage is not None:
             self._view = DIT(
                 index_attrs=self.index_attrs,
                 metrics=self.metrics,
                 name="gris-view",
+                storage=storage,
             )
+            if storage is not None:
+                self._recover_view()
         self._search_indexed = self.metrics.counter("gris.search.indexed")
         self._search_scanned = self.metrics.counter("gris.search.scanned")
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the provider pool threads (no-op in inline mode)."""
+        """Stop the provider pool threads and flush durable view state."""
         self._pool.shutdown(wait=wait)
+        if self._view is not None:
+            self._view.storage.close()
 
     @property
     def provider_errors(self) -> int:
@@ -158,6 +179,10 @@ class GrisBackend(Backend):
                     self._view.delete(dn)
                 except DitError:
                     pass  # shared glue ancestor: another provider's child
+            try:
+                self._view.delete(_view_marker_dn(name))
+            except DitError:
+                pass  # never synced (or volatile view without markers)
 
     def _sync_view(self, name: str, version: float, entries: List[Entry]) -> None:
         """Mirror one provider's cache snapshot into the view DIT.
@@ -182,6 +207,61 @@ class GrisBackend(Backend):
                 stored.append(entry.dn)
             self._view_dns[name] = stored
             self._view_versions[name] = version
+            # Bookkeeping marker: with a durable engine underneath, the
+            # (version, stored-DNs) pair must survive restart alongside
+            # the mirrored entries, or recovery could not tell which
+            # snapshots the persisted view corresponds to.
+            marker = Entry(
+                _view_marker_dn(name),
+                attrs={
+                    "gris-view-provider": name,
+                    "objectclass": [_VIEW_META_CLASS],
+                    "viewversion": repr(version),
+                    "viewdn": [str(dn) for dn in stored],
+                },
+            )
+            self._view.replace(marker)
+
+    def _recover_view(self) -> None:
+        """Warm restart: rebuild view bookkeeping from replayed markers.
+
+        Each marker entry yields the provider's snapshot version and the
+        DNs it mirrored; those entries (un-rebased back to the
+        provider's own namespace) seed the provider cache at the
+        original production time, so planned searches after a restart
+        serve exactly the pre-crash results until TTLs lapse and the
+        normal refresh cycle takes over — §2.1 information currency is
+        preserved because the stamps still reflect when the data was
+        actually produced.
+        """
+        strip = len(self.suffix.rdns)
+        for entry in self._view.dump():
+            if not entry.is_a(_VIEW_META_CLASS):
+                continue
+            name = entry.first("gris-view-provider")
+            if not name:
+                continue
+            try:
+                version = float(entry.first("viewversion", ""))
+                dns = [DN.of(s) for s in entry.get("viewdn")]
+            except ValueError:
+                continue  # malformed marker: provider re-probes cold
+            self._view_versions[name] = version
+            self._view_dns[name] = dns
+            snapshot: List[Entry] = []
+            for dn in dns:
+                try:
+                    stored = self._view.get(dn)
+                except DitError:
+                    continue
+                relative = (
+                    DN(stored.dn.rdns[: len(stored.dn.rdns) - strip])
+                    if strip
+                    else stored.dn
+                )
+                snapshot.append(stored.with_dn(relative))
+            self.cache.seed(name, snapshot, version)
+            self.recovered_view_providers += 1
 
     def _view_candidates(self, req: SearchRequest, info: Dict) -> Optional[set]:
         """Candidate DNs for this collect, or None to match linearly.

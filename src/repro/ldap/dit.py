@@ -15,6 +15,18 @@ walk when the filter is not index-answerable; candidates are always
 re-verified with ``filt.matches`` so planned and scanned results are
 byte-identical.
 
+Every mutator (``add``/``replace``/``modify``/``delete``/``clear``/
+``load``) is a thin wrapper that performs the LDAP semantic checks,
+normalizes the write into one typed
+:class:`~repro.ldap.storage.ChangeOp`, and funnels it through a single
+choke point (:meth:`DIT._apply`) onto a pluggable
+:class:`~repro.ldap.storage.StorageEngine`.  The default engine is
+in-memory (byte-identical to the historical behavior); WAL and sqlite
+engines persist every op so the tree — registrations, cached entries,
+and all — survives a crash and replays on restart (paper §10.2 rode on
+OpenLDAP's persistent indexed backends for exactly this).  Indexes are
+rebuilt from the replayed entries at construction time.
+
 This store backs the GRIS/GIIS servers when they hold materialized data;
 providers that generate entries lazily plug in at the backend layer
 instead (paper §4.1: "there is no requirement that an information
@@ -36,6 +48,7 @@ from .filter import Filter
 from .index import AttributeIndex
 from .plan import candidates_for
 from .schema import Schema
+from .storage import ChangeKind, ChangeOp, MemoryEngine, StorageEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.metrics import MetricsRegistry
@@ -126,6 +139,13 @@ class DIT:
     :class:`MetricsRegistry` to expose planner counters and per-index
     size gauges under ``cn=monitor``; ``name`` labels them when one
     process hosts several DITs.
+
+    ``storage`` selects the persistence engine (default: volatile
+    in-memory).  A durable engine is replayed at construction — the DIT
+    comes up holding whatever survived the last crash, with its indexes
+    rebuilt over the recovered entries — and every subsequent write is
+    persisted through the same :meth:`_apply` choke point the in-memory
+    state goes through.
     """
 
     def __init__(
@@ -134,11 +154,17 @@ class DIT:
         index_attrs: Iterable[str] = (),
         metrics: Optional["MetricsRegistry"] = None,
         name: str = "",
+        storage: Optional[StorageEngine] = None,
     ):
         self._schema = schema
         self._lock = threading.RLock()
-        self._entries: Dict[DN, Entry] = {}
-        self._children: Dict[DN, Set[DN]] = {}
+        self.storage: StorageEngine = storage if storage is not None else MemoryEngine()
+        self.replayed_ops = self.storage.replay()
+        # Reads alias the engine's maps; engines mutate them in place
+        # (CLEAR included) so these references stay valid for the
+        # DIT's lifetime.
+        self._entries: Dict[DN, Entry] = self.storage.entries
+        self._children: Dict[DN, Set[DN]] = self.storage.children
         self._name = name
         if metrics is None:
             # Imported lazily: repro.obs pulls in the monitor backend,
@@ -199,46 +225,38 @@ class DIT:
         return int(self._scanned.value)
 
     # -- write ops -----------------------------------------------------------
+    #
+    # Each mutator performs its LDAP semantic checks, then normalizes
+    # the write into a ChangeOp and hands it to _apply — the single
+    # point where in-memory state, secondary indexes, and (for durable
+    # engines) the on-disk log all move together.
+
+    def _apply(self, op: ChangeOp) -> Optional[Entry]:
+        """The mutation choke point: engine state + index, under the lock."""
+        if op.kind == ChangeKind.PUT:
+            if op.dn in self._entries:
+                self._index.discard(op.dn)
+            stored = self.storage.apply(op)
+            self._index.add(op.dn, stored.get)
+            return stored
+        if op.kind == ChangeKind.DELETE:
+            self.storage.apply(op)
+            self._index.discard(op.dn)
+            return None
+        # CLEAR: the index is emptied in place so the per-attribute
+        # ldap.index.size gauges (closures over this index) read zero
+        # immediately, not stale pre-clear sizes.
+        self.storage.apply(op)
+        self._index.clear()
+        return None
 
     def add(self, entry: Entry, replace: bool = False) -> None:
         if self._schema is not None:
             self._schema.validate(entry)
         with self._lock:
-            existing = entry.dn in self._entries
-            if existing and not replace:
+            if not replace and entry.dn in self._entries:
                 raise EntryExists(entry.dn)
-            stored = entry.copy()
-            if existing:
-                self._index.discard(entry.dn)
-            self._entries[entry.dn] = stored
-            self._index.add(entry.dn, stored.get)
-            self._link(entry.dn)
-
-    def _link(self, dn: DN) -> None:
-        # Register the whole ancestor chain so subtree traversal crosses
-        # glue nodes (ancestors with no stored entry of their own).
-        cur = dn
-        for parent in dn.ancestors():
-            kids = self._children.setdefault(parent, set())
-            if cur in kids:
-                break
-            kids.add(cur)
-            cur = parent
-
-    def _unlink(self, dn: DN) -> None:
-        # Prune upward: drop parent->child links for chains that hold
-        # neither an entry nor any descendants.
-        cur = dn
-        while not cur.is_root():
-            if cur in self._entries or self._children.get(cur):
-                break
-            parent = cur.parent()
-            kids = self._children.get(parent)
-            if kids:
-                kids.discard(cur)
-                if not kids:
-                    del self._children[parent]
-            cur = parent
+            self._apply(ChangeOp.put(entry.copy(), exclusive=not replace))
 
     def replace(self, entry: Entry) -> None:
         self.add(entry, replace=True)
@@ -258,12 +276,15 @@ class DIT:
                     else:  # glue node: delete the subtree beneath it
                         for sub in list(self._children.get(kid, ())):
                             self.delete(sub, force=True)
-            del self._entries[dn]
-            self._index.discard(dn)
-            self._unlink(dn)
+            self._apply(ChangeOp.delete(dn, force=force))
 
     def modify(self, dn: DN | str, mutator: Callable[[Entry], None]) -> Entry:
-        """Apply *mutator* to a copy of the entry and store it back."""
+        """Apply *mutator* to a copy of the entry and store it back.
+
+        The mutator runs once, here; what reaches the storage engine is
+        the resulting post-image, so durable replay never re-runs
+        caller code.
+        """
         dn = DN.of(dn)
         with self._lock:
             current = self._entries.get(dn)
@@ -274,15 +295,12 @@ class DIT:
             updated.dn = dn  # DN is immutable under modify
             if self._schema is not None:
                 self._schema.validate(updated)
-            self._entries[dn] = updated
-            self._index.replace(dn, updated.get)
+            self._apply(ChangeOp.put(updated))
             return updated.copy()
 
     def clear(self) -> None:
         with self._lock:
-            self._entries.clear()
-            self._children.clear()
-            self._index.clear()
+            self._apply(ChangeOp.clear())
 
     # -- read ops -------------------------------------------------------------
 

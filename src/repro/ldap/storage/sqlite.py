@@ -1,0 +1,170 @@
+"""SQLite-backed engine: entries mirrored into one indexed table.
+
+Serving stays in-RAM (the inherited :class:`MemoryEngine` maps back the
+DIT exactly like the other engines, so searches are byte-identical);
+sqlite is the durability layer, the way OpenLDAP fronts back-bdb with an
+entry cache.  Every ``apply`` mirrors the op into the ``entries`` table
+inside sqlite's own transaction/journal, so crash recovery is a plain
+table scan — no separate log to manage.
+
+The primary key is the *canonical* DN form (normalized RDN tuples), not
+the display string: ``HN=a,o=G`` and ``hn=a, o=G`` name the same entry
+and must hit the same row.  The display DN survives inside the JSON
+payload.
+
+fsync policy maps onto ``PRAGMA synchronous``: ``always`` → FULL,
+``batch`` → NORMAL, ``never`` → OFF.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+import threading
+import time
+
+from ..dn import DN
+from .api import ChangeKind, ChangeOp, StorageError, entry_from_record, entry_to_record
+from .memory import MemoryEngine
+
+__all__ = ["SqliteEngine"]
+
+_SYNCHRONOUS = {"always": "FULL", "batch": "NORMAL", "never": "OFF"}
+
+
+def _key(dn: DN) -> str:
+    """Canonical row key two equal DNs always share."""
+    return repr(dn.normalized())
+
+
+class SqliteEngine(MemoryEngine):
+    """Durable engine over a single-file sqlite database."""
+
+    backend_name = "sqlite"
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        fsync: str = "batch",
+        metrics=None,
+        tracer=None,
+        name: str = "",
+    ):
+        super().__init__()
+        if fsync not in _SYNCHRONOUS:
+            raise StorageError(f"unknown fsync policy {fsync!r}")
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.tracer = tracer
+        self._lock = threading.RLock()
+        # Engine calls are serialized under self._lock; the connection
+        # may still be touched from several executor threads over time.
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA synchronous={_SYNCHRONOUS[fsync]}")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            "  dn TEXT PRIMARY KEY,"
+            "  record TEXT NOT NULL"
+            ")"
+        )
+        self._conn.commit()
+        self._replayed = False
+        labels = {"store": name} if name else None
+        if metrics is not None:
+            self._appends = metrics.counter("storage.wal.appends", labels)
+            self._bytes = metrics.counter("storage.wal.bytes", labels)
+            self._snapshot_seconds = metrics.histogram(
+                "storage.snapshot.seconds", labels
+            )
+            self._replay_ops = metrics.counter("storage.replay.ops", labels)
+            metrics.gauge_fn(
+                "storage.entries", lambda: float(len(self.entries)), labels
+            )
+        else:
+            self._appends = self._bytes = self._replay_ops = None
+            self._snapshot_seconds = None
+
+    # -- write path ------------------------------------------------------------
+
+    def apply(self, op: ChangeOp):
+        with self._lock:
+            result = self._apply_memory(op)
+            if op.kind == ChangeKind.PUT:
+                payload = json.dumps(
+                    entry_to_record(op.entry), sort_keys=True, separators=(",", ":")
+                )
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO entries (dn, record) VALUES (?, ?)",
+                    (_key(op.dn), payload),
+                )
+                written = len(payload)
+            elif op.kind == ChangeKind.DELETE:
+                self._conn.execute(
+                    "DELETE FROM entries WHERE dn = ?", (_key(op.dn),)
+                )
+                written = 0
+            else:  # CLEAR
+                self._conn.execute("DELETE FROM entries")
+                written = 0
+            self._conn.commit()
+            if self._appends is not None:
+                self._appends.inc()
+                self._bytes.inc(written)
+            return result
+
+    # -- recovery --------------------------------------------------------------
+
+    def replay(self) -> int:
+        with self._lock:
+            if self._replayed:
+                return 0
+            self._replayed = True
+            span = (
+                self.tracer.start("storage.replay", backend=self.backend_name)
+                if self.tracer is not None
+                else None
+            )
+            count = 0
+            try:
+                rows = self._conn.execute("SELECT record FROM entries")
+                for (payload,) in rows:
+                    entry = entry_from_record(json.loads(payload))
+                    self.entries[entry.dn] = entry
+                    self._link(entry.dn)
+                    count += 1
+            except (sqlite3.DatabaseError, ValueError, KeyError) as exc:
+                raise StorageError(f"corrupt sqlite store {self.path}: {exc}") from exc
+            if self._replay_ops is not None:
+                self._replay_ops.inc(count)
+            if span is not None:
+                span.tag("ops", count).finish()
+            return count
+
+    # -- checkpoint ------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Checkpoint sqlite's own WAL back into the main database file."""
+        with self._lock:
+            span = (
+                self.tracer.start("storage.snapshot", backend=self.backend_name)
+                if self.tracer is not None
+                else None
+            )
+            started = time.monotonic()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            if self._snapshot_seconds is not None:
+                self._snapshot_seconds.observe(time.monotonic() - started)
+            if span is not None:
+                span.tag("entries", len(self.entries)).finish()
+            return len(self.entries)
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._conn.commit()
+                self._conn.close()
+            except sqlite3.ProgrammingError:  # pragma: no cover - already closed
+                pass

@@ -1,0 +1,286 @@
+"""Append-only write-ahead log with periodic snapshots and compaction.
+
+Layout under the engine's data directory::
+
+    <dir>/snapshot.json   # atomic full checkpoint: {"entries": [...]}
+    <dir>/wal.log         # ops applied after the snapshot was taken
+
+Each WAL record is length-prefixed and checksummed::
+
+    uint32 LE  payload length
+    uint32 LE  CRC-32 of the payload
+    payload    canonical JSON of ChangeOp.to_record()
+
+Recovery loads the snapshot (if any), then replays records until EOF, a
+short read, or a CRC mismatch — a torn tail from a crash mid-append is
+discarded, never half-applied, so a crash at *any* byte boundary
+recovers exactly the prefix of fully-written ops.
+
+Compaction lifecycle: ``snapshot()`` writes the checkpoint to a temp
+file, fsyncs it, atomically renames it over ``snapshot.json``, fsyncs
+the directory, and only then truncates the WAL.  A crash between the
+rename and the truncate replays the old WAL on top of its own snapshot,
+which is harmless because every op is an idempotent post-image —
+that is what buys crash safety without sequence numbers.
+
+The fsync policy trades durability for append latency: ``always``
+fsyncs per append (no acknowledged op is ever lost), ``batch`` fsyncs
+every ``batch_size`` appends and at every snapshot/close (bounded loss
+window), ``never`` leaves flushing to the OS (crash loses whatever the
+kernel had not written — soft-state refresh repopulates it, the MDS
+answer to lost writes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import threading
+import time
+import zlib
+from typing import List, Optional, Tuple
+
+from .api import ChangeOp, StorageError, entry_from_record, entry_to_record
+from .memory import MemoryEngine
+
+__all__ = ["WalEngine", "read_wal", "WAL_HEADER"]
+
+_HEADER = struct.Struct("<II")
+WAL_HEADER = _HEADER.size  # bytes of (length, crc) framing per record
+
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.log"
+
+
+def _encode_record(op: ChangeOp) -> bytes:
+    payload = json.dumps(
+        op.to_record(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_records(raw: bytes) -> Tuple[List[ChangeOp], int]:
+    """Decode complete, checksum-valid records; return (ops, clean_bytes).
+
+    Stops at the first torn or corrupt record: everything after a bad
+    frame is unreachable (frame boundaries are gone), which is exactly
+    the crash-tail semantics recovery wants.
+    """
+    ops: List[ChangeOp] = []
+    offset = 0
+    while offset + WAL_HEADER <= len(raw):
+        length, crc = _HEADER.unpack_from(raw, offset)
+        start = offset + WAL_HEADER
+        end = start + length
+        if end > len(raw):
+            break  # torn tail: record was being appended at the crash
+        payload = raw[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt frame: discard it and everything after
+        try:
+            ops.append(ChangeOp.from_record(json.loads(payload.decode("utf-8"))))
+        except (ValueError, KeyError, StorageError):
+            break
+        offset = end
+    return ops, offset
+
+
+def read_wal(path: str | pathlib.Path) -> List[ChangeOp]:
+    """Decode the clean prefix of a WAL file (diagnostics and tests)."""
+    try:
+        raw = pathlib.Path(path).read_bytes()
+    except FileNotFoundError:
+        return []
+    return _scan_records(raw)[0]
+
+
+class WalEngine(MemoryEngine):
+    """Durable engine: in-memory serving, append-only durability."""
+
+    backend_name = "wal"
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        fsync: str = "batch",
+        snapshot_every: int = 10000,
+        batch_size: int = 64,
+        metrics=None,
+        tracer=None,
+        name: str = "",
+    ):
+        super().__init__()
+        if fsync not in ("always", "batch", "never"):
+            raise StorageError(f"unknown fsync policy {fsync!r}")
+        self.dir = pathlib.Path(path)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.batch_size = max(1, batch_size)
+        self.tracer = tracer
+        self._lock = threading.RLock()
+        self._wal_path = self.dir / WAL_FILE
+        self._snapshot_path = self.dir / SNAPSHOT_FILE
+        self._fh = open(self._wal_path, "ab")
+        self._unsynced = 0
+        self._ops_since_snapshot = 0
+        self._replayed = False
+        labels = {"store": name} if name else None
+        if metrics is not None:
+            self._appends = metrics.counter("storage.wal.appends", labels)
+            self._bytes = metrics.counter("storage.wal.bytes", labels)
+            self._snapshot_seconds = metrics.histogram(
+                "storage.snapshot.seconds", labels
+            )
+            self._replay_ops = metrics.counter("storage.replay.ops", labels)
+            metrics.gauge_fn(
+                "storage.entries", lambda: float(len(self.entries)), labels
+            )
+        else:
+            self._appends = self._bytes = self._replay_ops = None
+            self._snapshot_seconds = None
+
+    # -- write path ------------------------------------------------------------
+
+    def apply(self, op: ChangeOp):
+        with self._lock:
+            result = self._apply_memory(op)
+            self._append(op)
+            if (
+                self.snapshot_every > 0
+                and self._ops_since_snapshot >= self.snapshot_every
+            ):
+                self.snapshot()
+            return result
+
+    def _append(self, op: ChangeOp) -> None:
+        record = _encode_record(op)
+        self._fh.write(record)
+        self._fh.flush()
+        self._ops_since_snapshot += 1
+        if self.fsync == "always":
+            os.fsync(self._fh.fileno())
+        elif self.fsync == "batch":
+            self._unsynced += 1
+            if self._unsynced >= self.batch_size:
+                os.fsync(self._fh.fileno())
+                self._unsynced = 0
+        if self._appends is not None:
+            self._appends.inc()
+            self._bytes.inc(len(record))
+
+    # -- recovery --------------------------------------------------------------
+
+    def replay(self) -> int:
+        with self._lock:
+            if self._replayed:
+                return 0
+            self._replayed = True
+            span = (
+                self.tracer.start("storage.replay", backend=self.backend_name)
+                if self.tracer is not None
+                else None
+            )
+            snapshot_entries = 0
+            try:
+                data = json.loads(self._snapshot_path.read_text())
+            except FileNotFoundError:
+                data = None
+            except (ValueError, OSError) as exc:
+                raise StorageError(
+                    f"corrupt snapshot {self._snapshot_path}: {exc}"
+                ) from exc
+            if data is not None:
+                for record in data.get("entries", ()):
+                    entry = entry_from_record(record)
+                    self.entries[entry.dn] = entry
+                    self._link(entry.dn)
+                snapshot_entries = len(data.get("entries", ()))
+            try:
+                raw = self._wal_path.read_bytes()
+            except FileNotFoundError:
+                raw = b""
+            ops, _clean = _scan_records(raw)
+            for op in ops:
+                self._apply_memory(op)
+            self._ops_since_snapshot = len(ops)
+            if self._replay_ops is not None:
+                self._replay_ops.inc(len(ops))
+            if span is not None:
+                span.tag("ops", len(ops)).tag(
+                    "snapshot_entries", snapshot_entries
+                ).finish()
+            return len(ops)
+
+    # -- checkpoint + compaction -----------------------------------------------
+
+    def snapshot(self) -> int:
+        with self._lock:
+            span = (
+                self.tracer.start("storage.snapshot", backend=self.backend_name)
+                if self.tracer is not None
+                else None
+            )
+            started = time.monotonic()
+            records = [
+                entry_to_record(self.entries[dn])
+                for dn in sorted(self.entries, key=lambda d: d.sort_key)
+            ]
+            tmp = self._snapshot_path.with_suffix(".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"entries": records}, fh, separators=(",", ":"))
+                fh.flush()
+                if self.fsync != "never":
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self._snapshot_path)
+            if self.fsync != "never":
+                self._fsync_dir()
+            # The snapshot is durable; the log up to here is redundant.
+            # (A crash before this truncate replays the old log over the
+            # snapshot — idempotent post-images make that a no-op.)
+            self._fh.close()
+            self._fh = open(self._wal_path, "wb")
+            if self.fsync != "never":
+                os.fsync(self._fh.fileno())
+            self._unsynced = 0
+            self._ops_since_snapshot = 0
+            if self._snapshot_seconds is not None:
+                self._snapshot_seconds.observe(time.monotonic() - started)
+            if span is not None:
+                span.tag("entries", len(records)).finish()
+            return len(records)
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fsync
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.flush()
+            if self.fsync != "never":
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def wal_size(self) -> int:
+        """Bytes currently in the live WAL file."""
+        try:
+            return self._wal_path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    @property
+    def ops_since_snapshot(self) -> int:
+        return self._ops_since_snapshot

@@ -17,9 +17,10 @@ import threading
 from typing import Optional, Sequence
 
 from ..giis.hierarchy import LdapGrrpSender, make_registrant
-from ..gris.config import ConfigError, build_gris, load_config
+from ..gris.config import ConfigError, build_giis, build_gris, load_config
 from ..ldap.executor import RequestExecutor
 from ..ldap.server import LdapServer
+from ..ldap.storage import BACKENDS, StorageSpec
 from ..ldap.url import LdapUrl
 from ..net import TRANSPORTS, make_endpoint
 from ..net.clock import WallClock
@@ -106,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
         "merge scan (overrides the config file's 'indexes' list)",
     )
     parser.add_argument(
+        "--storage",
+        choices=BACKENDS,
+        default=None,
+        help="durability backend for registrations and the materialized "
+        "view: 'memory' loses state on exit, 'wal' appends to a "
+        "write-ahead log with periodic snapshots, 'sqlite' mirrors "
+        "into a single-file database (overrides the config file's "
+        "'storage' object; 'wal' and 'sqlite' need --data-dir or a "
+        "configured path)",
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="data directory for durable storage; restarting over the "
+        "same directory replays the persisted state so the server "
+        "comes up warm (implies --storage wal unless set otherwise)",
+    )
+    parser.add_argument(
         "--trace-log",
         default=None,
         metavar="PATH",
@@ -149,7 +169,9 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
                  trace_sample_rate: Optional[float] = None,
                  slow_query_ms: Optional[float] = None,
                  server_id: Optional[str] = None,
-                 transport: str = "reactor"):
+                 transport: str = "reactor",
+                 storage: Optional[str] = None,
+                 data_dir: Optional[str] = None):
     """Start everything; returns (endpoint, bound_port, registrants, server).
 
     With ``monitor=True`` one shared :class:`MetricsRegistry` is threaded
@@ -167,6 +189,14 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
         config.index_attrs = [
             a.strip() for a in index_attrs.split(",") if a.strip()
         ]
+    if storage is not None:
+        base = config.storage or StorageSpec()
+        config.storage = StorageSpec(
+            backend=storage,
+            path=base.path,
+            fsync=base.fsync,
+            snapshot_every=base.snapshot_every,
+        )
     metrics = MetricsRegistry() if monitor else None
 
     tracing = config.tracing
@@ -193,15 +223,26 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
         if trace_log:
             tracer.add_sink(JsonlSink(trace_log))
 
-    gris = build_gris(
-        config, clock=clock, metrics=metrics,
-        provider_workers=provider_workers,
-        stale_while_revalidate=stale_while_revalidate,
-    )
-    backend = gris
+    # The endpoint exists before the backend: a GIIS-mode server dials
+    # its registered children through this same transport.
+    endpoint = make_endpoint(transport, host, metrics=metrics)
+    if config.giis is not None:
+        core = build_giis(
+            config, clock=clock, metrics=metrics,
+            connector=lambda url: endpoint.connect(url.address),
+            data_dir=data_dir, tracer=tracer,
+        )
+    else:
+        core = build_gris(
+            config, clock=clock, metrics=metrics,
+            provider_workers=provider_workers,
+            stale_while_revalidate=stale_while_revalidate,
+            data_dir=data_dir, tracer=tracer,
+        )
+    backend = core
     if monitor:
         backend = MonitoredBackend(
-            gris,
+            core,
             MonitorBackend(
                 metrics, server_name="grid-info-server", slow_log=slow_log
             ),
@@ -217,7 +258,6 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
         backend, clock=clock, name="grid-info-server", metrics=metrics,
         tracer=tracer, executor=executor, default_time_limit=default_time_limit,
     )
-    endpoint = make_endpoint(transport, host, metrics=metrics)
     bound = endpoint.listen(port, server.handle_connection)
     if tracer is not None and not tracer.server_id:
         # The default server id is the listen address, known only now.
@@ -259,6 +299,8 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
             slow_query_ms=args.slow_query_ms,
             server_id=args.server_id,
             transport=args.transport,
+            storage=args.storage,
+            data_dir=args.data_dir,
         )
     except ConfigError as exc:
         print(f"grid-info-server: {exc}", file=sys.stderr)
@@ -268,6 +310,17 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
     indexed = getattr(gris_backend, "index_attrs", ())
     if indexed:
         print(f"grid-info-server: indexing attributes {', '.join(indexed)}")
+    engine = getattr(gris_backend, "storage", None)
+    view = getattr(gris_backend, "_view", None)
+    if engine is None and view is not None:
+        engine = view.storage
+    if engine is not None and engine.backend_name != "memory":
+        print(f"grid-info-server: durable storage ({engine.backend_name})")
+        recovered = getattr(gris_backend, "replayed_registrations", 0) or getattr(
+            gris_backend, "recovered_view_providers", 0
+        )
+        if recovered:
+            print(f"grid-info-server: recovered {recovered} persisted record(s)")
     if args.monitor:
         print("grid-info-server: serving live metrics under cn=monitor")
     if args.trace_log:
