@@ -1,0 +1,452 @@
+"""MDS2-style load generator for GRIS/GIIS servers.
+
+The MDS performance studies (Zhang, Freschl & Schopf; PAPERS.md) drove
+directory servers with fleets of concurrent users issuing mixed search
+workloads.  This module is the reusable core of that harness:
+
+* :class:`Workload` — a named, seeded mix of filters and scopes over a
+  search base; draws are deterministic per seed so baseline and
+  optimized runs see the *same* request sequence;
+* :func:`closed_loop` — N virtual users, each with its own connection,
+  each keeping exactly one request in flight (think-time zero): the
+  classic saturation workload.  Offered load adapts to service rate;
+* :func:`open_loop` — a paced arrival process at a configured rate over
+  a fixed connection pool: offered load is independent of service rate,
+  so queueing delay shows up in the tail percentiles instead of being
+  absorbed by backpressure;
+* :class:`LoadStats` — completed/error counts plus client-observed
+  latency percentiles (p50/p95/p99) and throughput;
+* :func:`build_vo` — the measured topology: M GRIS (one DIT each)
+  behind a GIIS front end chaining over pooled reactor connections,
+  mirroring Figure 5's hierarchy.
+
+Everything runs over real loopback sockets on the selector-reactor
+transport; the client side keeps all virtual users on one event-loop
+thread, so user counts in the hundreds cost file descriptors rather
+than OS threads.
+"""
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.giis.core import GiisBackend
+from repro.grip.messages import GrrpMessage
+from repro.ldap.backend import DitBackend
+from repro.ldap.client import LdapClient
+from repro.ldap.dit import DIT, Scope
+from repro.ldap.entry import Entry
+from repro.ldap.executor import RequestExecutor
+from repro.ldap.filter import parse as parse_filter
+from repro.ldap.protocol import SearchRequest
+from repro.ldap.server import LdapServer
+from repro.net import make_endpoint
+from repro.net.clock import WallClock
+
+__all__ = [
+    "Workload",
+    "LoadStats",
+    "closed_loop",
+    "open_loop",
+    "build_vo",
+    "VoTestbed",
+    "populate_gris",
+]
+
+
+# ---------------------------------------------------------------------------
+# Workload definition
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A weighted request mix.  ``filters``/``scopes`` are (choice,
+    weight) pairs; filters are LDAP filter strings, scopes are
+    :class:`Scope` values.  The draw sequence is fixed by ``seed``."""
+
+    name: str
+    base: str = "o=Grid"
+    filters: Tuple[Tuple[str, float], ...] = (("(objectclass=*)", 1.0),)
+    scopes: Tuple[Tuple[int, float], ...] = ((Scope.SUBTREE, 1.0),)
+    attrs: Tuple[str, ...] = ()
+    seed: int = 2135  # the MDS port number; any fixed value works
+
+    def request_source(self) -> Callable[[], SearchRequest]:
+        """A zero-arg factory yielding the deterministic request mix.
+
+        Not thread-safe: give each generator loop its own source.
+        """
+        rng = random.Random(self.seed)
+        fchoices = [parse_filter(f) for f, _ in self.filters]
+        fweights = [w for _, w in self.filters]
+        schoices = [s for s, _ in self.scopes]
+        sweights = [w for _, w in self.scopes]
+
+        def next_request() -> SearchRequest:
+            filt = rng.choices(fchoices, fweights)[0]
+            scope = rng.choices(schoices, sweights)[0]
+            return SearchRequest(
+                base=self.base,
+                scope=scope,
+                filter=filt,
+                attributes=self.attrs,
+            )
+
+        return next_request
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "base": self.base,
+            "filters": [[f, w] for f, w in self.filters],
+            "scopes": [[int(s), w] for s, w in self.scopes],
+            "attrs": list(self.attrs),
+            "seed": self.seed,
+        }
+
+    def reseeded(self, seed: int) -> "Workload":
+        """The same mix with a different draw sequence (per-user stagger)."""
+        return Workload(
+            name=self.name,
+            base=self.base,
+            filters=self.filters,
+            scopes=self.scopes,
+            attrs=self.attrs,
+            seed=seed,
+        )
+
+
+@dataclass
+class LoadStats:
+    """Client-observed outcome of one load run."""
+
+    mode: str
+    users: int
+    completed: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    offered_rps: Optional[float] = None  # open loop only
+
+    def percentiles(self) -> Dict[str, float]:
+        if not self.latencies:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        s = sorted(self.latencies)
+
+        def q(p: float) -> float:
+            return round(s[min(len(s) - 1, int(p * len(s)))] * 1000, 3)
+
+        return {"p50_ms": q(0.50), "p95_ms": q(0.95), "p99_ms": q(0.99)}
+
+    @property
+    def throughput_rps(self) -> float:
+        if not self.duration_s:
+            return 0.0
+        return round(self.completed / self.duration_s, 1)
+
+    def summary(self) -> Dict[str, object]:
+        out = {
+            "mode": self.mode,
+            "users": self.users,
+            "completed": self.completed,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 3),
+            "throughput_rps": self.throughput_rps,
+            "percentiles": self.percentiles(),
+        }
+        if self.offered_rps is not None:
+            out["offered_rps"] = self.offered_rps
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Closed loop: N users, one request in flight each
+# ---------------------------------------------------------------------------
+
+
+class _VirtualUser:
+    """One connection re-issuing the next request as each completes.
+
+    The completion callback runs on the client reactor thread; issuing
+    the next request from it keeps exactly one request in flight per
+    user with zero think time.
+    """
+
+    __slots__ = ("client", "source", "remaining", "latencies",
+                 "errors", "_t0", "_harness")
+
+    def __init__(self, client, source, requests, harness):
+        self.client = client
+        self.source = source
+        self.remaining = requests
+        self.latencies: List[float] = []
+        self.errors = 0
+        self._t0 = 0.0
+        self._harness = harness
+
+    def start(self) -> None:
+        self._fire()
+
+    def _fire(self) -> None:
+        self._t0 = time.perf_counter()
+        try:
+            self.client.search_async(self.source(), self._on_done)
+        except Exception:  # noqa: BLE001 - a dead user stops looping
+            self.errors += 1
+            self._harness.user_finished()
+
+    def _on_done(self, result, error) -> None:
+        self.latencies.append(time.perf_counter() - self._t0)
+        if error is not None or not result.result.ok:
+            self.errors += 1
+        self.remaining -= 1
+        if self.remaining > 0:
+            self._fire()
+        else:
+            self._harness.user_finished()
+
+
+class _Harness:
+    def __init__(self, users: int):
+        self._active = users
+        self._lock = threading.Lock()
+        self.done = threading.Event()
+
+    def user_finished(self) -> None:
+        with self._lock:
+            self._active -= 1
+            if self._active <= 0:
+                self.done.set()
+
+
+def closed_loop(
+    connect: Callable[[], object],
+    workload: Workload,
+    users: int,
+    requests_per_user: int,
+    timeout_s: float = 300.0,
+) -> LoadStats:
+    """Saturation load: ``users`` connections, one request in flight
+    each, ``requests_per_user`` requests per connection."""
+    harness = _Harness(users)
+    vusers = []
+    for i in range(users):
+        # stagger seeds so users do not issue identical request streams
+        wl = workload.reseeded(workload.seed + i)
+        vusers.append(
+            _VirtualUser(
+                LdapClient(connect()), wl.request_source(),
+                requests_per_user, harness,
+            )
+        )
+    started = time.perf_counter()
+    for u in vusers:
+        u.start()
+    finished = harness.done.wait(timeout=timeout_s)
+    duration = time.perf_counter() - started
+
+    stats = LoadStats(mode="closed", users=users, duration_s=duration)
+    for u in vusers:
+        stats.latencies.extend(u.latencies)
+        stats.errors += u.errors
+        try:
+            u.client.unbind()
+        except Exception:  # noqa: BLE001 - teardown best-effort
+            pass
+    stats.completed = len(stats.latencies)
+    if not finished:
+        stats.errors += 1  # record the timeout itself
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Open loop: paced arrivals over a fixed connection pool
+# ---------------------------------------------------------------------------
+
+
+def open_loop(
+    connect: Callable[[], object],
+    workload: Workload,
+    rate_rps: float,
+    duration_s: float,
+    connections: int = 32,
+    drain_timeout_s: float = 60.0,
+) -> LoadStats:
+    """Arrivals at ``rate_rps`` regardless of completions: offered load
+    is independent of service rate, so saturation appears as tail
+    latency growth rather than throughput clamping."""
+    clients = [LdapClient(connect()) for _ in range(connections)]
+    source = workload.request_source()
+    lock = threading.Lock()
+    latencies: List[float] = []
+    errors = [0]
+    inflight = [0]
+    drained = threading.Event()
+
+    def on_done_at(t0: float):
+        def on_done(result, error):
+            with lock:
+                latencies.append(time.perf_counter() - t0)
+                if error is not None or not result.result.ok:
+                    errors[0] += 1
+                inflight[0] -= 1
+                if inflight[0] == 0 and stopped[0]:
+                    drained.set()
+
+        return on_done
+
+    stopped = [False]
+    interval = 1.0 / rate_rps
+    started = time.perf_counter()
+    deadline = started + duration_s
+    i = 0
+    while True:
+        now = time.perf_counter()
+        if now >= deadline:
+            break
+        target = started + i * interval
+        if target > now:
+            time.sleep(min(target - now, deadline - now))
+            continue
+        client = clients[i % connections]
+        with lock:
+            inflight[0] += 1
+        try:
+            client.search_async(source(), on_done_at(time.perf_counter()))
+        except Exception:  # noqa: BLE001 - a failed send is an error
+            with lock:
+                errors[0] += 1
+                inflight[0] -= 1
+        i += 1
+    with lock:
+        stopped[0] = True
+        if inflight[0] == 0:
+            drained.set()
+    drained.wait(timeout=drain_timeout_s)
+    duration = time.perf_counter() - started
+
+    stats = LoadStats(
+        mode="open",
+        users=connections,
+        duration_s=duration,
+        offered_rps=round(rate_rps, 1),
+    )
+    with lock:
+        stats.latencies = list(latencies)
+        stats.errors = errors[0]
+    stats.completed = len(stats.latencies)
+    for c in clients:
+        try:
+            c.unbind()
+        except Exception:  # noqa: BLE001 - teardown best-effort
+            pass
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Topology: M GRIS behind a GIIS, and the standalone-GRIS data model
+# ---------------------------------------------------------------------------
+
+
+def populate_gris(dit: DIT, n_hosts: int, children_per_host: int = 20) -> int:
+    """The MDS2-shaped dataset: hosts under ``o=Grid``, each with
+    per-device/per-queue children that repeat the host's ``hn`` so an
+    indexed equality search returns the whole host group."""
+    dit.add(Entry("o=Grid", objectclass="organization", o="Grid"))
+    total = 1
+    for h in range(n_hosts):
+        hn = f"host{h}"
+        dit.add(
+            Entry(
+                f"hn={hn}, o=Grid",
+                objectclass="computer",
+                hn=hn,
+                system="linux",
+                cpucount=str(4 + h % 4),
+                load5=str((h % 50) / 10.0),
+            )
+        )
+        total += 1
+        for c in range(children_per_host):
+            dit.add(
+                Entry(
+                    f"dev=d{c}, hn={hn}, o=Grid",
+                    objectclass="device",
+                    dev=f"d{c}",
+                    hn=hn,
+                    status="up" if c % 7 else "down",
+                )
+            )
+            total += 1
+    return total
+
+
+class VoTestbed:
+    """M GRIS (one DIT each) behind one GIIS, all on the reactor."""
+
+    def __init__(self, giis_port: int, gris_ports: List[int], closers):
+        self.giis_port = giis_port
+        self.gris_ports = gris_ports
+        self._closers = closers
+
+    def close(self) -> None:
+        for close in reversed(self._closers):
+            try:
+                close()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+
+def build_vo(
+    n_gris: int,
+    hosts_per_gris: int,
+    children_per_host: int = 20,
+    transport: str = "reactor",
+    workers: int = 4,
+    encode_cache: bool = True,
+) -> VoTestbed:
+    closers = []
+    clock = WallClock()
+    gris_ports = []
+    for g in range(n_gris):
+        dit = DIT(index_attrs=["hn"])
+        populate_gris(dit, hosts_per_gris, children_per_host)
+        executor = RequestExecutor(workers=workers, queue_limit=4096)
+        server = LdapServer(
+            DitBackend(dit), executor=executor, encode_cache=encode_cache
+        )
+        endpoint = make_endpoint(transport)
+        port = endpoint.listen(0, server.handle_connection)
+        closers.append(executor.shutdown)
+        closers.append(endpoint.close)
+        gris_ports.append(port)
+
+    chain_endpoint = make_endpoint(transport)
+    closers.append(chain_endpoint.close)
+    giis = GiisBackend(
+        "o=Grid",
+        clock=clock,
+        connector=lambda url: chain_endpoint.connect((url.host, url.port)),
+        child_timeout=30.0,
+    )
+    closers.append(giis.shutdown)
+    now = clock.now()
+    for port in gris_ports:
+        giis.apply_grrp(
+            GrrpMessage(
+                service_url=f"ldap://127.0.0.1:{port}/",
+                timestamp=now,
+                valid_until=now + 3600.0,
+                metadata={"suffix": "o=Grid"},
+            )
+        )
+    front_executor = RequestExecutor(workers=workers, queue_limit=4096)
+    front = make_endpoint(transport)
+    server = LdapServer(giis, clock=clock, executor=front_executor)
+    giis_port = front.listen(0, server.handle_connection)
+    closers.append(front_executor.shutdown)
+    closers.append(front.close)
+    return VoTestbed(giis_port, gris_ports, closers)

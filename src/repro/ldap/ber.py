@@ -12,6 +12,15 @@ lengths on the encoding side:
 
 The decoder is strict: truncated or trailing bytes raise :class:`BerError`
 so malformed network input never silently mis-parses.
+
+Decoding is **zero-copy**: :class:`TlvReader` walks a single
+:class:`memoryview` over the received frame, and every nested
+constructed value is a sub-view of the same buffer — no intermediate
+``bytes`` slices per TLV.  Payload bytes are materialized only at the
+leaves that escape the decoder (``read_octet_string`` returns ``bytes``,
+``read_string`` returns ``str``); the raw :meth:`TlvReader.read` and
+:func:`decode_tlv` return views into the frame, so callers that let a
+value outlive the decode must copy it explicitly.
 """
 
 from __future__ import annotations
@@ -140,11 +149,16 @@ def encode_tlv(tag: Tag | int, value: bytes) -> bytes:
     return bytes([octet]) + _encode_length(len(value)) + value
 
 
-def decode_tlv(data: bytes, offset: int = 0) -> Tuple[Tag, bytes, int]:
+def decode_tlv(
+    data: "bytes | memoryview", offset: int = 0
+) -> Tuple[Tag, "bytes | memoryview", int]:
     """Decode one TLV record starting at *offset*.
 
     Returns ``(tag, value, next_offset)``.  Raises :class:`BerError` if the
     record is truncated or uses an indefinite length.
+
+    The value is a slice of *data* — ``bytes`` for ``bytes`` input, a
+    zero-copy :class:`memoryview` for ``memoryview`` input.
     """
     if offset >= len(data):
         raise BerError("empty input where TLV expected")
@@ -249,7 +263,7 @@ def encode_set(parts: List[bytes] | bytes, tag: Tag | int = TAG_SET) -> bytes:
 
 
 class TlvReader:
-    """Sequential reader over the contents of a constructed value.
+    """Sequential zero-copy reader over the contents of a constructed value.
 
     Protocol decoders use this to walk SEQUENCE bodies::
 
@@ -257,16 +271,26 @@ class TlvReader:
         version = r.read_integer()
         name = r.read_octet_string()
         r.expect_end()
+
+    The reader holds one :class:`memoryview` over the input; nested
+    readers (:meth:`read_sequence`, :meth:`read_set`) and the raw
+    :meth:`read`/:meth:`remaining` surface are sub-views of that same
+    buffer.  Only the leaf accessors materialize: ``read_octet_string``
+    returns ``bytes`` and ``read_string`` returns ``str``, so decoded
+    values that escape the decoder never alias network buffers.
     """
 
-    def __init__(self, data: bytes):
-        self._data = data
+    __slots__ = ("_data", "_offset")
+
+    def __init__(self, data: "bytes | bytearray | memoryview"):
+        self._data = data if type(data) is memoryview else memoryview(data)
         self._offset = 0
 
     def at_end(self) -> bool:
         return self._offset >= len(self._data)
 
-    def remaining(self) -> bytes:
+    def remaining(self) -> memoryview:
+        """The unread tail as a zero-copy view (copy it if it escapes)."""
         return self._data[self._offset :]
 
     def peek_tag(self) -> Tag:
@@ -274,11 +298,11 @@ class TlvReader:
             raise BerError("peek past end of TLV stream")
         return Tag.from_octet(self._data[self._offset])
 
-    def read(self) -> Tuple[Tag, bytes]:
+    def read(self) -> Tuple[Tag, memoryview]:
         tag, value, self._offset = decode_tlv(self._data, self._offset)
         return tag, value
 
-    def read_expect(self, expected: Tag | int) -> bytes:
+    def read_expect(self, expected: Tag | int) -> memoryview:
         tag, value = self.read()
         want = expected.octet if isinstance(expected, Tag) else expected
         if tag.octet != want:
@@ -295,10 +319,10 @@ class TlvReader:
         return decode_boolean(self.read_expect(TAG_BOOLEAN))
 
     def read_octet_string(self) -> bytes:
-        return self.read_expect(TAG_OCTET_STRING)
+        return bytes(self.read_expect(TAG_OCTET_STRING))
 
     def read_string(self) -> str:
-        return self.read_octet_string().decode("utf-8")
+        return str(self.read_expect(TAG_OCTET_STRING), "utf-8")
 
     def read_sequence(self) -> "TlvReader":
         return TlvReader(self.read_expect(TAG_SEQUENCE))

@@ -43,7 +43,7 @@ from typing import TYPE_CHECKING
 
 from .attributes import normalize_attr_name
 from .dn import DN
-from .entry import Entry
+from .entry import Entry, WireCache
 from .filter import Filter
 from .index import AttributeIndex
 from .plan import candidates_for
@@ -165,6 +165,10 @@ class DIT:
         # DIT's lifetime.
         self._entries: Dict[DN, Entry] = self.storage.entries
         self._children: Dict[DN, Set[DN]] = self.storage.children
+        # Replay bypasses _apply, so recovered entries need their
+        # encode-cache cells attached here or they would never cache.
+        for recovered in self._entries.values():
+            recovered._wire = WireCache()
         self._name = name
         if metrics is None:
             # Imported lazily: repro.obs pulls in the monitor backend,
@@ -237,6 +241,10 @@ class DIT:
             if op.dn in self._entries:
                 self._index.discard(op.dn)
             stored = self.storage.apply(op)
+            # Every post-image gets a fresh (empty) encode-cache cell:
+            # copies served to clients share it, and replacing the cell
+            # on the next PUT is what invalidates the cached encoding.
+            stored._wire = WireCache()
             self._index.add(op.dn, stored.get)
             return stored
         if op.kind == ChangeKind.DELETE:

@@ -16,11 +16,19 @@ never needs more than one AVA per RDN.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import total_ordering
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
-__all__ = ["DNError", "RDN", "DN"]
+__all__ = [
+    "DNError",
+    "RDN",
+    "DN",
+    "configure_intern_cache",
+    "intern_cache_stats",
+]
 
 
 class DNError(ValueError):
@@ -85,7 +93,7 @@ def _unescape(value: str) -> str:
             out.append(nxt)
             i += 2
             continue
-        if i + 2 < len(value) + 1 and _is_hex(value[i + 1 : i + 3]):
+        if i + 2 <= len(value) and _is_hex(value[i + 1 : i + 3]):
             out.append(chr(int(value[i + 1 : i + 3], 16)))
             i += 3
             continue
@@ -95,6 +103,60 @@ def _unescape(value: str) -> str:
 
 def _is_hex(s: str) -> bool:
     return len(s) == 2 and all(c in "0123456789abcdefABCDEF" for c in s)
+
+
+def _parse_rdn_fast(text: str) -> "RDN":
+    """Parse one RDN known to contain no ``\\`` escapes.
+
+    ``str.split``/``str.partition`` replace the char-by-char escape
+    state machine; behavior (including errors) matches the slow path
+    for every escape-free input.
+    """
+    avas: List[Tuple[str, str]] = []
+    for comp in text.split("+"):
+        attr, eq, value = comp.partition("=")
+        if not eq or "=" in value:
+            raise DNError(f"RDN component {comp!r} must be attr=value")
+        attr = attr.strip()
+        if not attr:
+            raise DNError(f"missing attribute type in {comp!r}")
+        avas.append((attr, value.strip()))
+    return RDN(tuple(avas))
+
+
+# --------------------------------------------------------------------------
+# DN.parse intern cache
+# --------------------------------------------------------------------------
+#
+# GRIS/GIIS re-parse the same handful of DN strings — search bases, entry
+# DNs in write requests, suffixes in registrations — once per request.
+# Parsed DNs are immutable and memoize their normalization and hash, so a
+# bounded LRU keyed on the *raw* string can hand every request the same
+# shared object: a hit skips parsing, normalization, and hashing at once.
+
+_INTERN_LOCK = threading.Lock()
+_INTERN_CAPACITY = 4096
+_INTERN: "OrderedDict[str, DN]" = OrderedDict()
+_INTERN_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def configure_intern_cache(capacity: int) -> None:
+    """Resize the :meth:`DN.parse` intern cache (0 disables it)."""
+    global _INTERN_CAPACITY
+    with _INTERN_LOCK:
+        _INTERN_CAPACITY = max(0, int(capacity))
+        while len(_INTERN) > _INTERN_CAPACITY:
+            _INTERN.popitem(last=False)
+
+
+def intern_cache_stats() -> Dict[str, int]:
+    """Point-in-time cache counters: size, capacity, hits, misses, evictions."""
+    with _INTERN_LOCK:
+        return {
+            "size": len(_INTERN),
+            "capacity": _INTERN_CAPACITY,
+            **_INTERN_STATS,
+        }
 
 
 @total_ordering
@@ -117,6 +179,8 @@ class RDN:
 
     @classmethod
     def parse(cls, text: str) -> "RDN":
+        if "\\" not in text:
+            return _parse_rdn_fast(text)
         avas: List[Tuple[str, str]] = []
         for piece, _sep in _split_unescaped(text, "+"):
             parts = list(_split_unescaped(piece, "="))
@@ -186,10 +250,41 @@ class DN:
 
     @classmethod
     def parse(cls, text: str) -> "DN":
+        if cls is DN and _INTERN_CAPACITY:
+            with _INTERN_LOCK:
+                dn = _INTERN.get(text)
+                if dn is not None:
+                    _INTERN.move_to_end(text)
+                    _INTERN_STATS["hits"] += 1
+                    return dn
+                _INTERN_STATS["misses"] += 1
+        dn = cls._parse(text)
+        if cls is DN and _INTERN_CAPACITY:
+            # Warm the memos outside the lock so every future hit shares
+            # the normalization and hash, not just the parse.
+            dn.normalized()
+            hash(dn)
+            with _INTERN_LOCK:
+                _INTERN[text] = dn
+                _INTERN.move_to_end(text)
+                if len(_INTERN) > _INTERN_CAPACITY:
+                    _INTERN.popitem(last=False)
+                    _INTERN_STATS["evictions"] += 1
+        return dn
+
+    @classmethod
+    def _parse(cls, text: str) -> "DN":
         text = text.strip()
         if not text:
             return cls.root()
         rdns = []
+        if "\\" not in text:
+            for piece in text.replace(";", ",").split(","):
+                piece = piece.strip()
+                if not piece:
+                    raise DNError(f"empty RDN in {text!r}")
+                rdns.append(_parse_rdn_fast(piece))
+            return cls(tuple(rdns))
         for piece, _sep in _split_unescaped(text, ",;"):
             piece = piece.strip()
             if not piece:

@@ -13,10 +13,29 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 from .attributes import AttributeValues, normalize_attr_name
 from .dn import DN
 
-__all__ = ["Entry"]
+__all__ = ["Entry", "WireCache"]
 
 # Attribute conventionally holding the entry's object classes.
 OBJECTCLASS = "objectclass"
+
+
+class WireCache:
+    """A shared cell caching one entry's encoded SearchResultEntry body.
+
+    The DIT attaches a *fresh* cell to every stored post-image (the
+    :class:`~repro.ldap.storage.ChangeOp` choke point), and entry copies
+    share their source's cell — so every search result copied from the
+    same unchanged stored entry resolves to the same cell, and the
+    server encodes that entry once instead of once per client.
+    Invalidation is by replacement: a new post-image gets a new empty
+    cell, and local mutation of a copy drops the copy's reference, so a
+    stale body can never be observed through a live entry.
+    """
+
+    __slots__ = ("body",)
+
+    def __init__(self) -> None:
+        self.body: Optional[bytes] = None
 
 
 class Entry:
@@ -29,7 +48,7 @@ class Entry:
         Entry("hn=hostX", objectclass="computer", system="mips irix")
     """
 
-    __slots__ = ("dn", "_attrs")
+    __slots__ = ("dn", "_attrs", "_wire")
 
     def __init__(
         self,
@@ -39,15 +58,23 @@ class Entry:
     ):
         self.dn = DN.of(dn)
         self._attrs: Dict[str, AttributeValues] = {}
+        # Encode-cache cell, attached by the DIT when this object is a
+        # stored post-image and propagated to full copies; None means
+        # "not served from a cacheable store" and is always safe.
+        self._wire: Optional[WireCache] = None
         merged: Dict[str, object] = dict(attrs or {})
         merged.update(kwattrs)
         for name, values in merged.items():
             self.put(name, values)
 
     # -- mutation ----------------------------------------------------------
+    #
+    # Every mutator drops this entry's wire-cache reference (not the
+    # shared cell: other unmutated copies may still serve from it).
 
     def put(self, attr: str, values: object) -> None:
         """Replace *attr* with *values* (str, number, or iterable)."""
+        self._wire = None
         key = normalize_attr_name(attr)
         av = AttributeValues(attr)
         for v in _as_values(values):
@@ -58,12 +85,14 @@ class Entry:
             self._attrs.pop(key, None)
 
     def add_value(self, attr: str, value: object) -> bool:
+        self._wire = None
         key = normalize_attr_name(attr)
         if key not in self._attrs:
             self._attrs[key] = AttributeValues(attr)
         return self._attrs[key].add(str(value))
 
     def remove_value(self, attr: str, value: object) -> bool:
+        self._wire = None
         key = normalize_attr_name(attr)
         av = self._attrs.get(key)
         if av is None:
@@ -74,6 +103,7 @@ class Entry:
         return removed
 
     def remove_attr(self, attr: str) -> bool:
+        self._wire = None
         return self._attrs.pop(normalize_attr_name(attr), None) is not None
 
     # -- access ------------------------------------------------------------
@@ -128,11 +158,14 @@ class Entry:
     def copy(self) -> "Entry":
         out = Entry(self.dn)
         out._attrs = {k: av.copy() for k, av in self._attrs.items()}
+        # A full copy is wire-equivalent to its source: share the cell.
+        out._wire = self._wire
         return out
 
     def with_dn(self, dn: DN | str) -> "Entry":
         out = self.copy()
         out.dn = DN.of(dn)
+        out._wire = None  # renamed: the cached body carries the old DN
         return out
 
     def stamp(self, now: Optional[float] = None, ttl: Optional[float] = None) -> "Entry":

@@ -64,6 +64,8 @@ __all__ = [
     "ExtendedResponse",
     "LdapMessage",
     "encode_message",
+    "encode_message_with_op",
+    "encode_search_entry",
     "decode_message",
     "encode_filter",
     "decode_filter",
@@ -493,7 +495,7 @@ def decode_filter(reader: TlvReader) -> Filter:
     if n == _F_APPROX:
         return Approx(*_decode_ava(body))
     if n == _F_PRESENT:
-        return Presence(body.decode("utf-8"))
+        return Presence(str(body, "utf-8"))
     if n == _F_SUB:
         r = TlvReader(body)
         attr = r.read_string()
@@ -504,7 +506,7 @@ def decode_filter(reader: TlvReader) -> Filter:
         final: Optional[str] = None
         while not comps.at_end():
             t, v = comps.read()
-            text = v.decode("utf-8")
+            text = str(v, "utf-8")
             if t.number == _SUB_INITIAL:
                 initial = text
             elif t.number == _SUB_ANY:
@@ -665,7 +667,7 @@ def _encode_op(op: ProtocolOp) -> bytes:
     raise ProtocolError(f"cannot encode op {type(op).__name__}")
 
 
-def _decode_op(tag: Tag, body: bytes) -> ProtocolOp:
+def _decode_op(tag: Tag, body: "bytes | memoryview") -> ProtocolOp:
     if tag.tag_class != ber.TagClass.APPLICATION:
         raise ProtocolError(f"protocol op must be APPLICATION-tagged, got {tag}")
     n = tag.number
@@ -675,7 +677,7 @@ def _decode_op(tag: Tag, body: bytes) -> ProtocolOp:
         name = r.read_string()
         auth_tag, auth_body = r.read()
         if auth_tag.number == 0:
-            return BindRequest(version, name, "simple", auth_body)
+            return BindRequest(version, name, "simple", bytes(auth_body))
         if auth_tag.number == 3:
             sasl = TlvReader(auth_body)
             mech = sasl.read_string()
@@ -688,7 +690,7 @@ def _decode_op(tag: Tag, body: bytes) -> ProtocolOp:
         if not r.at_end():
             t, v = r.read()
             if t.number == 7:
-                creds = v
+                creds = bytes(v)
         return BindResponse(result, creds)
     if n == UnbindRequest.APP_TAG:
         return UnbindRequest()
@@ -742,7 +744,7 @@ def _decode_op(tag: Tag, body: bytes) -> ProtocolOp:
     if n == AddResponse.APP_TAG:
         return AddResponse(_decode_result(r))
     if n == DeleteRequest.APP_TAG:
-        return DeleteRequest(body.decode("utf-8"))
+        return DeleteRequest(str(body, "utf-8"))
     if n == DeleteResponse.APP_TAG:
         return DeleteResponse(_decode_result(r))
     if n == AbandonRequest.APP_TAG:
@@ -752,9 +754,9 @@ def _decode_op(tag: Tag, body: bytes) -> ProtocolOp:
         while not r.at_end():
             t, v = r.read()
             if t.number == 0:
-                oid = v.decode("utf-8")
+                oid = str(v, "utf-8")
             elif t.number == 1:
-                value = v
+                value = bytes(v)
         return ExtendedRequest(oid, value)
     if n == ExtendedResponse.APP_TAG:
         result = _decode_result(r)
@@ -762,9 +764,9 @@ def _decode_op(tag: Tag, body: bytes) -> ProtocolOp:
         while not r.at_end():
             t, v = r.read()
             if t.number == 10:
-                oid = v.decode("utf-8")
+                oid = str(v, "utf-8")
             elif t.number == 11:
-                value = v
+                value = bytes(v)
         return ExtendedResponse(result, oid, value)
     raise ProtocolError(f"unsupported protocol op [APPLICATION {n}]")
 
@@ -788,8 +790,29 @@ def encode_message(message: LdapMessage) -> bytes:
     return ber.encode_sequence(body)
 
 
-def decode_message(data: bytes) -> LdapMessage:
+def encode_search_entry(entry: "Entry") -> bytes:
+    """Encode one DIT entry as a SearchResultEntry protocol-op TLV.
+
+    This is the cacheable unit for the server's entry-encode cache: the
+    op bytes do not depend on the message id, so a cached body can be
+    composed with any message header via :func:`encode_message_with_op`.
+    """
+    return _encode_op(SearchResultEntry.from_entry(entry))
+
+
+def encode_message_with_op(message_id: int, op_bytes: bytes) -> bytes:
+    """Wrap pre-encoded protocol-op bytes in an LDAPMessage envelope.
+
+    Byte-identical to ``encode_message(LdapMessage(message_id, op))`` for
+    a message without controls.
+    """
+    return ber.encode_sequence(ber.encode_integer(message_id) + op_bytes)
+
+
+def decode_message(data: "bytes | memoryview") -> LdapMessage:
     """Decode bytes into an LDAPMessage; rejects trailing garbage."""
+    if type(data) is not memoryview:
+        data = memoryview(data)
     try:
         tag, body, end = ber.decode_tlv(data)
     except BerError as exc:

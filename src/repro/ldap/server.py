@@ -49,7 +49,7 @@ from ..security.gsi import AuthError
 from ..security.sasl import AnonymousOnly, Authenticator
 from .backend import Backend, ChangeType, RequestContext, Subscription
 from .dit import Scope
-from .dn import DN
+from .dn import DN, intern_cache_stats
 from .entry import Entry
 from .executor import CancelToken, RequestExecutor
 from .protocol import (
@@ -78,6 +78,8 @@ from .protocol import (
     UnbindRequest,
     decode_message,
     encode_message,
+    encode_message_with_op,
+    encode_search_entry,
 )
 from .psearch import EntryChangeNotification, PersistentSearchControl
 
@@ -109,6 +111,7 @@ class LdapServer:
         tracer: Optional[Tracer] = None,
         executor: Optional[RequestExecutor] = None,
         default_time_limit: float = 0.0,
+        encode_cache: bool = True,
     ):
         self.backend = backend
         self.authenticator = authenticator or AnonymousOnly()
@@ -152,6 +155,20 @@ class LdapServer:
         )
         self._search_rejected = self.metrics.counter("ldap.search.rejected")
         self._search_expired = self.metrics.counter("ldap.search.deadline_expired")
+        # Wire-path fast lanes: per-entry encode caching (off = always
+        # re-encode, the pre-cache behavior; the wire bytes are identical
+        # either way) plus codec traffic and DN intern-cache visibility.
+        self.encode_cache = encode_cache
+        self._codec_messages = self.metrics.counter("ldap.codec.messages")
+        self._codec_bytes = self.metrics.counter("ldap.codec.bytes")
+        self._encode_hits = self.metrics.counter("ldap.encode.cache.hits")
+        self._encode_misses = self.metrics.counter("ldap.encode.cache.misses")
+        self._encode_uncached = self.metrics.counter("ldap.encode.cache.uncached")
+        for key in ("size", "hits", "misses", "evictions"):
+            self.metrics.gauge_fn(
+                f"ldap.dn.cache.{key}",
+                lambda k=key: float(intern_cache_stats()[k]),
+            )
 
     def observe_result(self, op: str, code: int, started: float) -> None:
         """Record one finished operation: result-code count + latency."""
@@ -255,8 +272,11 @@ class _ServerConnection:
     # -- plumbing -----------------------------------------------------------
 
     def _send(self, message: LdapMessage) -> None:
+        self._send_raw(encode_message(message))
+
+    def _send_raw(self, data: bytes) -> None:
         try:
-            self.conn.send(encode_message(message))
+            self.conn.send(data)
         except ConnectionClosed:
             self._on_close()
 
@@ -296,6 +316,8 @@ class _ServerConnection:
         )
 
     def _on_message(self, raw: bytes) -> None:
+        self.server._codec_messages.inc()
+        self.server._codec_bytes.inc(len(raw))
         try:
             message = decode_message(raw)
         except ProtocolError:
@@ -495,6 +517,46 @@ class _ServerConnection:
                 sre.dn, tuple((attr, ()) for attr, _ in sre.attributes)
             )
         return sre
+
+    def _fast_lane(self, req: SearchRequest) -> bool:
+        """Whether this search may serve cached whole-entry encodings.
+
+        Eligible when the response is the entry verbatim: no attribute
+        selection, no typesOnly, and a policy that is transparent for
+        this identity (so the per-entry ACL rebuild is an identity
+        transform).  The wire bytes are identical on both lanes; the
+        fast lane just skips the per-client copy and re-encode.
+        """
+        return (
+            self.server.encode_cache
+            and not req.types_only
+            and req.wants() is None
+            and self.server.policy.is_transparent(self.identity)
+        )
+
+    def _send_entry(
+        self, msg_id: int, req: SearchRequest, entry: Entry, fast: bool
+    ) -> None:
+        """Send one matched entry, via the encode cache when eligible."""
+        if not fast:
+            self._send(LdapMessage(msg_id, self._wire_entry(req, entry)))
+            return
+        server = self.server
+        cell = entry._wire
+        if cell is None:
+            # Not served from a cacheable store (provider-generated,
+            # GIIS-merged, projected): encode per response.
+            body = encode_search_entry(entry)
+            server._encode_uncached.inc()
+        else:
+            body = cell.body
+            if body is None:
+                body = encode_search_entry(entry)
+                cell.body = body
+                server._encode_misses.inc()
+            else:
+                server._encode_hits.inc()
+        self._send_raw(encode_message_with_op(msg_id, body))
 
     def _deadline_for(self, req: SearchRequest, now: float) -> Optional[float]:
         """Absolute deadline: tighter of the request's timeLimit and the
@@ -715,6 +777,11 @@ class _ServerConnection:
                 if span is not None:
                     span.tag("dropped", token.reason or True).finish()
                 return
+            # On the fast lane the ACL rebuild is an identity transform,
+            # so only the (still authoritative) filter match runs per
+            # entry and the encoded body can come from the entry's cache
+            # cell.  Both lanes produce the same bytes.
+            fast = self._fast_lane(req)
             if not outcome.result.ok:
                 # sizeLimitExceeded still delivers the partial entry set
                 # (LDAP semantics); other failures return no entries.
@@ -722,20 +789,30 @@ class _ServerConnection:
                 for entry in outcome.entries:
                     if req.size_limit and sent >= req.size_limit:
                         break
-                    visible = self._visible(req, entry)
-                    if visible is None:
-                        continue
+                    if fast:
+                        if not req.filter.matches(entry):
+                            continue
+                        visible = entry
+                    else:
+                        visible = self._visible(req, entry)
+                        if visible is None:
+                            continue
                     self.server._entries_returned.inc()
                     sent += 1
-                    self._send(LdapMessage(msg_id, self._wire_entry(req, visible)))
+                    self._send_entry(msg_id, req, visible, fast)
                 conclude(outcome.result.code, sent)
                 self._send(LdapMessage(msg_id, SearchResultDone(outcome.result)))
                 return
             sent = 0
             for entry in outcome.entries:
-                visible = self._visible(req, entry)
-                if visible is None:
-                    continue
+                if fast:
+                    if not req.filter.matches(entry):
+                        continue
+                    visible = entry
+                else:
+                    visible = self._visible(req, entry)
+                    if visible is None:
+                        continue
                 if req.size_limit and sent >= req.size_limit:
                     conclude(ResultCode.SIZE_LIMIT_EXCEEDED, sent)
                     self._send(
@@ -749,7 +826,7 @@ class _ServerConnection:
                     return
                 self.server._entries_returned.inc()
                 sent += 1
-                self._send(LdapMessage(msg_id, self._wire_entry(req, visible)))
+                self._send_entry(msg_id, req, visible, fast)
             for uri in outcome.referrals:
                 self._send(LdapMessage(msg_id, SearchResultReference((uri,))))
             conclude(ResultCode.SUCCESS, sent)

@@ -376,20 +376,48 @@ class ReactorConnection:
             for _ in range(_RECV_BURST):
                 chunk = self._sock.recv(_RECV_CHUNK)
                 if not chunk:
-                    self._process_frames()
+                    self._drain_rbuf()
                     self._mark_closed()
                     return
-                self._rbuf += chunk
-                if len(chunk) < _RECV_CHUNK:
-                    break
+                self._ingest(chunk)
+                if self._closed or len(chunk) < _RECV_CHUNK:
+                    return
         except (BlockingIOError, InterruptedError):
             pass
         except OSError:
             self._mark_closed()
-            return
-        self._process_frames()
 
-    def _process_frames(self) -> None:
+    def _ingest(self, chunk: bytes) -> None:
+        """Extract frames from one recv'd chunk, loop thread only.
+
+        When reassembly state is empty and the chunk holds complete
+        frames — the common case for request/response traffic — each
+        payload is delivered as a zero-copy :class:`memoryview` slice of
+        the chunk, with no intermediate buffer append.  Only a partial
+        trailing frame (or a pre-existing partial frame) goes through
+        the ``_rbuf`` reassembly path.
+        """
+        if self._rbuf:
+            self._rbuf += chunk
+            self._drain_rbuf()
+            return
+        view = memoryview(chunk)
+        total = len(chunk)
+        offset = 0
+        while total - offset >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(view, offset)
+            if length > MAX_FRAME:
+                self._mark_closed()
+                return
+            end = offset + _HEADER.size + length
+            if end > total:
+                break
+            self._deliver(view[offset + _HEADER.size : end], length)
+            offset = end
+        if offset < total:
+            self._rbuf += view[offset:]
+
+    def _drain_rbuf(self) -> None:
         buf = self._rbuf
         while True:
             if len(buf) < _HEADER.size:
@@ -403,16 +431,21 @@ class ReactorConnection:
                 return
             payload = bytes(buf[_HEADER.size:end])
             del buf[:end]
-            if self._metrics is not None:
-                self._frames_in.inc()
-                self._bytes_in.inc(length)
-            with self._deliver_lock:
-                with self._state_lock:
-                    receiver = self._receiver
-                    if receiver is None:
-                        self._inbox.append(payload)
-                        continue
-                receiver(payload)
+            self._deliver(payload, length)
+
+    def _deliver(self, payload: "bytes | memoryview", length: int) -> None:
+        if self._metrics is not None:
+            self._frames_in.inc()
+            self._bytes_in.inc(length)
+        with self._deliver_lock:
+            with self._state_lock:
+                receiver = self._receiver
+                if receiver is None:
+                    # A view would alias a buffer we are about to reuse;
+                    # backlogged frames must own their bytes.
+                    self._inbox.append(bytes(payload))
+                    return
+            receiver(payload)
 
     # -- teardown ------------------------------------------------------------
 

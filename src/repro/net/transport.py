@@ -49,7 +49,13 @@ class Connection(Protocol):
         """Queue one message for delivery to the peer."""
 
     def set_receiver(self, callback: Callable[[bytes], None]) -> None:
-        """Install the inbound-message callback."""
+        """Install the inbound-message callback.
+
+        The payload is bytes-like: transports may hand over a zero-copy
+        :class:`memoryview` of the receive buffer instead of ``bytes``.
+        Callbacks that retain the payload past their own return must
+        copy it (``bytes(payload)``); decoding it in place is safe.
+        """
 
     def set_close_handler(self, callback: Callable[[], None]) -> None:
         """Install a callback fired once when the connection dies."""

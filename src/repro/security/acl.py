@@ -144,6 +144,26 @@ class AccessPolicy:
                 return rule.allow
         return self.default_allow
 
+    def is_transparent(self, identity: str) -> bool:
+        """Whether *identity* may read every entry and attribute.
+
+        True only when the first rule that can match any (entry, attr)
+        pair for this identity is an unconditional allow — the server's
+        encode-cache fast lane relies on this to skip per-entry
+        :meth:`filter_entry` rebuilds without changing what is visible.
+        Conservative: any scoped or attribute-limited rule ahead of the
+        decision disqualifies, even if it also allows.
+        """
+        for rule in self.rules:
+            if not rule.subject_matches(identity, self.groups):
+                continue
+            if rule.base is None and rule.attrs is None:
+                return rule.allow
+            # A scoped rule may decide differently per entry/attribute;
+            # transparency cannot be guaranteed past it.
+            return False
+        return self.default_allow
+
     def filter_entry(self, identity: str, entry: Entry) -> Optional[Entry]:
         """Project *entry* down to what *identity* may read.
 

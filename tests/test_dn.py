@@ -34,6 +34,21 @@ class TestRdn:
         r = RDN.parse(r"cn=a\2ab")
         assert r.value == "a*b"
 
+    def test_trailing_hex_escape(self):
+        # `\xx` at the very end of the value must be read as hex, not
+        # rejected by an off-by-one bound check
+        r = RDN.parse(r"cn=a\2a")
+        assert r.value == "a*"
+        assert RDN.parse(r"cn=a\ff").value == "a\xff"
+
+    def test_trailing_incomplete_hex_escape(self):
+        with pytest.raises(DNError):
+            RDN.parse("cn=a\\f")
+
+    def test_dangling_backslash(self):
+        with pytest.raises(DNError):
+            RDN.parse("cn=a\\")
+
     def test_roundtrip_with_special_chars(self):
         r = RDN.single("cn", "x=y, z+w")
         assert RDN.parse(str(r)) == r

@@ -98,7 +98,7 @@ class TestTcp:
 
     def test_many_concurrent_connections(self, endpoint):
         def handler(conn):
-            conn.set_receiver(lambda m: conn.send(m.upper()))
+            conn.set_receiver(lambda m: conn.send(bytes(m).upper()))
 
         port = endpoint.listen(0, handler)
         results = {}
