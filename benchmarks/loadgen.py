@@ -29,6 +29,7 @@ than OS threads.
 import random
 import threading
 import time
+import urllib.request
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -44,6 +45,15 @@ from repro.ldap.protocol import SearchRequest
 from repro.ldap.server import LdapServer
 from repro.net import make_endpoint
 from repro.net.clock import WallClock
+from repro.obs import (
+    HealthModel,
+    MetricsHttpServer,
+    MetricsRegistry,
+    MonitorBackend,
+    MonitoredBackend,
+    TimeSeriesRecorder,
+    parse_exposition,
+)
 
 __all__ = [
     "Workload",
@@ -53,6 +63,7 @@ __all__ = [
     "build_vo",
     "VoTestbed",
     "populate_gris",
+    "MetricsScraper",
 ]
 
 
@@ -385,12 +396,26 @@ def populate_gris(dit: DIT, n_hosts: int, children_per_host: int = 20) -> int:
 
 
 class VoTestbed:
-    """M GRIS (one DIT each) behind one GIIS, all on the reactor."""
+    """M GRIS (one DIT each) behind one GIIS, all on the reactor.
 
-    def __init__(self, giis_port: int, gris_ports: List[int], closers):
+    With monitoring on, ``ldap_specs`` lists every server as
+    ``host:port`` (for ``grid-info-top``'s GRIP mode) and
+    ``metrics_urls`` lists the per-server HTTP exposition endpoints,
+    GIIS first in both.
+    """
+
+    def __init__(self, giis_port: int, gris_ports: List[int], closers,
+                 metrics_urls: Optional[List[str]] = None):
         self.giis_port = giis_port
         self.gris_ports = gris_ports
         self._closers = closers
+        self.metrics_urls = metrics_urls or []
+
+    @property
+    def ldap_specs(self) -> List[str]:
+        return [
+            f"127.0.0.1:{p}" for p in [self.giis_port] + self.gris_ports
+        ]
 
     def close(self) -> None:
         for close in reversed(self._closers):
@@ -400,6 +425,28 @@ class VoTestbed:
                 pass
 
 
+def _monitor_server(clock, closers, server_name: str, metrics_interval: float):
+    """One server's self-monitoring bundle (pre-listen half)."""
+    metrics = MetricsRegistry()
+    recorder = TimeSeriesRecorder(metrics, clock, interval=metrics_interval)
+    health = HealthModel(metrics, clock, recorder=recorder)
+    backend_monitor = MonitorBackend(
+        metrics, server_name=server_name, health=health
+    )
+    closers.append(recorder.stop)
+    return metrics, recorder, health, backend_monitor
+
+
+def _serve_metrics(metrics, health, endpoint, clock, closers) -> str:
+    http = MetricsHttpServer(
+        metrics, reactor=getattr(endpoint, "reactor", None),
+        health=health, clock_now=clock.now,
+    )
+    port = http.start(0)
+    closers.append(http.close)
+    return f"http://127.0.0.1:{port}"
+
+
 def build_vo(
     n_gris: int,
     hosts_per_gris: int,
@@ -407,30 +454,57 @@ def build_vo(
     transport: str = "reactor",
     workers: int = 4,
     encode_cache: bool = True,
+    monitor: bool = False,
+    metrics_interval: float = 0.5,
 ) -> VoTestbed:
     closers = []
     clock = WallClock()
     gris_ports = []
+    metrics_urls: List[str] = []
+    gris_metrics_urls: List[str] = []
     for g in range(n_gris):
         dit = DIT(index_attrs=["hn"])
         populate_gris(dit, hosts_per_gris, children_per_host)
-        executor = RequestExecutor(workers=workers, queue_limit=4096)
-        server = LdapServer(
-            DitBackend(dit), executor=executor, encode_cache=encode_cache
+        backend = DitBackend(dit)
+        metrics = recorder = health = None
+        if monitor:
+            metrics, recorder, health, mon = _monitor_server(
+                clock, closers, f"gris{g}", metrics_interval
+            )
+            backend = MonitoredBackend(backend, mon)
+        executor = RequestExecutor(
+            workers=workers, queue_limit=4096, metrics=metrics,
+            clock=clock, name=f"gris{g}",
         )
-        endpoint = make_endpoint(transport)
+        server = LdapServer(
+            backend, clock=clock, executor=executor,
+            encode_cache=encode_cache, metrics=metrics, name=f"gris{g}",
+        )
+        endpoint = make_endpoint(transport, metrics=metrics)
         port = endpoint.listen(0, server.handle_connection)
+        if monitor:
+            health.server_id = f"127.0.0.1:{port}"
+            recorder.start()
+            gris_metrics_urls.append(
+                _serve_metrics(metrics, health, endpoint, clock, closers)
+            )
         closers.append(executor.shutdown)
         closers.append(endpoint.close)
         gris_ports.append(port)
 
-    chain_endpoint = make_endpoint(transport)
+    front_metrics = front_recorder = front_health = None
+    if monitor:
+        front_metrics, front_recorder, front_health, front_mon = (
+            _monitor_server(clock, closers, "giis", metrics_interval)
+        )
+    chain_endpoint = make_endpoint(transport, metrics=front_metrics)
     closers.append(chain_endpoint.close)
     giis = GiisBackend(
         "o=Grid",
         clock=clock,
         connector=lambda url: chain_endpoint.connect((url.host, url.port)),
         child_timeout=30.0,
+        metrics=front_metrics,
     )
     closers.append(giis.shutdown)
     now = clock.now()
@@ -443,10 +517,121 @@ def build_vo(
                 metadata={"suffix": "o=Grid"},
             )
         )
-    front_executor = RequestExecutor(workers=workers, queue_limit=4096)
-    front = make_endpoint(transport)
-    server = LdapServer(giis, clock=clock, executor=front_executor)
+    front_backend = giis
+    if monitor:
+        giis.enable_self_monitor(front_health)
+        front_backend = MonitoredBackend(giis, front_mon)
+    front_executor = RequestExecutor(
+        workers=workers, queue_limit=4096, metrics=front_metrics,
+        clock=clock, name="giis",
+    )
+    front = make_endpoint(transport, metrics=front_metrics)
+    server = LdapServer(
+        front_backend, clock=clock, executor=front_executor,
+        metrics=front_metrics, name="giis",
+    )
     giis_port = front.listen(0, server.handle_connection)
+    if monitor:
+        front_health.server_id = f"127.0.0.1:{giis_port}"
+        front_recorder.start()
+        metrics_urls.append(
+            _serve_metrics(front_metrics, front_health, front, clock, closers)
+        )
+        metrics_urls.extend(gris_metrics_urls)
     closers.append(front_executor.shutdown)
     closers.append(front.close)
-    return VoTestbed(giis_port, gris_ports, closers)
+    return VoTestbed(giis_port, gris_ports, closers, metrics_urls=metrics_urls)
+
+
+# ---------------------------------------------------------------------------
+# Scraper: server-side time-series alongside client-observed latency
+# ---------------------------------------------------------------------------
+
+
+class MetricsScraper:
+    """Polls ``/metrics`` endpoints on a thread and keeps small samples.
+
+    Each poll reduces one exposition page to scalars: counters and
+    gauges sum their samples per family; histograms keep the ``_count``
+    and ``_sum`` totals.  ``export()`` hands the per-server series to
+    the benchmark report so ``BENCH_E22.json`` carries the server-side
+    view of the run next to the client-observed percentiles.
+    """
+
+    def __init__(self, urls: Sequence[str], interval: float = 1.0,
+                 families: Optional[Sequence[str]] = None,
+                 timeout: float = 5.0):
+        self.urls = list(urls)
+        self.interval = interval
+        self.timeout = timeout
+        self._families = tuple(families) if families else None
+        self.samples: Dict[str, List[Tuple[float, Dict[str, float]]]] = {
+            url: [] for url in self.urls
+        }
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.perf_counter()
+
+    def _reduce(self, text: str) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for family, info in parse_exposition(text).items():
+            if self._families and not any(
+                family.startswith(p) for p in self._families
+            ):
+                continue
+            if info["type"] == "histogram":
+                for name, _labels, value in info["samples"]:
+                    if name.endswith("_count"):
+                        out[f"{family}_count"] = (
+                            out.get(f"{family}_count", 0.0) + value
+                        )
+                    elif name.endswith("_sum"):
+                        out[f"{family}_sum"] = (
+                            out.get(f"{family}_sum", 0.0) + value
+                        )
+            else:
+                for _name, _labels, value in info["samples"]:
+                    out[family] = out.get(family, 0.0) + value
+        return out
+
+    def poll_once(self) -> None:
+        t = round(time.perf_counter() - self._started, 3)
+        for url in self.urls:
+            try:
+                with urllib.request.urlopen(
+                    url.rstrip("/") + "/metrics", timeout=self.timeout
+                ) as resp:
+                    text = resp.read().decode("utf-8")
+                self.samples[url].append((t, self._reduce(text)))
+            except (OSError, ValueError):
+                self.errors += 1
+
+    def start(self) -> None:
+        def run() -> None:
+            while not self._stop.wait(self.interval):
+                self.poll_once()
+
+        self._thread = threading.Thread(
+            target=run, name="metrics-scraper", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "interval_s": self.interval,
+            "poll_errors": self.errors,
+            "servers": {
+                url: [
+                    {"t": t, "values": values}
+                    for t, values in series
+                ]
+                for url, series in self.samples.items()
+            },
+        }

@@ -46,7 +46,7 @@ from ..ldap.attributes import CASE_EXACT
 from ..ldap.executor import CancelToken
 from ..ldap.client import LdapClient, SearchResult
 from ..ldap.pool import LdapClientPool
-from ..ldap.dn import DN
+from ..ldap.dn import DN, RDN
 from ..ldap.index import AttributeIndex
 from ..ldap.entry import Entry
 from ..ldap.protocol import AddRequest, LdapResult, ResultCode, SearchRequest
@@ -318,6 +318,11 @@ class GiisBackend(Backend):
         self.storage = storage
         self._recovering = False
         self.replayed_registrations = 0
+        # Self-monitoring (§6 meta-monitoring): when a HealthModel is
+        # attached, local_entries() carries this GIIS's own
+        # Mds-Server-* entry, so a parent directory aggregates it
+        # through the same GRIP chaining as any resource data.
+        self._self_monitor = None
         if self.storage is not None:
             self._recover_registrations()
 
@@ -516,9 +521,25 @@ class GiisBackend(Backend):
             suffix_entry.add_value("objectclass", "service")
             suffix_entry.put("url", str(self.url))
         out = [suffix_entry]
+        if self._self_monitor is not None:
+            health = self._self_monitor
+            rdn = RDN.single(
+                "mds-server-name", health.server_id or self.vo_name
+            )
+            out.append(health.entry(DN((rdn,) + self.suffix.rdns)))
         for registration in self.registry.active():
             out.append(self._registration_entry(registration))
         return out
+
+    def enable_self_monitor(self, health) -> None:
+        """Publish this GIIS's own health as a local entry.
+
+        *health* is an :class:`~repro.obs.health.HealthModel`; its
+        ``mds-server-name=<id>`` entry joins the registration entries
+        this GIIS serves, so fleet health rolls up the Figure-5
+        hierarchy through ordinary chained searches.
+        """
+        self._self_monitor = health
 
     def children(self) -> List[Registration]:
         return self.registry.active()

@@ -44,7 +44,7 @@ from ..ldap.storage import StorageEngine
 from ..net.clock import Clock, TimerHandle
 from ..obs.metrics import MetricsRegistry
 from .cache import ProviderCache
-from .provider import InformationProvider, ProviderError
+from .provider import FunctionProvider, InformationProvider, ProviderError
 
 __all__ = ["GrisBackend"]
 
@@ -157,6 +157,29 @@ class GrisBackend(Backend):
             "gris.cache.age",
             lambda: self.cache.age(name, self.clock.now()) or 0.0,
             labels={"provider": name},
+        )
+
+    def enable_self_monitor(self, health, cache_ttl: float = 1.0) -> None:
+        """Register the internal self-provider (§6 meta-monitoring).
+
+        The server becomes one of its own information sources: an
+        in-process provider owning the ``mds-server-name=<id>`` branch
+        under the suffix, publishing the ``Mds-Server-*`` health rollup
+        from *health* (an :class:`~repro.obs.health.HealthModel`).  The
+        entries flow through the ordinary provider cache and chaining
+        paths, so a monitoring GIIS aggregates fleet health with plain
+        GRIP — no side channel.  *cache_ttl* bounds how often the rollup
+        is recomputed under query load.
+        """
+        server_id = health.server_id or "gris"
+        namespace = DN((RDN.single("mds-server-name", server_id),))
+        self.add_provider(
+            FunctionProvider(
+                "mds-self-monitor",
+                lambda: [health.entry(namespace)],
+                namespace=namespace,
+                cache_ttl=cache_ttl,
+            )
         )
 
     def remove_provider(self, name: str) -> None:

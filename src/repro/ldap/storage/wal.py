@@ -40,7 +40,7 @@ import struct
 import threading
 import time
 import zlib
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .api import ChangeOp, StorageError, entry_from_record, entry_to_record
 from .memory import MemoryEngine
@@ -137,6 +137,12 @@ class WalEngine(MemoryEngine):
             self._replay_ops = metrics.counter("storage.replay.ops", labels)
             metrics.gauge_fn(
                 "storage.entries", lambda: float(len(self.entries)), labels
+            )
+            # Fsync lag: appended-but-unsynced records under the batch
+            # policy.  A crash loses at most this many operations, so
+            # the health model watches it as a durability signal.
+            metrics.gauge_fn(
+                "storage.wal.unsynced", lambda: float(self._unsynced), labels
             )
         else:
             self._appends = self._bytes = self._replay_ops = None

@@ -1,16 +1,25 @@
-"""Observability: metrics, trace spans, and the ``cn=monitor`` subtree.
+"""Observability: metrics, time series, traces, health, and exposition.
 
-The subsystem has three layers:
+The subsystem now has six layers:
 
 * :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket latency
-  histograms behind a :class:`MetricsRegistry`;
+  histograms behind a :class:`MetricsRegistry`, with one-pass
+  registry-wide snapshots (:meth:`MetricsRegistry.collect`);
+* :mod:`repro.obs.timeseries` — a bounded ring-buffer recorder deriving
+  counter rates and windowed percentiles from interval samples;
+* :mod:`repro.obs.health` — the threshold model rolling raw signals up
+  into a liveness/readiness verdict published as ``Mds-Server-*``
+  attributes;
 * :mod:`repro.obs.trace` — per-request span trees with pluggable sinks;
 * :mod:`repro.obs.monitor` — the registry rendered as a live,
-  GRIP-queryable ``cn=monitor`` LDAP subtree.
+  GRIP-queryable ``cn=monitor`` LDAP subtree (plus ``cn=health``);
+* :mod:`repro.obs.expo` — Prometheus text-format exposition served from
+  a tiny HTTP listener on the service's reactor.
 
 Every instrumented component (LDAP front end, GIIS, GRIS, soft-state
 registry, TCP transport) accepts an optional shared registry; see
-``grid-info-server --monitor`` for the fully wired deployment.
+``grid-info-server --monitor``/``--metrics-port`` for the fully wired
+deployment and ``grid-info-top`` for the fleet view.
 """
 
 from .metrics import (
@@ -18,9 +27,25 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    InstrumentSnapshot,
     MetricsRegistry,
+    RegistrySnapshot,
+    quantile_from_buckets,
 )
-from .monitor import MONITOR_SUFFIX, MonitorBackend, MonitoredBackend
+from .health import HealthCheck, HealthModel, HealthReport, HealthThresholds
+from .timeseries import TimeSeriesRecorder
+from .monitor import (
+    HEALTH_SUFFIX,
+    MONITOR_SUFFIX,
+    MonitorBackend,
+    MonitoredBackend,
+)
+from .expo import (
+    CONTENT_TYPE,
+    MetricsHttpServer,
+    parse_exposition,
+    render_exposition,
+)
 from .trace import (
     JsonlSink,
     RemoteSpan,
@@ -38,10 +63,23 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "InstrumentSnapshot",
     "MetricsRegistry",
+    "RegistrySnapshot",
+    "quantile_from_buckets",
+    "HealthCheck",
+    "HealthModel",
+    "HealthReport",
+    "HealthThresholds",
+    "TimeSeriesRecorder",
+    "HEALTH_SUFFIX",
     "MONITOR_SUFFIX",
     "MonitorBackend",
     "MonitoredBackend",
+    "CONTENT_TYPE",
+    "MetricsHttpServer",
+    "parse_exposition",
+    "render_exposition",
     "JsonlSink",
     "RemoteSpan",
     "RingSink",

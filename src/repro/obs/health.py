@@ -1,0 +1,322 @@
+"""Server health: thresholds over the metrics registry, rolled up.
+
+The paper's meta-monitoring story (§6) is that a Grid service's own
+health is *Grid information*: published as ``Mds-Server-*`` attributes,
+aggregated by an ordinary GIIS, queried with plain GRIP.  This module
+is the judgment layer between raw instruments and that published
+record:
+
+* :class:`HealthThresholds` — when does a number become a problem
+  (queue saturation, search p95, provider-cache staleness, WAL fsync
+  lag, trace-sink drops);
+* :class:`HealthModel` — reads one consistent registry snapshot (plus
+  the time-series recorder for windowed rates/percentiles when one is
+  attached), evaluates every check, and rolls the worst level up into
+  ``healthy`` / ``degraded`` / ``unhealthy`` with liveness/readiness
+  booleans;
+* :meth:`HealthModel.attrs` / :meth:`HealthModel.entry` — the rollup as
+  LDAP attributes, consumed by the ``cn=health,cn=monitor`` entry, the
+  GRIS/GIIS self-providers, the ``/health`` endpoint, and
+  ``grid-info-top``.
+
+Checks are *absence-tolerant*: a GRIS has no GIIS pool, a memory-store
+server has no WAL — signals that do not exist simply report ``ok``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..net.clock import Clock
+from .metrics import MetricsRegistry, RegistrySnapshot
+
+__all__ = ["HealthThresholds", "HealthCheck", "HealthReport", "HealthModel"]
+
+OK, DEGRADED, UNHEALTHY = 0, 1, 2
+_VERDICTS = ("healthy", "degraded", "unhealthy")
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Degraded/unhealthy trip points; generous defaults for a busy
+    server that is still keeping up."""
+
+    queue_saturation_warn: float = 0.75  # depth / limit
+    queue_saturation_crit: float = 0.95
+    search_p95_warn_ms: float = 1000.0
+    search_p95_crit_ms: float = 5000.0
+    cache_age_warn_s: float = 300.0  # oldest provider snapshot
+    cache_age_crit_s: float = 1800.0
+    wal_unsynced_warn: int = 1024  # appended-but-unfsynced records
+    wal_unsynced_crit: int = 16384
+    trace_drop_warn_rps: float = 50.0  # ring-sink drops per second
+    trace_drop_crit_rps: float = 1000.0
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One evaluated signal."""
+
+    name: str
+    level: int  # OK / DEGRADED / UNHEALTHY
+    value: float
+    detail: str
+
+    @property
+    def verdict(self) -> str:
+        return _VERDICTS[self.level]
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The rollup: worst check wins."""
+
+    status: str
+    live: bool
+    ready: bool
+    checks: List[HealthCheck]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "live": self.live,
+            "ready": self.ready,
+            "checks": [
+                {
+                    "name": c.name,
+                    "status": c.verdict,
+                    "value": c.value,
+                    "detail": c.detail,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+def _level(value: float, warn: float, crit: float) -> int:
+    if value >= crit:
+        return UNHEALTHY
+    if value >= warn:
+        return DEGRADED
+    return OK
+
+
+class HealthModel:
+    """Evaluates the threshold checks against live metrics.
+
+    *recorder* (a :class:`~repro.obs.timeseries.TimeSeriesRecorder`)
+    supplies windowed rates and percentiles; without one, req/s falls
+    back to lifetime-average and p95 to the cumulative histogram — still
+    correct, just less responsive to recent change.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        clock: Clock,
+        recorder=None,
+        thresholds: Optional[HealthThresholds] = None,
+        server_id: str = "",
+        window: float = 60.0,
+    ):
+        self.metrics = metrics
+        self.clock = clock
+        self.recorder = recorder
+        self.thresholds = thresholds or HealthThresholds()
+        self.server_id = server_id
+        self.window = window
+        self.started_at = clock.now()
+
+    # -- signal extraction ----------------------------------------------------
+
+    def _search_count(self, snapshot: RegistrySnapshot) -> float:
+        total = 0.0
+        for snap in snapshot:
+            if snap.name == "ldap.requests":
+                total += float(snap.value or 0.0)
+        return total
+
+    def _rps(self, snapshot: RegistrySnapshot) -> float:
+        if self.recorder is not None:
+            rate = self.recorder.rate(
+                "ldap.requests{op=search}", window=self.window
+            )
+            if rate > 0:
+                return rate
+        # Floor the uptime at one interval's worth of wall time so a
+        # poll right after startup reports a sane lifetime average
+        # instead of count/epsilon.
+        uptime = max(self.clock.now() - self.started_at, 1.0)
+        return self._search_count(snapshot) / uptime
+
+    def _search_p95_ms(self, snapshot: RegistrySnapshot) -> float:
+        if self.recorder is not None:
+            stats = self.recorder.window_stats(
+                "ldap.request.seconds{op=search}", window=self.window
+            )
+            if stats is not None:
+                return stats["p95"] * 1000.0
+        snap = snapshot.get("ldap.request.seconds", {"op": "search"})
+        if snap is not None and snap.data.get("count"):
+            return float(snap.data["p95"]) * 1000.0
+        return 0.0
+
+    def _queue(self, snapshot: RegistrySnapshot):
+        """Worst (depth, limit, saturation) across every executor pool."""
+        worst = (0.0, 0.0, 0.0)
+        for snap in snapshot:
+            if not snap.name.endswith(".queue.depth"):
+                continue
+            limit_snap = snapshot.get(
+                snap.name[: -len(".depth")] + ".limit", dict(snap.labels)
+            )
+            depth = float(snap.value or 0.0)
+            limit = float(limit_snap.value or 0.0) if limit_snap else 0.0
+            saturation = depth / limit if limit > 0 else 0.0
+            if saturation >= worst[2]:
+                worst = (depth, limit, saturation)
+        return worst
+
+    def _max_labeled(self, snapshot: RegistrySnapshot, name: str) -> float:
+        values = [
+            float(s.value or 0.0)
+            for s in snapshot
+            if s.name == name and s.value == s.value  # skip NaN callbacks
+        ]
+        return max(values) if values else 0.0
+
+    def _sum_named(self, snapshot: RegistrySnapshot, name: str) -> float:
+        return sum(float(s.value or 0.0) for s in snapshot if s.name == name)
+
+    def _trace_drop_rate(self, snapshot: RegistrySnapshot) -> float:
+        if self.recorder is not None:
+            return self.recorder.rate("trace.ring.dropped", window=self.window)
+        return 0.0  # a lifetime total is not a rate; no recorder, no signal
+
+    def _cache_hit_ratio(self, snapshot: RegistrySnapshot) -> Optional[float]:
+        """Provider-cache (GRIS) or query-cache (GIIS) hit ratio."""
+        for hits_name, misses_name in (
+            ("gris.cache.hits", "gris.cache.misses"),
+            ("giis.query_cache.hits", "giis.query_cache.misses"),
+        ):
+            hits = self._sum_named(snapshot, hits_name)
+            misses = self._sum_named(snapshot, misses_name)
+            if hits + misses > 0:
+                return hits / (hits + misses)
+        return None
+
+    # -- evaluation -------------------------------------------------------------
+
+    def report(self, snapshot: Optional[RegistrySnapshot] = None) -> HealthReport:
+        if snapshot is None:
+            snapshot = self.metrics.collect(self.clock.now())
+        t = self.thresholds
+        checks: List[HealthCheck] = []
+
+        depth, limit, saturation = self._queue(snapshot)
+        checks.append(
+            HealthCheck(
+                "executor-queue",
+                _level(saturation, t.queue_saturation_warn, t.queue_saturation_crit),
+                saturation,
+                f"depth {int(depth)} of limit {int(limit)}",
+            )
+        )
+        p95_ms = self._search_p95_ms(snapshot)
+        checks.append(
+            HealthCheck(
+                "search-p95",
+                _level(p95_ms, t.search_p95_warn_ms, t.search_p95_crit_ms),
+                p95_ms,
+                f"search p95 {p95_ms:.1f} ms over the last {self.window:.0f}s",
+            )
+        )
+        cache_age = self._max_labeled(snapshot, "gris.cache.age")
+        checks.append(
+            HealthCheck(
+                "provider-cache-age",
+                _level(cache_age, t.cache_age_warn_s, t.cache_age_crit_s),
+                cache_age,
+                f"oldest provider snapshot {cache_age:.1f}s",
+            )
+        )
+        unsynced = self._max_labeled(snapshot, "storage.wal.unsynced")
+        checks.append(
+            HealthCheck(
+                "wal-fsync-lag",
+                _level(unsynced, t.wal_unsynced_warn, t.wal_unsynced_crit),
+                unsynced,
+                f"{int(unsynced)} appended record(s) not yet fsynced",
+            )
+        )
+        drop_rate = self._trace_drop_rate(snapshot)
+        checks.append(
+            HealthCheck(
+                "trace-sink-drops",
+                _level(drop_rate, t.trace_drop_warn_rps, t.trace_drop_crit_rps),
+                drop_rate,
+                f"{drop_rate:.1f} spans/s dropped by the ring sink",
+            )
+        )
+        worst = max(c.level for c in checks)
+        return HealthReport(
+            status=_VERDICTS[worst],
+            live=True,  # evaluating at all means the process is serving
+            ready=worst < UNHEALTHY,
+            checks=checks,
+        )
+
+    # -- publication ------------------------------------------------------------
+
+    def attrs(self) -> Dict[str, object]:
+        """The Mds-Server-* attribute map for self-publication."""
+        snapshot = self.metrics.collect(self.clock.now())
+        report = self.report(snapshot)
+        rps = self._rps(snapshot)
+        p95_ms = self._search_p95_ms(snapshot)
+        depth, limit, saturation = self._queue(snapshot)
+        hit_ratio = self._cache_hit_ratio(snapshot)
+        out: Dict[str, object] = {
+            "Mds-Server-Id": self.server_id or "unknown",
+            "Mds-Server-Uptime-Seconds": round(
+                self.clock.now() - self.started_at, 3
+            ),
+            "Mds-Server-Rps": round(rps, 3),
+            "Mds-Server-Search-P95-Ms": (
+                round(p95_ms, 3) if math.isfinite(p95_ms) else "inf"
+            ),
+            "Mds-Server-Queue-Depth": int(depth),
+            "Mds-Server-Queue-Saturation": round(saturation, 4),
+            "Mds-Server-Pool-Dials": int(self._sum_named(snapshot, "pool.dials")),
+            "Mds-Server-Pool-Reuses": int(self._sum_named(snapshot, "pool.reuses")),
+            "Mds-Server-Cache-Age-Seconds": round(
+                self._max_labeled(snapshot, "gris.cache.age"), 3
+            ),
+            "Mds-Server-Wal-Unsynced": int(
+                self._max_labeled(snapshot, "storage.wal.unsynced")
+            ),
+            "Mds-Server-Trace-Drops": int(
+                self._sum_named(snapshot, "trace.ring.dropped")
+            ),
+            "Mds-Server-Health": report.status,
+            "Mds-Server-Live": "TRUE" if report.live else "FALSE",
+            "Mds-Server-Ready": "TRUE" if report.ready else "FALSE",
+        }
+        if hit_ratio is not None:
+            out["Mds-Server-Cache-Hit-Ratio"] = round(hit_ratio, 4)
+        for check in report.checks:
+            out[f"Mds-Server-Check-{check.name}"] = check.verdict
+        return out
+
+    def entry(self, dn: DN | str) -> Entry:
+        """The self-provider entry: this server's health at *dn*."""
+        entry = Entry(DN.of(dn), objectclass=["top", "mdsserver"])
+        rdn = DN.of(dn).rdn
+        entry.put(rdn.attr, rdn.value)
+        for attr, value in self.attrs().items():
+            entry.put(attr, value)
+        return entry

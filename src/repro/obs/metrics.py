@@ -35,8 +35,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "InstrumentSnapshot",
     "MetricsRegistry",
+    "RegistrySnapshot",
     "LATENCY_BUCKETS",
+    "quantile_from_buckets",
 ]
 
 # Seconds.  Spans sub-millisecond in-process dispatch through multi-second
@@ -61,6 +64,125 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 )
 
 Labels = Tuple[Tuple[str, str], ...]
+
+
+def quantile_from_buckets(
+    cumulative: Sequence[Tuple[float, int]],
+    q: float,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> float:
+    """Estimate a quantile from ``(upper_bound, cumulative_count)`` pairs.
+
+    Linear interpolation within the containing bucket (the
+    ``histogram_quantile`` estimator): the observations in a bucket are
+    assumed uniformly spread between its lower and upper edge.  The
+    overflow (+Inf) bucket has no finite upper edge, so it reports the
+    observed *maximum* when known, else the last finite bound.  When the
+    caller tracks observed ``minimum``/``maximum`` (a live
+    :class:`Histogram` does; windowed bucket deltas do not) the estimate
+    is clamped to that envelope.
+
+    This one function backs the ``cn=monitor`` histogram attributes, the
+    Prometheus exposition, and the time-series recorder's windowed
+    percentiles, so every surface reports the same number for the same
+    distribution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if not cumulative:
+        return 0.0
+    total = cumulative[-1][1]
+    if total == 0:
+        return 0.0
+    rank = q * total
+    prev_bound = 0.0
+    prev_cum = 0
+    estimate: Optional[float] = None
+    for bound, cum in cumulative:
+        if cum >= rank:
+            if bound == float("inf"):
+                estimate = maximum if maximum is not None else prev_bound
+            elif cum == prev_cum:
+                estimate = prev_bound  # rank <= 0: the lower edge
+            else:
+                fraction = (rank - prev_cum) / (cum - prev_cum)
+                estimate = prev_bound + (bound - prev_bound) * fraction
+            break
+        prev_bound, prev_cum = bound, cum
+    if estimate is None:  # malformed cumulative list; be defensive
+        estimate = maximum if maximum is not None else prev_bound
+    if maximum is not None and estimate > maximum:
+        estimate = maximum
+    if minimum is not None and estimate < minimum:
+        estimate = minimum
+    return estimate
+
+
+class InstrumentSnapshot:
+    """One instrument's state as captured by :meth:`MetricsRegistry.collect`.
+
+    Immutable value object: ``data`` has the same shape the instrument's
+    own ``snapshot()`` returns, but was read inside one registry-wide
+    pass, so consumers rendering many instruments (``cn=monitor``, the
+    Prometheus exposition, the time-series recorder) see one instant
+    instead of one instant per instrument.
+    """
+
+    __slots__ = ("name", "labels", "kind", "data")
+
+    def __init__(self, name: str, labels: Labels, kind: str, data: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.data = data
+
+    @property
+    def full_name(self) -> str:
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+    @property
+    def value(self):
+        """Scalar value for counters/gauges; None for histograms."""
+        return self.data.get("value")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InstrumentSnapshot({self.full_name!r}, {self.kind})"
+
+
+class RegistrySnapshot:
+    """Every instrument, captured in one registry-wide pass."""
+
+    __slots__ = ("taken_at", "_instruments", "_index")
+
+    def __init__(self, taken_at: float, instruments: List[InstrumentSnapshot]):
+        self.taken_at = taken_at
+        self._instruments = instruments
+        self._index = {(s.name, s.labels): s for s in instruments}
+
+    def __iter__(self):
+        return iter(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Optional[InstrumentSnapshot]:
+        return self._index.get((name, _labels_key(labels)))
+
+    def value(
+        self, name: str, labels: Optional[Dict[str, object]] = None, default=None
+    ):
+        snap = self.get(name, labels)
+        return snap.value if snap is not None else default
+
+    def matching(self, predicate) -> List[InstrumentSnapshot]:
+        """All snapshots whose (name, labels) satisfy *predicate*."""
+        return [s for s in self._instruments if predicate(s)]
 
 
 def _labels_key(labels: Optional[Dict[str, object]]) -> Labels:
@@ -112,7 +234,8 @@ class Counter(_Instrument):
         return self._value
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": self.kind, "value": self._value}
+        with self._lock:
+            return {"type": self.kind, "value": self._value}
 
 
 class Gauge(_Instrument):
@@ -153,7 +276,12 @@ class Gauge(_Instrument):
         return self._value
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": self.kind, "value": self.value}
+        if self._fn is not None:
+            # Callback gauges read a live value owned elsewhere; they
+            # take that component's locks, never this one.
+            return {"type": self.kind, "value": self.value}
+        with self._lock:
+            return {"type": self.kind, "value": self._value}
 
 
 class Histogram(_Instrument):
@@ -205,42 +333,51 @@ class Histogram(_Instrument):
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
-    def cumulative(self) -> List[Tuple[float, int]]:
-        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+    def _cumulative_from(self, counts: Sequence[int]) -> List[Tuple[float, int]]:
         out: List[Tuple[float, int]] = []
         running = 0
-        for bound, n in zip(self.buckets, self._counts):
+        for bound, n in zip(self.buckets, counts):
             running += n
             out.append((bound, running))
-        out.append((float("inf"), running + self._counts[-1]))
+        out.append((float("inf"), running + counts[-1]))
         return out
 
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        return self._cumulative_from(counts)
+
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket bounds (upper-bound biased)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        if self._count == 0:
-            return 0.0
-        target = q * self._count
-        for bound, cum in self.cumulative():
-            if cum >= target:
-                if bound == float("inf"):
-                    return self._max if self._max is not None else self.buckets[-1]
-                return bound
-        return self._max if self._max is not None else self.buckets[-1]
+        """Estimated quantile: linear interpolation over the buckets."""
+        with self._lock:
+            counts = list(self._counts)
+            mn, mx = self._min, self._max
+        return quantile_from_buckets(
+            self._cumulative_from(counts), q, minimum=mn, maximum=mx
+        )
 
     def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._sum
+            mn, mx = self._min, self._max
+        cumulative = self._cumulative_from(counts)
+        p50, p95, p99 = (
+            quantile_from_buckets(cumulative, q, minimum=mn, maximum=mx)
+            for q in (0.50, 0.95, 0.99)
+        )
         return {
             "type": self.kind,
-            "count": self._count,
-            "sum": self._sum,
-            "mean": self.mean,
-            "min": self._min,
-            "max": self._max,
-            "buckets": self.cumulative(),
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": mn,
+            "max": mx,
+            "buckets": cumulative,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
         }
 
 
@@ -358,13 +495,54 @@ class MetricsRegistry:
         with self._lock:
             return self._instruments.get(key)
 
+    def collect(self, now: float = 0.0) -> RegistrySnapshot:
+        """One registry-wide snapshot in a single pass under the registry
+        lock.
+
+        Every consumer that renders *many* instruments at once
+        (``cn=monitor`` entries, Prometheus exposition, the time-series
+        recorder) reads from one of these instead of re-reading live
+        instruments one at a time: the raw values are all captured in
+        one tight loop before any rendering work, so a burst of traffic
+        between two reads can no longer produce cross-instrument
+        impossibilities like ``cache.hits > cache.lookups``.
+
+        Callback gauges are the exception: their callables take locks
+        owned by other components, so they are evaluated immediately
+        *after* the registry lock is released (holding it across a
+        foreign callback invites lock-order inversions).  They are live
+        reads of external state by design.
+        """
+        deferred: List[Tuple[int, _Instrument]] = []
+        snaps: List[Optional[InstrumentSnapshot]] = []
+        with self._lock:
+            for instrument in self._instruments.values():
+                if isinstance(instrument, Gauge) and instrument._fn is not None:
+                    deferred.append((len(snaps), instrument))
+                    snaps.append(None)
+                else:
+                    snaps.append(
+                        InstrumentSnapshot(
+                            instrument.name,
+                            instrument.labels,
+                            instrument.kind,
+                            instrument.snapshot(),
+                        )
+                    )
+        for index, instrument in deferred:
+            snaps[index] = InstrumentSnapshot(
+                instrument.name,
+                instrument.labels,
+                instrument.kind,
+                instrument.snapshot(),
+            )
+        return RegistrySnapshot(now, snaps)  # type: ignore[arg-type]
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """One JSON-able dict of every instrument, keyed by full name.
 
         This is the API the benchmarks consume; the ``cn=monitor``
-        subtree is the same data rendered as LDAP entries.
+        subtree is the same data rendered as LDAP entries.  Backed by
+        :meth:`collect`, so it shares the single-pass consistency.
         """
-        out: Dict[str, Dict[str, object]] = {}
-        for instrument in self.instruments():
-            out[instrument.full_name] = instrument.snapshot()
-        return out
+        return {snap.full_name: snap.data for snap in self.collect()}

@@ -52,13 +52,20 @@ from ..ldap.protocol import (
     ResultCode,
     SearchRequest,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import InstrumentSnapshot, MetricsRegistry
 from .trace import SlowSpanLog, span_record
 
-__all__ = ["MONITOR_SUFFIX", "SLOW_SUFFIX", "MonitorBackend", "MonitoredBackend"]
+__all__ = [
+    "MONITOR_SUFFIX",
+    "SLOW_SUFFIX",
+    "HEALTH_SUFFIX",
+    "MonitorBackend",
+    "MonitoredBackend",
+]
 
 MONITOR_SUFFIX = DN.parse("cn=monitor")
 SLOW_SUFFIX = DN.parse("cn=slow,cn=monitor")
+HEALTH_SUFFIX = DN.parse("cn=health,cn=monitor")
 
 
 def _fmt(value: object) -> str:
@@ -91,11 +98,16 @@ class MonitorBackend(Backend):
         server_name: str = "",
         suffix: DN | str = MONITOR_SUFFIX,
         slow_log: Optional[SlowSpanLog] = None,
+        health=None,
     ):
         self.metrics = metrics
         self.server_name = server_name
         self.suffix = DN.of(suffix)
         self.slow_log = slow_log
+        # Optional HealthModel: adds a cn=health entry carrying the
+        # Mds-Server-* rollup, so one subtree search answers both "what
+        # are the numbers" and "is this server OK".
+        self.health = health
 
     # -- entry generation ----------------------------------------------------
 
@@ -111,31 +123,42 @@ class MonitorBackend(Backend):
             entry.put("servername", self.server_name)
         return entry
 
-    def _metric_entry(self, instrument) -> Entry:
-        dn = self.suffix.child(RDN.single("mdsmetricname", _dn_id(instrument)))
+    def _metric_entry(self, snap: InstrumentSnapshot) -> Entry:
+        dn = self.suffix.child(RDN.single("mdsmetricname", _dn_id(snap)))
         entry = Entry(
             dn,
             objectclass=["top", "mdsmetric"],
-            mdsmetricname=_dn_id(instrument),
-            mdsmetric=instrument.name,
-            mdsmetrictype=instrument.kind,
+            mdsmetricname=_dn_id(snap),
+            mdsmetric=snap.name,
+            mdsmetrictype=snap.kind,
         )
-        for key, value in instrument.labels:
+        for key, value in snap.labels:
             entry.put(key, value)
-        if isinstance(instrument, (Counter, Gauge)):
-            entry.put("mdsvalue", _fmt(instrument.value))
-        elif isinstance(instrument, Histogram):
-            snap = instrument.snapshot()
-            entry.put("mdscount", _fmt(snap["count"]))
-            entry.put("mdssum", _fmt(float(snap["sum"])))
-            entry.put("mdsmean", _fmt(float(snap["mean"])))
-            if snap["min"] is not None:
-                entry.put("mdsmin", _fmt(float(snap["min"])))
-                entry.put("mdsmax", _fmt(float(snap["max"])))
+        data = snap.data
+        if snap.kind in ("counter", "gauge"):
+            entry.put("mdsvalue", _fmt(data["value"]))
+        elif snap.kind == "histogram":
+            entry.put("mdscount", _fmt(data["count"]))
+            entry.put("mdssum", _fmt(float(data["sum"])))
+            entry.put("mdsmean", _fmt(float(data["mean"])))
+            if data["min"] is not None:
+                entry.put("mdsmin", _fmt(float(data["min"])))
+                entry.put("mdsmax", _fmt(float(data["max"])))
             for q in ("p50", "p95", "p99"):
-                entry.put(f"mds{q}", _fmt(float(snap[q])))
-            for bound, cumulative in snap["buckets"]:
+                entry.put(f"mds{q}", _fmt(float(data[q])))
+            for bound, cumulative in data["buckets"]:
                 entry.put(f"mdsbucket-{_fmt(bound)}", cumulative)
+        return entry
+
+    def _health_entry(self) -> Entry:
+        dn = self.suffix.child(RDN.single("cn", "health"))
+        entry = Entry(
+            dn,
+            objectclass=["top", "mdsserverstatus"],
+            cn="health",
+        )
+        for attr, value in self.health.attrs().items():
+            entry.put(attr, value)
         return entry
 
     # -- slow-query subtree --------------------------------------------------
@@ -181,11 +204,20 @@ class MonitorBackend(Backend):
         return out
 
     def entries(self) -> List[Entry]:
-        """The full monitor view, regenerated from live instruments."""
-        instruments = self.metrics.instruments()
-        out = [self._root_entry(len(instruments))]
-        for instrument in sorted(instruments, key=lambda i: i.full_name):
-            out.append(self._metric_entry(instrument))
+        """The full monitor view, regenerated from one registry snapshot.
+
+        A single :meth:`~repro.obs.metrics.MetricsRegistry.collect` pass
+        captures every instrument before any entry is rendered; reading
+        instruments one at a time interleaved with entry construction
+        used to let a traffic burst land between two reads, so a single
+        ``cn=monitor`` search could report ``hits > lookups``.
+        """
+        snapshot = self.metrics.collect()
+        out = [self._root_entry(len(snapshot))]
+        for snap in sorted(snapshot, key=lambda s: s.full_name):
+            out.append(self._metric_entry(snap))
+        if self.health is not None:
+            out.append(self._health_entry())
         if self.slow_log is not None:
             out.extend(self._slow_entries())
         return out

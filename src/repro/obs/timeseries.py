@@ -1,0 +1,227 @@
+"""Bounded in-process time series over a :class:`MetricsRegistry`.
+
+The ``cn=monitor`` subtree answers "what are the counters *now*"; the
+MDS performance studies ask questions about *movement* — queries per
+second, latency percentiles over the last minute, cache churn while a
+load wave passes.  :class:`TimeSeriesRecorder` closes that gap with no
+external dependencies and fixed memory:
+
+* on a fixed interval it takes one consistent
+  :meth:`~repro.obs.metrics.MetricsRegistry.collect` snapshot and
+  appends a compact row (counter/gauge scalars, histogram bucket
+  vectors) to a ring buffer of bounded capacity;
+* counter **rates** are derived from first/last samples inside a query
+  window (monotonic deltas, clamped at zero across restarts);
+* windowed histogram **percentiles** are derived from cumulative-bucket
+  deltas — newest bucket vector minus the oldest in the window is the
+  distribution of exactly the observations that arrived in between —
+  fed through the same
+  :func:`~repro.obs.metrics.quantile_from_buckets` estimator the
+  ``cn=monitor`` attributes use.
+
+Memory is ``capacity × live instruments`` small tuples; bucket bounds
+are interned per series, not stored per row.  Sampling is driven by the
+:class:`~repro.net.clock.Clock` abstraction, so tests run the recorder
+on the deterministic simulator and production uses wall time.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..net.clock import Clock, TimerHandle
+from .metrics import MetricsRegistry, RegistrySnapshot, quantile_from_buckets
+
+__all__ = ["TimeSeriesRecorder"]
+
+# Compact histogram row: (count, sum, per-bucket cumulative counts).
+_HistRow = Tuple[int, float, Tuple[int, ...]]
+
+
+class TimeSeriesRecorder:
+    """Samples a registry on an interval into a bounded ring buffer."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        clock: Clock,
+        interval: float = 1.0,
+        capacity: int = 300,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if capacity < 2:
+            raise ValueError("capacity must hold at least two samples")
+        self.metrics = metrics
+        self.clock = clock
+        self.interval = interval
+        self.capacity = capacity
+        self._ring: Deque[Tuple[float, Dict[str, object]]] = collections.deque(
+            maxlen=capacity
+        )
+        # Bucket upper bounds per histogram series (stable for the life
+        # of an instrument): interned here so rows store only counts.
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+        self._lock = threading.Lock()
+        self._running = False
+        self._handle: Optional[TimerHandle] = None
+        self.samples_taken = 0
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, snapshot: Optional[RegistrySnapshot] = None) -> None:
+        """Append one row; callable directly (tests) or from the timer."""
+        if snapshot is None:
+            snapshot = self.metrics.collect(self.clock.now())
+        row: Dict[str, object] = {}
+        new_bounds: Dict[str, Tuple[float, ...]] = {}
+        for snap in snapshot:
+            name = snap.full_name
+            if snap.kind == "histogram":
+                buckets = snap.data["buckets"]
+                if name not in self._bounds:
+                    new_bounds[name] = tuple(b for b, _ in buckets)
+                row[name] = (
+                    snap.data["count"],
+                    snap.data["sum"],
+                    tuple(c for _, c in buckets),
+                )
+            else:
+                try:
+                    row[name] = float(snap.data["value"])
+                except (TypeError, ValueError):
+                    continue  # a dead callback gauge; skip the point
+        with self._lock:
+            self._bounds.update(new_bounds)
+            self._ring.append((snapshot.taken_at, row))
+            self.samples_taken += 1
+
+    def start(self) -> None:
+        """Begin interval sampling on the recorder's clock."""
+        if self._running:
+            return
+        self._running = True
+        self._handle = self.clock.call_later(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        try:
+            self.sample()
+        finally:
+            if self._running:
+                self._handle = self.clock.call_later(self.interval, self._tick)
+
+    # -- reads ---------------------------------------------------------------
+
+    def _rows(
+        self, window: Optional[float]
+    ) -> List[Tuple[float, Dict[str, object]]]:
+        with self._lock:
+            rows = list(self._ring)
+        if not rows or window is None:
+            return rows
+        horizon = rows[-1][0] - window
+        return [r for r in rows if r[0] >= horizon]
+
+    def series(
+        self, full_name: str, window: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """``(t, value)`` points for a counter/gauge; counts for a
+        histogram series."""
+        out: List[Tuple[float, float]] = []
+        for t, row in self._rows(window):
+            value = row.get(full_name)
+            if value is None:
+                continue
+            if isinstance(value, tuple):
+                value = float(value[0])  # histogram: the running count
+            out.append((t, value))
+        return out
+
+    def rate(self, full_name: str, window: Optional[float] = None) -> float:
+        """Per-second increase of a cumulative series over the window.
+
+        Uses the first and last points inside the window.  Needs two
+        samples; a decrease (instrument re-registered) clamps to 0.
+        """
+        points = self.series(full_name, window)
+        if len(points) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = points[0], points[-1]
+        if t1 <= t0:
+            return 0.0
+        return max(0.0, (v1 - v0) / (t1 - t0))
+
+    def window_stats(
+        self,
+        full_name: str,
+        window: Optional[float] = None,
+        quantiles: Sequence[float] = (0.50, 0.95, 0.99),
+    ) -> Optional[Dict[str, float]]:
+        """Windowed distribution of one histogram series.
+
+        The oldest-in-window bucket vector subtracted from the newest is
+        the cumulative histogram of exactly the observations recorded in
+        between; quantiles come from the shared interpolation estimator.
+        Returns None when fewer than two samples cover the window or no
+        observation landed inside it.
+        """
+        rows = self._rows(window)
+        first = last = None
+        for t, row in rows:
+            value = row.get(full_name)
+            if isinstance(value, tuple):
+                if first is None:
+                    first = (t, value)
+                last = (t, value)
+        if first is None or last is None or first is last:
+            return None
+        (t0, (count0, sum0, buckets0)) = first
+        (t1, (count1, sum1, buckets1)) = last
+        count = count1 - count0
+        if count <= 0 or len(buckets0) != len(buckets1):
+            return None
+        with self._lock:
+            bounds = self._bounds.get(full_name)
+        if bounds is None:
+            return None
+        cumulative = [
+            (bound, max(0, b1 - b0))
+            for bound, b0, b1 in zip(bounds, buckets0, buckets1)
+        ]
+        out: Dict[str, float] = {
+            "count": float(count),
+            "rate": count / (t1 - t0) if t1 > t0 else 0.0,
+            "mean": (sum1 - sum0) / count,
+        }
+        for q in quantiles:
+            out[f"p{int(q * 100)}"] = quantile_from_buckets(cumulative, q)
+        return out
+
+    def names(self) -> List[str]:
+        """Every series name seen in the newest sample."""
+        with self._lock:
+            if not self._ring:
+                return []
+            return sorted(self._ring[-1][1])
+
+    def export(
+        self, names: Optional[Sequence[str]] = None, window: Optional[float] = None
+    ) -> Dict[str, object]:
+        """JSON-able dump for benchmark reports: raw points per series."""
+        selected = list(names) if names is not None else self.names()
+        return {
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "samples": self.samples_taken,
+            "series": {name: self.series(name, window) for name in selected},
+        }

@@ -25,11 +25,14 @@ from ..ldap.url import LdapUrl
 from ..net import TRANSPORTS, make_endpoint
 from ..net.clock import WallClock
 from ..obs import (
+    HealthModel,
     JsonlSink,
+    MetricsHttpServer,
     MetricsRegistry,
     MonitorBackend,
     MonitoredBackend,
     SlowSpanLog,
+    TimeSeriesRecorder,
     Tracer,
 )
 
@@ -53,6 +56,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--monitor",
         action="store_true",
         help="serve live operational metrics under cn=monitor",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus text exposition on http://HOST:PORT/metrics "
+        "and a JSON health rollup on /health (0 = ephemeral; implies "
+        "--monitor and the self-monitoring provider)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="time-series sampling interval for windowed rates and "
+        "quantiles (default 1.0)",
     )
     parser.add_argument(
         "--transport",
@@ -171,12 +191,22 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
                  server_id: Optional[str] = None,
                  transport: str = "reactor",
                  storage: Optional[str] = None,
-                 data_dir: Optional[str] = None):
+                 data_dir: Optional[str] = None,
+                 metrics_port: Optional[int] = None,
+                 metrics_interval: float = 1.0):
     """Start everything; returns (endpoint, bound_port, registrants, server).
 
     With ``monitor=True`` one shared :class:`MetricsRegistry` is threaded
     through the transport, the GRIS, and the LDAP front end, and served
     as a GRIP-queryable ``cn=monitor`` subtree alongside the data suffix.
+    Monitoring also starts a :class:`TimeSeriesRecorder` for windowed
+    rates/quantiles, a :class:`HealthModel`, and a self-monitoring
+    provider publishing ``Mds-Server-*`` health through the data suffix;
+    ``metrics_port`` (which implies ``monitor``) additionally serves the
+    Prometheus exposition over HTTP on the transport's own event loop.
+    The self-monitoring handles ride on the returned server object as
+    ``server.recorder``, ``server.health``, ``server.metrics_http``, and
+    ``server.metrics_bound`` so the tuple shape stays unchanged.
 
     Tracing arguments default to the config file's ``tracing`` section
     (explicit arguments win); a tracer is built when a span log or a
@@ -197,6 +227,7 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
             fsync=base.fsync,
             snapshot_every=base.snapshot_every,
         )
+    monitor = monitor or metrics_port is not None
     metrics = MetricsRegistry() if monitor else None
 
     tracing = config.tracing
@@ -240,13 +271,12 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
             data_dir=data_dir, tracer=tracer,
         )
     backend = core
+    monitor_backend = None
     if monitor:
-        backend = MonitoredBackend(
-            core,
-            MonitorBackend(
-                metrics, server_name="grid-info-server", slow_log=slow_log
-            ),
+        monitor_backend = MonitorBackend(
+            metrics, server_name="grid-info-server", slow_log=slow_log
         )
+        backend = MonitoredBackend(core, monitor_backend)
     executor = RequestExecutor(
         workers=workers,
         queue_limit=queue_limit,
@@ -262,6 +292,32 @@ def start_server(config_path: str, host: str = "127.0.0.1", port: int = 0,
     if tracer is not None and not tracer.server_id:
         # The default server id is the listen address, known only now.
         tracer.server_id = f"{host}:{bound}"
+
+    server.recorder = server.health = server.metrics_http = None
+    server.metrics_bound = None
+    if monitor:
+        recorder = TimeSeriesRecorder(
+            metrics, clock, interval=metrics_interval
+        )
+        recorder.start()
+        health = HealthModel(
+            metrics, clock, recorder=recorder,
+            server_id=server_id or f"{host}:{bound}",
+        )
+        core.enable_self_monitor(health)
+        monitor_backend.health = health
+        server.recorder = recorder
+        server.health = health
+        if metrics_port is not None:
+            # Ride the transport's own loop when there is one; a private
+            # loop only appears for the thread-per-connection transport.
+            metrics_http = MetricsHttpServer(
+                metrics, host=host,
+                reactor=getattr(endpoint, "reactor", None),
+                health=health, clock_now=clock.now,
+            )
+            server.metrics_bound = metrics_http.start(metrics_port)
+            server.metrics_http = metrics_http
 
     registrants = []
     if config.registrations:
@@ -301,6 +357,8 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
             transport=args.transport,
             storage=args.storage,
             data_dir=args.data_dir,
+            metrics_port=args.metrics_port,
+            metrics_interval=args.metrics_interval,
         )
     except ConfigError as exc:
         print(f"grid-info-server: {exc}", file=sys.stderr)
@@ -321,8 +379,13 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
         )
         if recovered:
             print(f"grid-info-server: recovered {recovered} persisted record(s)")
-    if args.monitor:
+    if args.monitor or args.metrics_port is not None:
         print("grid-info-server: serving live metrics under cn=monitor")
+    if _server.metrics_bound is not None:
+        print(
+            "grid-info-server: metrics endpoint on "
+            f"http://{args.host}:{_server.metrics_bound}/metrics"
+        )
     if args.trace_log:
         print(f"grid-info-server: exporting trace spans to {args.trace_log}")
     if registrants:
@@ -336,6 +399,10 @@ def main(argv: Optional[Sequence[str]] = None, run_forever: bool = True) -> int:
         finally:
             for registrant in registrants:
                 registrant.stop()
+            if _server.recorder is not None:
+                _server.recorder.stop()
+            if _server.metrics_http is not None:
+                _server.metrics_http.close()
             endpoint.close()
             _server.executor.shutdown()
             backend = getattr(_server.backend, "inner", _server.backend)

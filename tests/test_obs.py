@@ -118,8 +118,12 @@ class TestMetrics:
         assert cum[0.1] == 4
         assert cum[1.0] == 4
         assert cum[float("inf")] == 5
-        assert h.quantile(0.5) == 0.01
+        # Linear interpolation within the containing bucket: rank 2.5
+        # sits 1.5/2 of the way through the (0.001, 0.01] bucket.
+        assert h.quantile(0.5) == pytest.approx(0.00775)
         assert h.quantile(1.0) == 2.0  # overflow reports the observed max
+        # Estimates never leave the observed [min, max] envelope.
+        assert h.quantile(0.0) >= 0.0005
 
     def test_snapshot_shape(self):
         m = MetricsRegistry()
