@@ -140,17 +140,27 @@ class LoadStats:
     errors: int = 0
     duration_s: float = 0.0
     latencies: List[float] = field(default_factory=list)
+    # Time-to-first-entry: issue -> first SearchResultEntry on the wire,
+    # the latency a streaming consumer actually feels (benchmark E23).
+    ttfes: List[float] = field(default_factory=list)
     offered_rps: Optional[float] = None  # open loop only
 
-    def percentiles(self) -> Dict[str, float]:
-        if not self.latencies:
+    @staticmethod
+    def _quantiles(samples: List[float]) -> Dict[str, float]:
+        if not samples:
             return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-        s = sorted(self.latencies)
+        s = sorted(samples)
 
         def q(p: float) -> float:
             return round(s[min(len(s) - 1, int(p * len(s)))] * 1000, 3)
 
         return {"p50_ms": q(0.50), "p95_ms": q(0.95), "p99_ms": q(0.99)}
+
+    def percentiles(self) -> Dict[str, float]:
+        return self._quantiles(self.latencies)
+
+    def ttfe_percentiles(self) -> Dict[str, float]:
+        return self._quantiles(self.ttfes)
 
     @property
     def throughput_rps(self) -> float:
@@ -168,6 +178,8 @@ class LoadStats:
             "throughput_rps": self.throughput_rps,
             "percentiles": self.percentiles(),
         }
+        if self.ttfes:
+            out["ttfe_percentiles"] = self.ttfe_percentiles()
         if self.offered_rps is not None:
             out["offered_rps"] = self.offered_rps
         return out
@@ -186,16 +198,20 @@ class _VirtualUser:
     user with zero think time.
     """
 
-    __slots__ = ("client", "source", "remaining", "latencies",
-                 "errors", "_t0", "_harness")
+    __slots__ = ("client", "source", "remaining", "latencies", "ttfes",
+                 "errors", "_t0", "_seen_entry", "_on_entry", "_harness")
 
-    def __init__(self, client, source, requests, harness):
+    def __init__(self, client, source, requests, harness,
+                 measure_ttfe: bool = False):
         self.client = client
         self.source = source
         self.remaining = requests
         self.latencies: List[float] = []
+        self.ttfes: List[float] = []
         self.errors = 0
         self._t0 = 0.0
+        self._seen_entry = False
+        self._on_entry = self._first_entry if measure_ttfe else None
         self._harness = harness
 
     def start(self) -> None:
@@ -203,11 +219,19 @@ class _VirtualUser:
 
     def _fire(self) -> None:
         self._t0 = time.perf_counter()
+        self._seen_entry = False
         try:
-            self.client.search_async(self.source(), self._on_done)
+            self.client.search_async(
+                self.source(), self._on_done, on_entry=self._on_entry
+            )
         except Exception:  # noqa: BLE001 - a dead user stops looping
             self.errors += 1
             self._harness.user_finished()
+
+    def _first_entry(self, _item) -> None:
+        if not self._seen_entry:
+            self._seen_entry = True
+            self.ttfes.append(time.perf_counter() - self._t0)
 
     def _on_done(self, result, error) -> None:
         self.latencies.append(time.perf_counter() - self._t0)
@@ -239,9 +263,12 @@ def closed_loop(
     users: int,
     requests_per_user: int,
     timeout_s: float = 300.0,
+    measure_ttfe: bool = False,
 ) -> LoadStats:
     """Saturation load: ``users`` connections, one request in flight
-    each, ``requests_per_user`` requests per connection."""
+    each, ``requests_per_user`` requests per connection.  With
+    ``measure_ttfe`` each user also records issue-to-first-entry time
+    via a per-entry streaming callback."""
     harness = _Harness(users)
     vusers = []
     for i in range(users):
@@ -250,7 +277,7 @@ def closed_loop(
         vusers.append(
             _VirtualUser(
                 LdapClient(connect()), wl.request_source(),
-                requests_per_user, harness,
+                requests_per_user, harness, measure_ttfe=measure_ttfe,
             )
         )
     started = time.perf_counter()
@@ -262,6 +289,7 @@ def closed_loop(
     stats = LoadStats(mode="closed", users=users, duration_s=duration)
     for u in vusers:
         stats.latencies.extend(u.latencies)
+        stats.ttfes.extend(u.ttfes)
         stats.errors += u.errors
         try:
             u.client.unbind()
@@ -362,13 +390,24 @@ def open_loop(
 # ---------------------------------------------------------------------------
 
 
-def populate_gris(dit: DIT, n_hosts: int, children_per_host: int = 20) -> int:
+def populate_gris(
+    dit: DIT,
+    n_hosts: int,
+    children_per_host: int = 20,
+    first_host: int = 0,
+) -> int:
     """The MDS2-shaped dataset: hosts under ``o=Grid``, each with
     per-device/per-queue children that repeat the host's ``hn`` so an
-    indexed equality search returns the whole host group."""
+    indexed equality search returns the whole host group.
+
+    ``first_host`` offsets the host numbering so several GRIS can hold
+    disjoint slices of one VO (the chained-aggregate shape benchmark
+    E23 measures) instead of identical replicas that de-duplicate away
+    at the GIIS.
+    """
     dit.add(Entry("o=Grid", objectclass="organization", o="Grid"))
     total = 1
-    for h in range(n_hosts):
+    for h in range(first_host, first_host + n_hosts):
         hn = f"host{h}"
         dit.add(
             Entry(
@@ -405,11 +444,15 @@ class VoTestbed:
     """
 
     def __init__(self, giis_port: int, gris_ports: List[int], closers,
-                 metrics_urls: Optional[List[str]] = None):
+                 metrics_urls: Optional[List[str]] = None,
+                 giis_backend: Optional[GiisBackend] = None):
         self.giis_port = giis_port
         self.gris_ports = gris_ports
         self._closers = closers
         self.metrics_urls = metrics_urls or []
+        # The front-end backend itself, for counter assertions in the
+        # benchmarks (giis.relay.entries etc.).
+        self.giis_backend = giis_backend
 
     @property
     def ldap_specs(self) -> List[str]:
@@ -456,6 +499,8 @@ def build_vo(
     encode_cache: bool = True,
     monitor: bool = False,
     metrics_interval: float = 0.5,
+    relay: bool = True,
+    disjoint_hosts: bool = False,
 ) -> VoTestbed:
     closers = []
     clock = WallClock()
@@ -464,7 +509,10 @@ def build_vo(
     gris_metrics_urls: List[str] = []
     for g in range(n_gris):
         dit = DIT(index_attrs=["hn"])
-        populate_gris(dit, hosts_per_gris, children_per_host)
+        populate_gris(
+            dit, hosts_per_gris, children_per_host,
+            first_host=g * hosts_per_gris if disjoint_hosts else 0,
+        )
         backend = DitBackend(dit)
         metrics = recorder = health = None
         if monitor:
@@ -505,6 +553,7 @@ def build_vo(
         connector=lambda url: chain_endpoint.connect((url.host, url.port)),
         child_timeout=30.0,
         metrics=front_metrics,
+        relay=relay,
     )
     closers.append(giis.shutdown)
     now = clock.now()
@@ -540,7 +589,10 @@ def build_vo(
         metrics_urls.extend(gris_metrics_urls)
     closers.append(front_executor.shutdown)
     closers.append(front.close)
-    return VoTestbed(giis_port, gris_ports, closers, metrics_urls=metrics_urls)
+    return VoTestbed(
+        giis_port, gris_ports, closers,
+        metrics_urls=metrics_urls, giis_backend=giis,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -44,12 +44,19 @@ from ..ldap.backend import (
 )
 from ..ldap.attributes import CASE_EXACT
 from ..ldap.executor import CancelToken
+from ..ldap.filter import compile_filter
 from ..ldap.client import LdapClient, SearchResult
 from ..ldap.pool import LdapClientPool
 from ..ldap.dn import DN, RDN
 from ..ldap.index import AttributeIndex
 from ..ldap.entry import Entry
-from ..ldap.protocol import AddRequest, LdapResult, ResultCode, SearchRequest
+from ..ldap.protocol import (
+    AddRequest,
+    LdapResult,
+    RawEntry,
+    ResultCode,
+    SearchRequest,
+)
 from ..ldap.storage import ChangeOp, StorageEngine
 from ..ldap.url import LdapUrl
 from ..net.clock import Clock
@@ -245,10 +252,17 @@ class GiisBackend(Backend):
         index_attrs: Iterable[str] = (),
         pool_size: int = 2,
         storage: Optional[StorageEngine] = None,
+        relay: bool = True,
     ):
         if mode not in ("chain", "referral"):
             raise ValueError(f"unknown GIIS mode {mode!r}")
         self.suffix = DN.of(suffix)
+        # Zero re-encode relay: when the front end marks a request
+        # transparent, streamed child frames are forwarded verbatim
+        # (message id re-stamped, entry bytes untouched).  Off switches
+        # the streaming path to decode-then-forward, for debugging and
+        # for A/B measurement (benchmark E23).
+        self.relay = relay
         self.clock = clock
         self.connector = connector
         self.url = url
@@ -278,6 +292,9 @@ class GiisBackend(Backend):
         self._qcache_evictions = self.metrics.counter("giis.query_cache.evictions")
         self.metrics.gauge_fn("giis.query_cache.size", lambda: len(self._query_cache))
         self._chain_cancelled = self.metrics.counter("giis.chain.cancelled")
+        self._relay_entries = self.metrics.counter("giis.relay.entries")
+        self._relay_fallback = self.metrics.counter("giis.relay.fallback")
+        self._child_abandoned = self.metrics.counter("giis.child.abandoned")
         self._child_latency = self.metrics.histogram("giis.child.seconds")
         self._fanout = self.metrics.histogram(
             "giis.fanout", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -568,10 +585,11 @@ class GiisBackend(Backend):
 
     def _local_outcome(self, req: SearchRequest) -> SearchOutcome:
         base = req.base_dn()
+        match = compile_filter(req.filter)
         entries = [
             e
             for e in self.local_entries()
-            if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
+            if _in_scope(e.dn, base, req.scope) and match(e)
         ]
         return SearchOutcome(entries=entries)
 
@@ -651,12 +669,125 @@ class GiisBackend(Backend):
             token=token,
         )
         # Abandon/Unbind/disconnect/deadline all land here: stop waiting
-        # on children, cancel their timers, and never call done().
+        # on children, cancel their timers, Abandon whatever is still in
+        # flight, and never call done().
         token.on_cancel(collector.abort)
+        # The parent's size budget is forwarded only when the front end
+        # serves child results verbatim (transparent policy, no
+        # projection) and the outcome is not headed for the query cache
+        # (a truncated outcome must not satisfy later, larger queries —
+        # the cache key carries no size limit).  Sorted-merge prefix
+        # argument: any entry in the global first-*limit* lies in the
+        # first *limit* of its own child, so per-child truncation never
+        # changes the parent's answer.
+        budget = (
+            req.size_limit
+            if getattr(ctx, "transparent", False) and cache_key is None
+            else 0
+        )
         for registration in targets:
             if collector.finished:
                 break  # aborted while fanning out
-            self._chain_to(registration, req, collector, depth + 1, chain_span)
+            self._chain_to(
+                registration, req, collector, depth + 1, chain_span, budget
+            )
+        return handle
+
+    def submit_search_stream(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        on_entry: Callable[[object], None],
+        on_done: Callable[[SearchOutcome], None],
+    ) -> SearchHandle:
+        """Chaining with per-entry delivery — the zero re-encode relay.
+
+        Child answers are forwarded to *on_entry* as they arrive instead
+        of being buffered, merged, and sorted.  When the front end
+        declared the request transparent (``ctx.transparent``) and
+        :attr:`relay` is on, streamed child frames are forwarded as
+        undecoded :class:`~repro.ldap.protocol.RawEntry` objects: the
+        parent re-stamps the message id and never decodes or re-encodes
+        the entry.  Otherwise each frame is decoded once and handed over
+        as an :class:`Entry` for the front end to filter and project.
+
+        Output order is arrival order (local view first); DN-level
+        de-duplication keeps the entry *set* identical to the buffered
+        merge.  Query caching needs the whole outcome in hand, so
+        ``cache_ttl > 0`` — like referral mode, which never chains —
+        falls back to the buffered path through the base adapter.
+        """
+        if self.mode != "chain" or self.cache_ttl > 0:
+            if self.mode == "chain" and getattr(ctx, "transparent", False):
+                self._relay_fallback.inc()
+            return super().submit_search_stream(req, ctx, on_entry, on_done)
+        token = ctx.token if ctx.token is not None else CancelToken()
+        handle = SearchHandle(token)
+        base = req.base_dn()
+        if not (base.is_within(self.suffix) or self.suffix.is_within(base)):
+            on_done(
+                SearchOutcome(
+                    result=LdapResult(
+                        ResultCode.NO_SUCH_OBJECT, matched_dn=str(self.suffix)
+                    )
+                )
+            )
+            return handle
+
+        targets = self._targets(req)
+        local = self._local_outcome(req)
+        depth = _read_chain_depth(ctx.controls)
+        chain = bool(targets) and self.connector is not None
+        if depth >= self.max_chain_depth:
+            # Cycle or pathological hierarchy: answer with the local
+            # view instead of recursing (partial results, §2.2).
+            self._depth_limited.inc()
+            chain = False
+
+        if not chain:
+            for entry in local.entries:
+                if token.cancelled:
+                    return handle
+                on_entry(entry)
+            if not token.cancelled:
+                on_done(
+                    SearchOutcome(entries=[], referrals=list(local.referrals))
+                )
+            return handle
+
+        transparent = bool(getattr(ctx, "transparent", False))
+        relay = self.relay and transparent
+        if transparent and not relay:
+            self._relay_fallback.inc()
+        # Verbatim delivery means no parent-side projection or ACL can
+        # drop a child entry, so the parent's size budget is safe to
+        # forward; children at their budget answer sizeLimitExceeded,
+        # treated as partial success below.
+        budget = req.size_limit if transparent else 0
+        trace = getattr(ctx, "trace", None)
+        self._fanout.observe(len(targets))
+        chain_span = (
+            trace.child("giis.chain", fanout=len(targets), relay=relay)
+            if trace is not None
+            else None
+        )
+        collector = _StreamCollector(
+            self,
+            len(targets),
+            on_entry,
+            on_done,
+            relay=relay,
+            span=chain_span,
+            token=token,
+        )
+        token.on_cancel(collector.abort)
+        collector.start(local)
+        for registration in targets:
+            if collector.finished:
+                break  # aborted (or size budget met) while fanning out
+            self._chain_to_stream(
+                registration, req, collector, depth + 1, chain_span, budget
+            )
         return handle
 
     def _chain_to(
@@ -666,6 +797,8 @@ class GiisBackend(Backend):
         collector: "_Collector",
         depth: int = 1,
         parent_span=None,
+        size_budget: int = 0,
+        on_entry: Optional[Callable[[RawEntry], None]] = None,
     ) -> None:
         url = registration.service_url
         client = self._client_for(url)
@@ -680,11 +813,13 @@ class GiisBackend(Backend):
             else None
         )
         started = self.clock.now()
-        # Forward without attribute selection or size limit: the parent
-        # front end filters and projects authoritatively on full entries
-        # (a projected entry could no longer match the filter upstream).
-        # The time limit is re-stamped below from this hop's own budget.
-        req = replace(req, attributes=(), size_limit=0, time_limit=0)
+        # Forward without attribute selection: the parent front end
+        # filters and projects authoritatively on full entries (a
+        # projected entry could no longer match the filter upstream).
+        # *size_budget* is the parent's size limit when the caller
+        # proved per-child truncation safe, else 0 (unlimited).  The
+        # time limit is re-stamped below from this hop's own budget.
+        req = replace(req, attributes=(), size_limit=size_budget, time_limit=0)
 
         def on_timeout() -> None:
             if span is not None:
@@ -701,21 +836,29 @@ class GiisBackend(Backend):
         def on_done(result: SearchResult, _error=None) -> None:
             timer.cancel()
             self._child_latency.observe(self.clock.now() - started)
+            # A child that filled its forwarded size budget answers
+            # sizeLimitExceeded over a *partial entry set* — that is the
+            # budget working, not a failure (§2.2 partial results).
+            ok = (
+                result.result.ok
+                or result.result.code == ResultCode.SIZE_LIMIT_EXCEEDED
+            )
             if span is not None:
-                span.tag("ok", result.result.ok).finish()
-            if result.result.ok:
+                span.tag("ok", ok).finish()
+            if ok:
                 collector.child_done(url, result)
             else:
                 self._child_errors.inc()
                 collector.child_failed(url)
 
         try:
-            client.search_async(
+            msg_id = client.search_async(
                 req,
                 on_done,
                 controls=(_chain_depth_control(depth),),
                 deadline=child_timeout,
                 trace=span,
+                on_entry=on_entry,
             )
         except Exception:  # noqa: BLE001 - connection died under us
             timer.cancel()
@@ -724,6 +867,29 @@ class GiisBackend(Backend):
             self.pool.discard(url, client)
             self._child_errors.inc()
             collector.child_failed(url)
+            return
+        collector.own_child(url, client, msg_id)
+
+    def _chain_to_stream(
+        self,
+        registration: Registration,
+        req: SearchRequest,
+        collector: "_StreamCollector",
+        depth: int,
+        parent_span=None,
+        size_budget: int = 0,
+    ) -> None:
+        """Chain to one child with streamed (per-frame) delivery."""
+        url = registration.service_url
+        self._chain_to(
+            registration,
+            req,
+            collector,
+            depth,
+            parent_span,
+            size_budget,
+            on_entry=lambda raw: collector.child_entry(url, raw),
+        )
 
     def _client_for(self, service_url: str) -> Optional[LdapClient]:
         return self.pool.client_for(service_url)
@@ -852,8 +1018,10 @@ class _Collector:
         self.finished = False
         self.merged: Dict[DN, Entry] = {e.dn: e for e in local.entries}
         self.referrals: List[str] = list(local.referrals)
+        self.truncated = False
         self.responded: set = set()
         self._timers: Dict[str, object] = {}
+        self._children: Dict[str, Tuple[LdapClient, int]] = {}
 
     def own_timer(self, url: str, timer) -> None:
         """Track one child's timeout timer so abort() can cancel it."""
@@ -861,6 +1029,20 @@ class _Collector:
             timer.cancel()
         else:
             self._timers[url] = timer
+
+    def own_child(self, url: str, client: LdapClient, msg_id: int) -> None:
+        """Track one in-flight child search so abort() can Abandon it."""
+        if self.finished and url not in self.responded:
+            self._abandon_child(url, client, msg_id)
+        else:
+            self._children[url] = (client, msg_id)
+
+    def _abandon_child(self, url: str, client: LdapClient, msg_id: int) -> None:
+        self.giis._child_abandoned.inc()
+        try:
+            client.abandon(msg_id)
+        except Exception:  # noqa: BLE001 - connection already gone
+            self.giis.pool.discard(url, client)
 
     def abort(self) -> None:
         if self.finished:
@@ -870,6 +1052,10 @@ class _Collector:
         timers, self._timers = self._timers, {}
         for timer in timers.values():
             timer.cancel()
+        children, self._children = self._children, {}
+        for url, (client, msg_id) in children.items():
+            if url not in self.responded:
+                self._abandon_child(url, client, msg_id)
         if self.span is not None:
             self.span.tag("cancelled", self.token.reason or True).finish()
 
@@ -877,6 +1063,12 @@ class _Collector:
         if url in self.responded:
             return
         self.responded.add(url)
+        self._children.pop(url, None)
+        if result.result.code == ResultCode.SIZE_LIMIT_EXCEEDED:
+            # Partial success: the child truncated (its forwarded size
+            # budget, or its own limits), so the merged view is partial
+            # and the final result must say so.
+            self.truncated = True
         for entry in result.entries:
             self.merged.setdefault(entry.dn, entry)
         self.referrals.extend(result.referrals)
@@ -886,6 +1078,7 @@ class _Collector:
         if url in self.responded:
             return
         self.responded.add(url)
+        self._children.pop(url, None)
         self._decrement()
 
     def child_timed_out(self, url: str) -> None:
@@ -893,6 +1086,11 @@ class _Collector:
             return
         self.responded.add(url)
         self.giis._child_timeouts.inc()
+        # The child is still grinding on a query nobody will read —
+        # tell it to stop before giving up the slot.
+        child = self._children.pop(url, None)
+        if child is not None:
+            self._abandon_child(url, *child)
         self._decrement()
 
     def _decrement(self) -> None:
@@ -907,13 +1105,200 @@ class _Collector:
         entries = sorted(
             self.merged.values(), key=lambda e: e.dn.sort_key
         )
-        outcome = SearchOutcome(entries=entries, referrals=self.referrals)
+        outcome = SearchOutcome(
+            entries=entries,
+            referrals=self.referrals,
+            result=(
+                LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED)
+                if self.truncated
+                else LdapResult()
+            ),
+        )
         if self.cache_key is not None:
             self.giis._store_query_result(
                 self.cache_key,
                 _QueryCacheSlot(_copy_outcome(outcome), self.giis.clock.now()),
             )
         self.done(outcome)
+
+
+class _StreamCollector:
+    """Streams merged child results; calls on_done() exactly once.
+
+    The streaming counterpart of :class:`_Collector`: entries are
+    forwarded to the front end as they arrive — local view first, then
+    children in arrival order — instead of being buffered and sorted.
+    First writer wins on DN collisions, so the delivered entry *set*
+    matches the buffered merge.
+
+    Child connections deliver on independent receive threads, so every
+    callback serializes under one lock — reentrant, because forwarding
+    an entry can trip the front end's size limit, which cancels the
+    request token and re-enters :meth:`abort` on this same stack.
+    """
+
+    def __init__(
+        self,
+        giis: GiisBackend,
+        pending: int,
+        on_entry: Callable[[object], None],
+        on_done: Callable[[SearchOutcome], None],
+        relay: bool,
+        span=None,
+        token: Optional[CancelToken] = None,
+    ):
+        self.giis = giis
+        self.on_entry = on_entry
+        self.on_done = on_done
+        self.relay = relay
+        self.span = span
+        self.token = token if token is not None else CancelToken()
+        self.pending = pending
+        self.finished = False
+        self.seen: Set[DN] = set()
+        self.referrals: List[str] = []
+        self.truncated = False
+        self.responded: set = set()
+        self._timers: Dict[str, object] = {}
+        self._children: Dict[str, Tuple[LdapClient, int]] = {}
+        self._lock = threading.RLock()
+
+    def start(self, local: SearchOutcome) -> None:
+        """Stream the local view, seeding DN de-duplication."""
+        with self._lock:
+            self.referrals.extend(local.referrals)
+            for entry in local.entries:
+                if self.finished or self.token.cancelled:
+                    return
+                self.seen.add(entry.dn)
+                self.on_entry(entry)
+
+    def own_timer(self, url: str, timer) -> None:
+        with self._lock:
+            if self.finished:
+                timer.cancel()
+            else:
+                self._timers[url] = timer
+
+    def own_child(self, url: str, client: LdapClient, msg_id: int) -> None:
+        with self._lock:
+            if self.finished and url not in self.responded:
+                self._abandon_child(url, client, msg_id)
+            else:
+                self._children[url] = (client, msg_id)
+
+    def _abandon_child(self, url: str, client: LdapClient, msg_id: int) -> None:
+        self.giis._child_abandoned.inc()
+        try:
+            client.abandon(msg_id)
+        except Exception:  # noqa: BLE001 - connection already gone
+            self.giis.pool.discard(url, client)
+
+    def abort(self) -> None:
+        with self._lock:
+            if self.finished:
+                return
+            self.finished = True
+            self.giis._chain_cancelled.inc()
+            timers, self._timers = self._timers, {}
+            for timer in timers.values():
+                timer.cancel()
+            children, self._children = self._children, {}
+            for url, (client, msg_id) in children.items():
+                if url not in self.responded:
+                    self._abandon_child(url, client, msg_id)
+            if self.span is not None:
+                self.span.tag("cancelled", self.token.reason or True).finish()
+
+    def _forward(self, item) -> None:
+        """Dedup one entry by DN and hand it to the front end.
+
+        Caller holds the lock.  A relayed :class:`RawEntry` costs one
+        DN-peek parse; the decoded lane pays one full decode.
+        """
+        if isinstance(item, RawEntry):
+            key = DN.parse(item.dn)
+            if key in self.seen:
+                return
+            self.seen.add(key)
+            if self.relay:
+                self.giis._relay_entries.inc()
+                self.on_entry(item)
+            else:
+                self.on_entry(item.to_entry())
+            return
+        if item.dn in self.seen:
+            return
+        self.seen.add(item.dn)
+        self.on_entry(item)
+
+    def child_entry(self, url: str, item) -> None:
+        """One streamed child frame, straight off the receive path."""
+        with self._lock:
+            if self.finished or url in self.responded:
+                return
+            self._forward(item)
+
+    def child_done(self, url: str, result: SearchResult) -> None:
+        with self._lock:
+            if self.finished or url in self.responded:
+                return
+            self.responded.add(url)
+            self._children.pop(url, None)
+            if result.result.code == ResultCode.SIZE_LIMIT_EXCEEDED:
+                # Partial success (§2.2): the child truncated at its
+                # forwarded size budget, so the merged answer is partial
+                # and the final result must carry sizeLimitExceeded.
+                self.truncated = True
+            # Streamed searches conclude with an empty entry list; a
+            # buffered child answer (if any) merges through the same
+            # dedup lane.
+            for entry in result.entries:
+                if self.finished:
+                    break
+                self._forward(entry)
+            self.referrals.extend(result.referrals)
+            self._decrement()
+
+    def child_failed(self, url: str) -> None:
+        with self._lock:
+            if self.finished or url in self.responded:
+                return
+            self.responded.add(url)
+            self._children.pop(url, None)
+            self._decrement()
+
+    def child_timed_out(self, url: str) -> None:
+        with self._lock:
+            if self.finished or url in self.responded:
+                return
+            self.responded.add(url)
+            self.giis._child_timeouts.inc()
+            child = self._children.pop(url, None)
+            if child is not None:
+                self._abandon_child(url, *child)
+            self._decrement()
+
+    def _decrement(self) -> None:
+        if self.finished:
+            return
+        self.pending -= 1
+        if self.pending > 0:
+            return
+        self.finished = True
+        if self.span is not None:
+            self.span.finish()
+        self.on_done(
+            SearchOutcome(
+                entries=[],
+                referrals=self.referrals,
+                result=(
+                    LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED)
+                    if self.truncated
+                    else LdapResult()
+                ),
+            )
+        )
 
 
 def _child_url(registration: Registration) -> str:

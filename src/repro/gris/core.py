@@ -39,6 +39,7 @@ from ..ldap.dit import DIT, DitError, Scope
 from ..ldap.dn import DN, RDN
 from ..ldap.entry import Entry
 from ..ldap.executor import RequestExecutor
+from ..ldap.filter import compile_filter
 from ..ldap.protocol import LdapResult, ResultCode, SearchRequest
 from ..ldap.storage import StorageEngine
 from ..net.clock import Clock, TimerHandle
@@ -369,6 +370,7 @@ class GrisBackend(Backend):
         candidates = (
             self._view_candidates(req, info) if req.scope != Scope.BASE else None
         )
+        match = compile_filter(req.filter)
         if candidates is not None:
             self._search_indexed.inc()
             in_scope = []
@@ -378,7 +380,7 @@ class GrisBackend(Backend):
             if (
                 suffix_entry is not None
                 and _in_scope(suffix_entry.dn, base, req.scope)
-                and req.filter.matches(suffix_entry)
+                and match(suffix_entry)
             ):
                 in_scope.append(suffix_entry)
             for dn in candidates:
@@ -387,16 +389,14 @@ class GrisBackend(Backend):
                 entry = entries.get(dn)
                 if entry is None:
                     continue  # stale posting: not part of this collect
-                if _in_scope(entry.dn, base, req.scope) and req.filter.matches(
-                    entry
-                ):
+                if _in_scope(entry.dn, base, req.scope) and match(entry):
                     in_scope.append(entry)
         else:
             self._search_scanned.inc()
             in_scope = [
                 e
                 for e in entries.values()
-                if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
+                if _in_scope(e.dn, base, req.scope) and match(e)
             ]
         if req.scope == Scope.BASE and not in_scope:
             return SearchOutcome(
@@ -584,9 +584,10 @@ class _PollingSubscription:
 
     def _matching(self) -> Dict[DN, Entry]:
         base = self.req.base_dn()
+        match = compile_filter(self.req.filter)
         out: Dict[DN, Entry] = {}
         for dn, entry in self.backend._collect(self.req).items():
-            if _in_scope(dn, base, self.req.scope) and self.req.filter.matches(entry):
+            if _in_scope(dn, base, self.req.scope) and match(entry):
                 out[dn] = entry
         return out
 

@@ -90,6 +90,22 @@ class MatchingRule:
         """The string that substring filters match against."""
         return self.normalize(value)
 
+    def comparer(self, constant: str):
+        """A one-argument three-way compare against a pre-normalized
+        *constant* — the per-request compilation of :meth:`compare`.
+
+        ``rule.comparer(b)(a) == rule.compare(a, b)`` for every rule;
+        compiling hoists the constant's normalization (and numeric
+        parse, for the numeric-aware rules) out of the per-entry loop.
+        """
+        nb = self.normalize(constant)
+
+        def cmp(a: str) -> int:
+            na = self.normalize(a)
+            return (na > nb) - (na < nb)
+
+        return cmp
+
 
 class CaseIgnoreMatch(MatchingRule):
     """Default directoryString rule: case/whitespace-insensitive, with
@@ -107,6 +123,20 @@ class CaseIgnoreMatch(MatchingRule):
         if fa is not None and fb is not None:
             return (fa > fb) - (fa < fb)
         return super().compare(a, b)
+
+    def comparer(self, constant: str):
+        fb = numeric_value(constant)
+        nb = self.normalize(constant)
+
+        def cmp(a: str) -> int:
+            if fb is not None:
+                fa = numeric_value(a)
+                if fa is not None:
+                    return (fa > fb) - (fa < fb)
+            na = self.normalize(a)
+            return (na > nb) - (na < nb)
+
+        return cmp
 
 
 class CaseExactMatch(MatchingRule):
@@ -136,6 +166,20 @@ class NumericMatch(MatchingRule):
         if fa is not None and fb is not None:
             return (fa > fb) - (fa < fb)
         return super().compare(a, b)
+
+    def comparer(self, constant: str):
+        fb = numeric_value(constant)
+        nb = self.normalize(constant)
+
+        def cmp(a: str) -> int:
+            if fb is not None:
+                fa = numeric_value(a)
+                if fa is not None:
+                    return (fa > fb) - (fa < fb)
+            na = self.normalize(a)
+            return (na > nb) - (na < nb)
+
+        return cmp
 
 
 CASE_IGNORE = CaseIgnoreMatch()
@@ -206,6 +250,24 @@ class AttributeValues:
 
     def values(self) -> List[str]:
         return list(self._values)
+
+    @property
+    def raw(self) -> List[str]:
+        """The live value list (read-only by convention; no copy).
+
+        Compiled filter matchers iterate this on the per-entry hot path
+        where :meth:`values`'s defensive copy showed up in profiles.
+        """
+        return self._values
+
+    @property
+    def normalized(self) -> "set[str]":
+        """The pre-normalized value memo set (read-only by convention).
+
+        Membership here is equality under the attribute's matching rule
+        — the per-entry test compiled equality filters run against.
+        """
+        return self._normalized
 
     @property
     def first(self) -> str:

@@ -66,6 +66,13 @@ class RequestContext:
     # it to stop in-flight work on Abandon, Unbind, disconnect, or time
     # limit expiry.
     token: Optional[CancelToken] = None
+    # True when the front end will serve this request's results verbatim
+    # (transparent access policy, no attribute selection, not typesOnly):
+    # streaming backends may then emit undecoded
+    # :class:`~repro.ldap.protocol.RawEntry` frames for the server to
+    # relay without re-encoding.  False means every streamed result must
+    # be a decoded :class:`~repro.ldap.entry.Entry`.
+    transparent: bool = False
 
     @property
     def cancelled(self) -> bool:
@@ -175,6 +182,49 @@ class Backend:
         if not token.cancelled:
             on_done(outcome)
         return handle
+
+    def submit_search_stream(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        on_entry: Callable[[object], None],
+        on_done: Callable[[SearchOutcome], None],
+    ) -> SearchHandle:
+        """Start one search, delivering results incrementally.
+
+        *on_entry* fires once per result — an :class:`~.entry.Entry`, or
+        a :class:`~repro.ldap.protocol.RawEntry` when the backend relays
+        undecoded child frames and ``ctx.transparent`` allows it — and
+        *on_done* fires exactly once afterwards with the terminal
+        outcome, whose ``entries`` list is empty (everything already
+        streamed).  Cancelling ``ctx.token`` stops delivery; after
+        cancellation neither callback may fire again.  Deliveries are
+        serialized: a backend gathering results on several threads must
+        never invoke the callbacks concurrently.
+
+        The default adapts the buffered :meth:`submit_search` by
+        replaying its outcome, so local backends get streaming for free;
+        backends that gather results remotely (the GIIS) override this
+        natively and shim the buffered API over it instead.
+        """
+
+        def replay(outcome: SearchOutcome) -> None:
+            token = ctx.token
+            for entry in outcome.entries:
+                if token is not None and token.cancelled:
+                    return
+                on_entry(entry)
+            if token is not None and token.cancelled:
+                return
+            on_done(
+                SearchOutcome(
+                    entries=[],
+                    referrals=outcome.referrals,
+                    result=outcome.result,
+                )
+            )
+
+        return self.submit_search(req, ctx, replay)
 
     def search(self, req: SearchRequest, ctx: RequestContext) -> SearchOutcome:
         """Synchronous shim over :meth:`submit_search`.

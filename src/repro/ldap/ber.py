@@ -302,6 +302,18 @@ class TlvReader:
         tag, value, self._offset = decode_tlv(self._data, self._offset)
         return tag, value
 
+    def read_raw(self) -> memoryview:
+        """The next complete TLV record — tag, length, and value octets —
+        as a zero-copy view.
+
+        This is the relay primitive: a protocol op read this way can be
+        re-framed under a new message header without ever being decoded
+        (see :func:`repro.ldap.protocol.encode_message_with_op`).
+        """
+        start = self._offset
+        _, _, self._offset = decode_tlv(self._data, self._offset)
+        return self._data[start : self._offset]
+
     def read_expect(self, expected: Tag | int) -> memoryview:
         tag, value = self.read()
         want = expected.octet if isinstance(expected, Tag) else expected

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..net.clock import Clock
 from ..net.transport import Connection, ConnectionClosed
 from .backend import ChangeType
+from .ber import TAG_SEQUENCE, BerError, Tag, TlvReader, decode_tlv
 from .dit import Scope
 from .dn import DN
 from .entry import Entry
@@ -53,6 +54,7 @@ from .protocol import (
     ModifyRequest,
     ModifyResponse,
     ProtocolError,
+    RawEntry,
     ResultCode,
     SearchRequest,
     SearchResultDone,
@@ -144,15 +146,16 @@ class _Pending:
     deadline timer deliver exactly one ``on_done``.
     """
 
-    __slots__ = ("kind", "acc", "on_done", "on_change", "event", "timer",
-                 "handle")
+    __slots__ = ("kind", "acc", "on_done", "on_change", "on_entry", "event",
+                 "timer", "handle")
 
     def __init__(self, kind: str, on_done: Optional[DoneCallback] = None,
-                 on_change=None):
+                 on_change=None, on_entry=None):
         self.kind = kind
         self.acc = SearchResult()
         self.on_done = on_done
         self.on_change = on_change
+        self.on_entry = on_entry  # streaming search: per-entry callback
         self.event: Optional[threading.Event] = None
         self.timer = None  # local deadline TimerHandle, when armed
         self.handle: Optional[SubscriptionHandle] = None  # subscribe only
@@ -261,9 +264,42 @@ class LdapClient:
         ExtendedResponse,
     )
 
+    # Identifier octet of a SearchResultEntry protocol op (APPLICATION 4,
+    # constructed) — what the light peek below matches against.
+    _ENTRY_OP_OCTET = Tag.application(SearchResultEntry.APP_TAG).octet
+
     def _on_message(self, raw: bytes) -> None:
+        view = raw if type(raw) is memoryview else memoryview(raw)
+        # Light peek: message id + op identifier octet, no payload
+        # decode.  A SearchResultEntry headed for a *streaming* search
+        # is handed over as an undecoded RawEntry — the zero-decode leg
+        # of the GIIS relay lane.  Everything else falls through to the
+        # full decoder.
         try:
-            message = decode_message(raw)
+            tag, body, end = decode_tlv(view)
+            if end != len(view) or tag.octet != TAG_SEQUENCE:
+                raise BerError("bad LDAPMessage framing")
+            r = TlvReader(body)
+            peek_id = r.read_integer()
+            is_entry = not r.at_end() and r.peek_tag().octet == self._ENTRY_OP_OCTET
+        except BerError:
+            self.conn.close()
+            return
+        if is_entry:
+            with self._lock:
+                streaming = self._pending.get(peek_id)
+            if streaming is None:
+                return
+            if streaming.kind == "search" and streaming.on_entry is not None:
+                # The op bytes may alias a reused receive buffer: the
+                # callback must detach() anything it retains.
+                try:
+                    streaming.on_entry(RawEntry(r.read_raw()))
+                except BerError:
+                    self.conn.close()
+                return
+        try:
+            message = decode_message(view)
         except ProtocolError:
             self.conn.close()
             return
@@ -359,7 +395,18 @@ class LdapClient:
         controls: Tuple[Control, ...] = (),
         deadline: Optional[float] = None,
         trace=None,
+        on_entry: Optional[Callable[[RawEntry], None]] = None,
     ) -> int:
+        """Start one search.
+
+        With *on_entry* the search **streams**: each result fires
+        ``on_entry(raw_entry)`` as its frame arrives — an undecoded
+        :class:`~repro.ldap.protocol.RawEntry` whose bytes may alias the
+        receive buffer (``detach()`` anything retained past the
+        callback) — and the final ``on_done`` outcome carries an empty
+        entry list.  Without it the client accumulates decoded entries
+        as before.
+        """
         if deadline is not None and not req.time_limit:
             # Advertise the budget on the wire so deadline-aware servers
             # (and chained children) stop working when it expires.
@@ -372,11 +419,21 @@ class LdapClient:
             tracer = getattr(trace, "tracer", None)
             if tracer is not None:
                 tracer.propagated()
-        pending = _Pending("search", on_done=on_done)
+        pending = _Pending("search", on_done=on_done, on_entry=on_entry)
         msg_id = self._allocate(pending)
         self._send(LdapMessage(msg_id, req, controls))
         self._arm_deadline(msg_id, deadline)
         return msg_id
+
+    def abandon(self, msg_id: int) -> None:
+        """Abandon an outstanding operation (RFC 4511 §4.11).
+
+        Discards the pending record — its ``on_done`` will never fire —
+        and tells the server to stop working on the request.  Used by
+        the GIIS to cut off chained children once the parent's size
+        budget is met.
+        """
+        self._abandon(msg_id)
 
     def add_async(self, entry: Entry, on_done: DoneCallback) -> int:
         pending = _Pending("add", on_done=on_done)

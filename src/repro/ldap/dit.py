@@ -44,7 +44,7 @@ from typing import TYPE_CHECKING
 from .attributes import normalize_attr_name
 from .dn import DN
 from .entry import Entry, WireCache
-from .filter import Filter
+from .filter import Filter, compile_filter
 from .index import AttributeIndex
 from .plan import candidates_for
 from .schema import Schema
@@ -377,6 +377,10 @@ class DIT:
         """
         base = DN.of(base)
         matched: List[Entry] = []
+        # Compile once per search: candidate verification is the hot
+        # loop, and the compiled matcher hoists all constant-side
+        # normalization out of it.
+        match = compile_filter(filt) if filt is not None else None
         with self._lock:
             candidates = (
                 candidates_for(filt, self._index)
@@ -387,7 +391,7 @@ class DIT:
                 if base not in self._entries:
                     raise NoSuchEntry(base)
                 entry = self._entries[base]
-                if filt is None or filt.matches(entry):
+                if match is None or match(entry):
                     matched.append(entry)
             elif candidates is not None:
                 self._planned.inc()
@@ -398,7 +402,7 @@ class DIT:
                         continue
                     if not in_scope(dn, base, scope):
                         continue
-                    if filt is not None and not filt.matches(entry):
+                    if match is not None and not match(entry):
                         continue
                     matched.append(entry)
             else:
@@ -407,7 +411,7 @@ class DIT:
                     entry = self._entries.get(dn)
                     if entry is None:
                         continue
-                    if filt is not None and not filt.matches(entry):
+                    if match is not None and not match(entry):
                         continue
                     matched.append(entry)
             matched.sort(key=lambda e: e.dn.sort_key)

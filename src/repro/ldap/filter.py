@@ -18,7 +18,7 @@ The AST round-trips: ``parse(str(ast)) == ast``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .attributes import normalize_attr_name, rule_for
 from .entry import Entry
@@ -38,7 +38,13 @@ __all__ = [
     "parse",
     "present",
     "eq",
+    "compile_filter",
 ]
+
+# A compiled filter: entry -> bool, with all constant-side work
+# (attribute-name normalization, matching-rule lookup, constant
+# normalization/numeric parse) hoisted out of the per-entry call.
+Matcher = Callable[[Entry], bool]
 
 
 class FilterError(ValueError):
@@ -59,6 +65,17 @@ class Filter:
     def matches(self, entry: Entry) -> bool:
         raise NotImplementedError
 
+    def compile(self) -> Matcher:
+        """Compile this node into a matcher closure.
+
+        ``f.compile()(e) == f.matches(e)`` for every entry; the compiled
+        form normalizes the filter's constants exactly once instead of
+        once per candidate, and tests equality against the entry's
+        pre-normalized value memos.  Compile once per request, then
+        apply per entry (see :func:`compile_filter`).
+        """
+        return self.matches  # safe fallback for exotic subclasses
+
     def attributes(self) -> set[str]:
         """All attribute types this filter references (for index planning)."""
         raise NotImplementedError
@@ -77,6 +94,17 @@ class And(Filter):
     def matches(self, entry: Entry) -> bool:
         return all(c.matches(entry) for c in self.clauses)
 
+    def compile(self) -> Matcher:
+        kids = tuple(c.compile() for c in self.clauses)
+
+        def match(entry: Entry) -> bool:
+            for k in kids:
+                if not k(entry):
+                    return False
+            return True
+
+        return match
+
     def attributes(self) -> set[str]:
         out: set[str] = set()
         for c in self.clauses:
@@ -93,6 +121,17 @@ class Or(Filter):
 
     def matches(self, entry: Entry) -> bool:
         return any(c.matches(entry) for c in self.clauses)
+
+    def compile(self) -> Matcher:
+        kids = tuple(c.compile() for c in self.clauses)
+
+        def match(entry: Entry) -> bool:
+            for k in kids:
+                if k(entry):
+                    return True
+            return False
+
+        return match
 
     def attributes(self) -> set[str]:
         out: set[str] = set()
@@ -111,6 +150,10 @@ class Not(Filter):
     def matches(self, entry: Entry) -> bool:
         return not self.clause.matches(entry)
 
+    def compile(self) -> Matcher:
+        kid = self.clause.compile()
+        return lambda entry: not kid(entry)
+
     def attributes(self) -> set[str]:
         return self.clause.attributes()
 
@@ -126,6 +169,16 @@ class Equality(Filter):
     def matches(self, entry: Entry) -> bool:
         return entry.has_value(self.attr, self.value)
 
+    def compile(self) -> Matcher:
+        key = normalize_attr_name(self.attr)
+        want = rule_for(self.attr).normalize(self.value)
+
+        def match(entry: Entry) -> bool:
+            av = entry._attrs.get(key)
+            return av is not None and want in av.normalized
+
+        return match
+
     def attributes(self) -> set[str]:
         return {normalize_attr_name(self.attr)}
 
@@ -139,6 +192,10 @@ class Presence(Filter):
 
     def matches(self, entry: Entry) -> bool:
         return entry.has(self.attr)
+
+    def compile(self) -> Matcher:
+        key = normalize_attr_name(self.attr)
+        return lambda entry: key in entry._attrs
 
     def attributes(self) -> set[str]:
         return {normalize_attr_name(self.attr)}
@@ -158,30 +215,36 @@ class Substring(Filter):
 
     def matches(self, entry: Entry) -> bool:
         rule = rule_for(self.attr)
+        initial, anys, final = self._patterns(rule)
         for raw in entry.get(self.attr):
-            hay = rule.substring_haystack(raw)
-            if self._match_one(hay, rule):
+            if _substring_match(rule.substring_haystack(raw), initial, anys, final):
                 return True
         return False
 
-    def _match_one(self, hay: str, rule) -> bool:
-        pos = 0
-        if self.initial is not None:
-            pat = rule.substring_haystack(self.initial)
-            if not hay.startswith(pat):
+    def _patterns(self, rule) -> Tuple[Optional[str], Tuple[str, ...], Optional[str]]:
+        """The components normalized into haystack form."""
+        return (
+            rule.substring_haystack(self.initial) if self.initial is not None else None,
+            tuple(rule.substring_haystack(p) for p in self.any),
+            rule.substring_haystack(self.final) if self.final is not None else None,
+        )
+
+    def compile(self) -> Matcher:
+        key = normalize_attr_name(self.attr)
+        rule = rule_for(self.attr)
+        initial, anys, final = self._patterns(rule)
+        haystack = rule.substring_haystack
+
+        def match(entry: Entry) -> bool:
+            av = entry._attrs.get(key)
+            if av is None:
                 return False
-            pos = len(pat)
-        for part in self.any:
-            pat = rule.substring_haystack(part)
-            idx = hay.find(pat, pos)
-            if idx < 0:
-                return False
-            pos = idx + len(pat)
-        if self.final is not None:
-            pat = rule.substring_haystack(self.final)
-            if len(hay) - pos < len(pat) or not hay.endswith(pat):
-                return False
-        return True
+            for raw in av.raw:
+                if _substring_match(haystack(raw), initial, anys, final):
+                    return True
+            return False
+
+        return match
 
     def attributes(self) -> set[str]:
         return {normalize_attr_name(self.attr)}
@@ -191,6 +254,29 @@ class Substring(Filter):
         parts.extend(escape_value(a) for a in self.any)
         parts.append(escape_value(self.final) if self.final is not None else "")
         return f"({self.attr}={'*'.join(parts)})"
+
+
+def _substring_match(
+    hay: str,
+    initial: Optional[str],
+    anys: Tuple[str, ...],
+    final: Optional[str],
+) -> bool:
+    """Match one normalized haystack against normalized components."""
+    pos = 0
+    if initial is not None:
+        if not hay.startswith(initial):
+            return False
+        pos = len(initial)
+    for pat in anys:
+        idx = hay.find(pat, pos)
+        if idx < 0:
+            return False
+        pos = idx + len(pat)
+    if final is not None:
+        if len(hay) - pos < len(final) or not hay.endswith(final):
+            return False
+    return True
 
 
 class _Ordering(Filter):
@@ -208,6 +294,22 @@ class _Ordering(Filter):
         return any(
             self._cmp_ok(rule.compare(v, self.value)) for v in entry.get(self.attr)
         )
+
+    def compile(self) -> Matcher:
+        key = normalize_attr_name(self.attr)
+        cmp = rule_for(self.attr).comparer(self.value)
+        ok = self._cmp_ok
+
+        def match(entry: Entry) -> bool:
+            av = entry._attrs.get(key)
+            if av is None:
+                return False
+            for v in av.raw:
+                if ok(cmp(v)):
+                    return True
+            return False
+
+        return match
 
     def attributes(self) -> set[str]:
         return {normalize_attr_name(self.attr)}
@@ -258,6 +360,22 @@ class Approx(Filter):
     def matches(self, entry: Entry) -> bool:
         want = self._squash(self.value)
         return any(self._squash(v) == want for v in entry.get(self.attr))
+
+    def compile(self) -> Matcher:
+        key = normalize_attr_name(self.attr)
+        want = self._squash(self.value)
+        squash = self._squash
+
+        def match(entry: Entry) -> bool:
+            av = entry._attrs.get(key)
+            if av is None:
+                return False
+            for v in av.raw:
+                if squash(v) == want:
+                    return True
+            return False
+
+        return match
 
     def attributes(self) -> set[str]:
         return {normalize_attr_name(self.attr)}
@@ -381,6 +499,20 @@ class _Parser:
         if len(middle) != len(chunks) - 2:
             raise self.error("empty substring component (consecutive '*')")
         return Substring(attr, initial, middle, final)
+
+
+def compile_filter(f: Optional[Filter]) -> Matcher:
+    """Compile *f* into a per-entry matcher (None matches everything).
+
+    The hot-path form of filter evaluation: the search path compiles the
+    request filter once, then applies the matcher per candidate — no
+    re-normalization of filter constants, no matching-rule lookups, and
+    equality runs directly against each attribute's pre-normalized
+    value memo set.  Semantically identical to ``f.matches``.
+    """
+    if f is None:
+        return lambda entry: True
+    return f.compile()
 
 
 def parse(text: str) -> Filter:

@@ -10,6 +10,12 @@ Health checking is passive: a client whose connection died flips its
 ``closed`` flag (close handler → ``_fail_all``), and the next checkout
 for that remote evicts it and redials.  Callers that watch a send fail
 can accelerate this with :meth:`LdapClientPool.discard`.
+
+Streaming searches (``search_async(..., on_entry=...)``) ride pooled
+clients unchanged: per-entry callbacks fire on the owning connection's
+receive path, and an in-flight streamed search counts toward
+``pending_count`` until its Done arrives, so least-loaded checkout
+naturally spreads long-running streams across the warm connections.
 """
 
 from __future__ import annotations

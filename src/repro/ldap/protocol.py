@@ -18,6 +18,8 @@ registration carrier.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -53,6 +55,7 @@ __all__ = [
     "SearchResultEntry",
     "SearchResultReference",
     "SearchResultDone",
+    "RawEntry",
     "ModifyRequest",
     "ModifyResponse",
     "AddRequest",
@@ -69,6 +72,8 @@ __all__ = [
     "decode_message",
     "encode_filter",
     "decode_filter",
+    "request_encode_stats",
+    "set_request_encode_cache",
 ]
 
 
@@ -292,6 +297,72 @@ class SearchResultEntry:
             for v in values:
                 e.add_value(attr, v)
         return e
+
+
+class RawEntry:
+    """One search result still riding on its wire bytes.
+
+    Streaming backends that gather results from *remote* services (the
+    GIIS chaining to registered GRISs, §10.4) hand the front end the
+    child's undecoded ``SearchResultEntry`` protocol-op TLV instead of a
+    decoded :class:`~repro.ldap.entry.Entry`.  When the parent needs
+    nothing from the payload — transparent access policy, no attribute
+    selection — the op bytes are re-framed under the parent's message id
+    via :func:`encode_message_with_op` with zero decode and zero
+    re-encode.  Paths that must inspect the entry (dedup on DN, ACL
+    filtering, projection) use the lazy accessors, each decoded at most
+    once.
+
+    The op bytes may be a :class:`memoryview` into a network receive
+    buffer; such a view is only valid inside the receive callback.  Call
+    :meth:`detach` before letting a RawEntry escape that scope.
+    """
+
+    __slots__ = ("_op", "_dn", "_entry")
+
+    def __init__(self, op_bytes: "bytes | memoryview"):
+        self._op = op_bytes
+        self._dn: Optional[str] = None
+        self._entry: Optional[Entry] = None
+
+    @property
+    def op_bytes(self) -> "bytes | memoryview":
+        """The complete SearchResultEntry op TLV (tag + length + value)."""
+        return self._op
+
+    @property
+    def dn(self) -> str:
+        """The entry's DN, peeked without decoding the attribute list.
+
+        The DN is the first OCTET STRING of the op body, so the peek
+        walks exactly two TLV headers — cheap enough for per-entry dedup
+        on the relay path.
+        """
+        if self._dn is None:
+            _, body, _ = ber.decode_tlv(self._op)
+            self._dn = TlvReader(body).read_string()
+        return self._dn
+
+    def to_entry(self) -> Entry:
+        """The fully decoded entry (decoded lazily, at most once)."""
+        if self._entry is None:
+            tag, body, _ = ber.decode_tlv(self._op)
+            op = _decode_op(tag, body)
+            if not isinstance(op, SearchResultEntry):
+                raise ProtocolError(
+                    f"RawEntry holds {type(op).__name__}, not SearchResultEntry"
+                )
+            self._entry = op.to_entry()
+        return self._entry
+
+    def detach(self) -> "RawEntry":
+        """Copy the op bytes out of any shared receive buffer."""
+        if type(self._op) is not bytes:
+            self._op = bytes(self._op)
+        return self
+
+    def __repr__(self) -> str:
+        return f"RawEntry({len(self._op)}B)"
 
 
 @dataclass(frozen=True)
@@ -581,6 +652,86 @@ def _decode_attr_list(r: TlvReader) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
 
 
 # --------------------------------------------------------------------------
+# SearchRequest encode cache
+# --------------------------------------------------------------------------
+#
+# Clients pipeline the same few request shapes over and over (a pool
+# fanning one query out to N children; a load generator replaying a
+# fixed workload mix).  The two variable-length pieces of a
+# SearchRequest body — the base-DN octet string and the recursive
+# filter encoding — dominate its encode cost and depend only on values
+# that are hashable and immutable, so both are memoized in small LRUs.
+# The fixed-width middle (scope/deref/limits/typesOnly) is cheap and
+# varies per call (the GIIS rewrites limits per hop), so it is always
+# encoded fresh; the result is byte-identical to the uncached path.
+
+_REQ_CACHE_LIMIT = 512
+_req_lock = threading.Lock()
+_base_cache: "OrderedDict[str, bytes]" = OrderedDict()
+_filter_cache: "OrderedDict[Filter, bytes]" = OrderedDict()
+_req_hits = 0
+_req_misses = 0
+
+
+def _cached(cache: "OrderedDict", key, encode) -> bytes:
+    global _req_hits, _req_misses
+    with _req_lock:
+        out = cache.get(key)
+        if out is not None:
+            _req_hits += 1
+            cache.move_to_end(key)
+            return out
+    encoded = encode(key)
+    with _req_lock:
+        _req_misses += 1
+        cache[key] = encoded
+        if len(cache) > _REQ_CACHE_LIMIT:
+            cache.popitem(last=False)
+    return encoded
+
+
+def request_encode_stats() -> dict:
+    """Counters for the SearchRequest encode cache (``ldap.encode.request.*``)."""
+    with _req_lock:
+        return {
+            "hits": _req_hits,
+            "misses": _req_misses,
+            "base_cached": len(_base_cache),
+            "filter_cached": len(_filter_cache),
+        }
+
+
+def set_request_encode_cache(enabled: bool = True, limit: int = _REQ_CACHE_LIMIT) -> None:
+    """Resize (or with ``enabled=False``, disable) the request encode cache.
+
+    Clears current contents and counters either way — used by tests and
+    benchmarks that need a cold start.
+    """
+    global _REQ_CACHE_LIMIT, _req_hits, _req_misses
+    with _req_lock:
+        _REQ_CACHE_LIMIT = int(limit) if enabled else 0
+        _base_cache.clear()
+        _filter_cache.clear()
+        _req_hits = 0
+        _req_misses = 0
+
+
+def _encode_base(base: str) -> bytes:
+    if not _REQ_CACHE_LIMIT:
+        return ber.encode_octet_string(base)
+    return _cached(_base_cache, base, ber.encode_octet_string)
+
+
+def _encode_filter_cached(f: Filter) -> bytes:
+    if not _REQ_CACHE_LIMIT:
+        return encode_filter(f)
+    try:
+        return _cached(_filter_cache, f, encode_filter)
+    except TypeError:  # unhashable filter node — encode directly
+        return encode_filter(f)
+
+
+# --------------------------------------------------------------------------
 # Op codecs
 # --------------------------------------------------------------------------
 
@@ -606,13 +757,13 @@ def _encode_op(op: ProtocolOp) -> bytes:
     if isinstance(op, SearchRequest):
         attrs = b"".join(ber.encode_octet_string(a) for a in op.attributes)
         body = (
-            ber.encode_octet_string(op.base)
+            _encode_base(op.base)
             + ber.encode_enumerated(int(op.scope))
             + ber.encode_enumerated(0)  # derefAliases: never
             + ber.encode_integer(op.size_limit)
             + ber.encode_integer(op.time_limit)
             + ber.encode_boolean(op.types_only)
-            + encode_filter(op.filter)
+            + _encode_filter_cached(op.filter)
             + ber.encode_sequence(attrs)
         )
         return ber.encode_tlv(Tag.application(op.APP_TAG), body)
@@ -800,12 +951,18 @@ def encode_search_entry(entry: "Entry") -> bytes:
     return _encode_op(SearchResultEntry.from_entry(entry))
 
 
-def encode_message_with_op(message_id: int, op_bytes: bytes) -> bytes:
+def encode_message_with_op(
+    message_id: int, op_bytes: "bytes | memoryview"
+) -> bytes:
     """Wrap pre-encoded protocol-op bytes in an LDAPMessage envelope.
 
     Byte-identical to ``encode_message(LdapMessage(message_id, op))`` for
-    a message without controls.
+    a message without controls.  Accepts a memoryview (a relay frame
+    still aliasing its receive buffer); assembling the outgoing frame is
+    the one unavoidable copy on the relay path.
     """
+    if type(op_bytes) is not bytes:
+        op_bytes = bytes(op_bytes)
     return ber.encode_sequence(ber.encode_integer(message_id) + op_bytes)
 
 

@@ -52,6 +52,7 @@ from .dit import Scope
 from .dn import DN, intern_cache_stats
 from .entry import Entry
 from .executor import CancelToken, RequestExecutor
+from .filter import compile_filter
 from .protocol import (
     AbandonRequest,
     AddRequest,
@@ -68,6 +69,7 @@ from .protocol import (
     ModifyRequest,
     ModifyResponse,
     ProtocolError,
+    RawEntry,
     ResultCode,
     SearchRequest,
     SearchResultDone,
@@ -164,6 +166,9 @@ class LdapServer:
         self._encode_hits = self.metrics.counter("ldap.encode.cache.hits")
         self._encode_misses = self.metrics.counter("ldap.encode.cache.misses")
         self._encode_uncached = self.metrics.counter("ldap.encode.cache.uncached")
+        # Entries relayed as raw child frames (zero decode/re-encode) —
+        # a subset of ldap.entries.returned.
+        self._entries_relayed = self.metrics.counter("ldap.entries.relayed")
         for key in ("size", "hits", "misses", "evictions"):
             self.metrics.gauge_fn(
                 f"ldap.dn.cache.{key}",
@@ -478,17 +483,23 @@ class _ServerConnection:
 
     # -- search ---------------------------------------------------------------
 
-    def _visible(self, req: SearchRequest, entry: Entry) -> Optional[Entry]:
+    def _visible(
+        self, req: SearchRequest, entry: Entry, match=None
+    ) -> Optional[Entry]:
         """Access control + authoritative filter + attribute selection.
 
         The filter is evaluated against the policy-visible entry so a
         query cannot probe values of attributes it may not read.
+        *match* is the request's compiled filter when the caller holds
+        one (the per-entry search loops); it falls back to the AST.
         """
         visible = self.server.policy.filter_entry(self.identity, entry)
         if visible is None:
             self.server._entries_suppressed.inc()
             return None
-        if not req.filter.matches(visible):
+        if match is None:
+            match = req.filter.matches
+        if not match(visible):
             return None
         return visible.project(req.wants())
 
@@ -771,65 +782,92 @@ class _ServerConnection:
             if span is not None:
                 span.tag("entries", sent).tag("code", code).finish()
 
-        def finish(outcome) -> None:
+        # Streaming delivery: the backend pushes results one at a time
+        # and each is sent as it arrives — the first entry reaches the
+        # wire before the backend finishes producing (or, for a chaining
+        # GIIS, before slower children have even answered).
+        #
+        # On the fast lane the ACL rebuild is an identity transform, so
+        # only the (still authoritative) filter match runs per entry and
+        # the encoded body can come from the entry's cache cell.  A
+        # RawEntry is the relay case: its frame came verbatim from an
+        # authoritative child that already ran this same filter and a
+        # transparent policy, so it is re-framed under our message id
+        # with zero decode and zero re-encode.  All lanes produce the
+        # same bytes.
+        fast = self._fast_lane(req)
+        ctx.transparent = fast
+        match = compile_filter(req.filter)
+        sent_box = [0]
+
+        def over_limit() -> bool:
+            """Conclude with sizeLimitExceeded on the (limit+1)-th
+            visible entry; cancelling the token afterwards makes a
+            chaining backend Abandon its outstanding children."""
+            if not req.size_limit or sent_box[0] < req.size_limit:
+                return False
+            if self._take_inflight(msg_id) is not None:
+                conclude(ResultCode.SIZE_LIMIT_EXCEEDED, sent_box[0])
+                self._send(
+                    LdapMessage(
+                        msg_id,
+                        SearchResultDone(
+                            LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED)
+                        ),
+                    )
+                )
+                token.cancel("size limit satisfied")
+            return True
+
+        def on_entry(item) -> None:
+            if token.cancelled:
+                return
+            if isinstance(item, RawEntry):
+                if fast:
+                    if over_limit():
+                        return
+                    self.server._entries_returned.inc()
+                    self.server._entries_relayed.inc()
+                    sent_box[0] += 1
+                    self._send_raw(
+                        encode_message_with_op(msg_id, item.op_bytes)
+                    )
+                    return
+                # The front end must project/filter after all: decode.
+                entry = item.to_entry()
+            else:
+                entry = item
+            if fast:
+                if not match(entry):
+                    return
+                visible = entry
+            else:
+                visible = self._visible(req, entry, match)
+                if visible is None:
+                    return
+            if over_limit():
+                return
+            self.server._entries_returned.inc()
+            sent_box[0] += 1
+            self._send_entry(msg_id, req, visible, fast)
+
+        def on_done(outcome) -> None:
             if self._take_inflight(msg_id) is None:
-                # Deadline/Abandon/close answered first: drop silently.
+                # Deadline/Abandon/close/size-limit answered first:
+                # drop silently.
                 if span is not None:
                     span.tag("dropped", token.reason or True).finish()
                 return
-            # On the fast lane the ACL rebuild is an identity transform,
-            # so only the (still authoritative) filter match runs per
-            # entry and the encoded body can come from the entry's cache
-            # cell.  Both lanes produce the same bytes.
-            fast = self._fast_lane(req)
             if not outcome.result.ok:
-                # sizeLimitExceeded still delivers the partial entry set
-                # (LDAP semantics); other failures return no entries.
-                sent = 0
-                for entry in outcome.entries:
-                    if req.size_limit and sent >= req.size_limit:
-                        break
-                    if fast:
-                        if not req.filter.matches(entry):
-                            continue
-                        visible = entry
-                    else:
-                        visible = self._visible(req, entry)
-                        if visible is None:
-                            continue
-                    self.server._entries_returned.inc()
-                    sent += 1
-                    self._send_entry(msg_id, req, visible, fast)
-                conclude(outcome.result.code, sent)
+                # A non-ok outcome ends the stream with the backend's
+                # code; partial entry sets (sizeLimitExceeded) were
+                # already streamed above.
+                conclude(outcome.result.code, sent_box[0])
                 self._send(LdapMessage(msg_id, SearchResultDone(outcome.result)))
                 return
-            sent = 0
-            for entry in outcome.entries:
-                if fast:
-                    if not req.filter.matches(entry):
-                        continue
-                    visible = entry
-                else:
-                    visible = self._visible(req, entry)
-                    if visible is None:
-                        continue
-                if req.size_limit and sent >= req.size_limit:
-                    conclude(ResultCode.SIZE_LIMIT_EXCEEDED, sent)
-                    self._send(
-                        LdapMessage(
-                            msg_id,
-                            SearchResultDone(
-                                LdapResult(ResultCode.SIZE_LIMIT_EXCEEDED)
-                            ),
-                        )
-                    )
-                    return
-                self.server._entries_returned.inc()
-                sent += 1
-                self._send_entry(msg_id, req, visible, fast)
             for uri in outcome.referrals:
                 self._send(LdapMessage(msg_id, SearchResultReference((uri,))))
-            conclude(ResultCode.SUCCESS, sent)
+            conclude(ResultCode.SUCCESS, sent_box[0])
             after_initial()
 
         if psc is not None and psc.changes_only:
@@ -838,7 +876,7 @@ class _ServerConnection:
             conclude(ResultCode.SUCCESS, 0)
             after_initial()
         else:
-            self.server.backend.submit_search(req, ctx, finish)
+            self.server.backend.submit_search_stream(req, ctx, on_entry, on_done)
 
     def _pusher(
         self, msg_id: int, req: SearchRequest, psc: PersistentSearchControl

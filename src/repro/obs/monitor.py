@@ -43,6 +43,7 @@ from ..ldap.backend import (
 )
 from ..ldap.executor import CancelToken
 from ..ldap.dit import Scope
+from ..ldap.filter import compile_filter
 from ..ldap.dn import DN, RDN
 from ..ldap.entry import Entry
 from ..ldap.protocol import (
@@ -240,10 +241,11 @@ class MonitorBackend(Backend):
                     ResultCode.NO_SUCH_OBJECT, matched_dn=str(self.suffix)
                 )
             )
+        match = compile_filter(req.filter)
         entries = [
             e
             for e in self.entries()
-            if _in_scope(e.dn, base, req.scope) and req.filter.matches(e)
+            if _in_scope(e.dn, base, req.scope) and match(e)
         ]
         if req.scope == Scope.BASE and not entries:
             return SearchOutcome(
@@ -305,6 +307,61 @@ class MonitoredBackend(Backend):
                 req, ctx, lambda outcome: done(self._merged(req, ctx, outcome))
             )
         return self.inner.submit_search(req, ctx, done)
+
+    def submit_search_stream(
+        self,
+        req: SearchRequest,
+        ctx: RequestContext,
+        on_entry: Callable[[object], None],
+        on_done: Callable[[SearchOutcome], None],
+    ) -> SearchHandle:
+        """Streaming pass-through.
+
+        Data reads keep the inner backend's per-entry delivery — and
+        with it the GIIS relay lane — untouched.  Monitor entries are
+        generated inline: alone for ``cn=monitor`` reads, appended after
+        the inner stream concludes for root subtree reads.
+        """
+        route = self._route(req)
+        if route == "inner":
+            return self.inner.submit_search_stream(req, ctx, on_entry, on_done)
+        token = ctx.token if ctx.token is not None else CancelToken()
+        if route == "monitor":
+            outcome = self.monitor.search(req, ctx)
+            for entry in outcome.entries:
+                if token.cancelled:
+                    return SearchHandle(token)
+                on_entry(entry)
+            if not token.cancelled:
+                on_done(
+                    SearchOutcome(
+                        entries=[],
+                        referrals=outcome.referrals,
+                        result=outcome.result,
+                    )
+                )
+            return SearchHandle(token)
+
+        def merged_done(outcome: SearchOutcome) -> None:
+            mon = self.monitor.search(req, ctx)
+            if not mon.result.ok:
+                on_done(outcome)
+                return
+            for entry in mon.entries:
+                if token.cancelled:
+                    return
+                on_entry(entry)
+            on_done(
+                SearchOutcome(
+                    entries=[],
+                    referrals=list(outcome.referrals) + list(mon.referrals),
+                    # Mirrors _merged: the monitor subtree still answers
+                    # when the inner base had nothing (§2.2).
+                    result=outcome.result if outcome.result.ok else mon.result,
+                )
+            )
+
+        return self.inner.submit_search_stream(req, ctx, on_entry, merged_done)
 
     def _merged(
         self, req: SearchRequest, ctx: RequestContext, inner: SearchOutcome

@@ -1,0 +1,591 @@
+"""The streaming search pipeline and the zero re-encode GIIS relay.
+
+Covers the PR-10 path end to end:
+
+* :class:`RawEntry` — the undecoded carrier (DN peek, lazy decode,
+  buffer detach);
+* the streaming backend adapter — streamed sequence equals the buffered
+  list for *any* outcome, including size-limit partials and
+  cancellation mid-stream (hypothesis);
+* the GIIS relay lane — chained results are byte-identical with relay
+  on and off, over both real transports;
+* early abandon — the parent's size limit cuts off in-flight children;
+* size-budget propagation — children see the parent's limit exactly
+  when the front end is transparent;
+* the compiled-filter hot path — ``compile_filter(f)(e)`` agrees with
+  ``f.matches(e)`` for arbitrary filters (hypothesis);
+* the client request-encode cache — identical bytes, counted hits.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.giis.core import GiisBackend
+from repro.grip.messages import GrrpMessage
+from repro.ldap import ber
+from repro.ldap.backend import (
+    Backend,
+    DitBackend,
+    RequestContext,
+    SearchOutcome,
+)
+from repro.ldap.client import LdapClient
+from repro.ldap.dit import DIT, Scope
+from repro.ldap.entry import Entry
+from repro.ldap.executor import CancelToken
+from repro.ldap.filter import compile_filter, parse as parse_filter
+from repro.ldap.protocol import (
+    LdapMessage,
+    LdapResult,
+    RawEntry,
+    ResultCode,
+    SearchRequest,
+    SearchResultEntry,
+    encode_message,
+    encode_message_with_op,
+    request_encode_stats,
+    set_request_encode_cache,
+)
+from repro.ldap.server import LdapServer
+from repro.net import make_endpoint
+from repro.net.clock import WallClock
+from repro.testbed import GridTestbed
+
+from .test_filter import HOST, _filters
+
+CTX = RequestContext(identity="CN=tester")
+TRANSPORTS = ["threads", "reactor"]
+
+
+def _entry_op_bytes(entry: Entry) -> bytes:
+    """The SearchResultEntry protocol-op TLV for *entry*, via the real
+    encoder (message framing stripped off)."""
+    wire = encode_message(LdapMessage(7, SearchResultEntry.from_entry(entry)))
+    _, body, _ = ber.decode_tlv(wire)
+    r = ber.TlvReader(body)
+    r.read_integer()  # message id
+    return bytes(r.read_raw())
+
+
+# ---------------------------------------------------------------------------
+# RawEntry: the undecoded carrier
+# ---------------------------------------------------------------------------
+
+
+class TestRawEntry:
+    ENTRY = Entry(
+        "hn=hostX, o=Grid", objectclass=["computer"], hn="hostX", load5="3.2"
+    )
+
+    def test_dn_peek_without_full_decode(self):
+        raw = RawEntry(_entry_op_bytes(self.ENTRY))
+        assert raw.dn == "hn=hostX, o=Grid"
+        assert raw._entry is None  # the peek did not decode the payload
+
+    def test_lazy_decode_roundtrips(self):
+        raw = RawEntry(_entry_op_bytes(self.ENTRY))
+        entry = raw.to_entry()
+        assert entry.dn == self.ENTRY.dn
+        assert entry.first("load5") == "3.2"
+        assert entry.get("objectclass") == ["computer"]
+
+    def test_detach_copies_a_borrowed_view(self):
+        backing = bytearray(_entry_op_bytes(self.ENTRY))
+        raw = RawEntry(memoryview(backing))
+        raw.detach()
+        backing[:] = b"\x00" * len(backing)  # clobber the receive buffer
+        assert raw.to_entry().first("hn") == "hostX"
+
+    def test_reframing_is_byte_identical_to_full_encode(self):
+        op = _entry_op_bytes(self.ENTRY)
+        direct = encode_message(
+            LdapMessage(42, SearchResultEntry.from_entry(self.ENTRY))
+        )
+        assert encode_message_with_op(42, op) == direct
+        # and a memoryview op survives the concat
+        assert encode_message_with_op(42, memoryview(op)) == direct
+
+    def test_non_entry_op_refuses_decode(self):
+        wire = encode_message(LdapMessage(1, SearchRequest(base="o=Grid")))
+        _, body, _ = ber.decode_tlv(wire)
+        r = ber.TlvReader(body)
+        r.read_integer()
+        raw = RawEntry(bytes(r.read_raw()))
+        with pytest.raises(Exception):
+            raw.to_entry()
+
+
+# ---------------------------------------------------------------------------
+# Streaming adapter: streamed sequence == buffered list, any outcome
+# ---------------------------------------------------------------------------
+
+_small_text = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def _outcomes(draw):
+    n = draw(st.integers(min_value=0, max_value=6))
+    entries = [
+        Entry(f"hn=h{i}, o=Grid", objectclass="computer", hn=f"h{i}")
+        for i in range(n)
+    ]
+    referrals = draw(st.lists(_small_text, max_size=3))
+    code = draw(
+        st.sampled_from(
+            [
+                ResultCode.SUCCESS,
+                ResultCode.SIZE_LIMIT_EXCEEDED,  # partial delivery
+                ResultCode.TIME_LIMIT_EXCEEDED,
+                ResultCode.BUSY,
+            ]
+        )
+    )
+    return SearchOutcome(
+        entries=entries,
+        referrals=[f"ldap://{r}/" for r in referrals],
+        result=LdapResult(code),
+    )
+
+
+class _FixedBackend(Backend):
+    """A buffered backend that answers one canned outcome."""
+
+    def __init__(self, outcome):
+        self.outcome = outcome
+
+    def _search_impl(self, req, ctx):
+        return self.outcome
+
+    def naming_contexts(self):
+        return ["o=Grid"]
+
+
+class TestStreamingAdapter:
+    @given(_outcomes())
+    @settings(max_examples=60, deadline=None)
+    def test_streamed_sequence_equals_buffered_list(self, outcome):
+        backend = _FixedBackend(outcome)
+        req = SearchRequest(base="o=Grid")
+        streamed, finals = [], []
+        ctx = RequestContext(identity="x", token=CancelToken())
+        backend.submit_search_stream(req, ctx, streamed.append, finals.append)
+        assert streamed == outcome.entries
+        assert len(finals) == 1
+        final = finals[0]
+        assert final.entries == []  # entries only via on_entry
+        assert final.referrals == outcome.referrals
+        assert final.result.code == outcome.result.code
+
+    @given(_outcomes(), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_cancel_mid_stream_stops_delivery_and_conclusion(
+        self, outcome, cancel_after
+    ):
+        """A disconnect mid-stream (token cancel from inside on_entry)
+        stops delivery; on_done never fires after cancellation —
+        conclude-once holds."""
+        backend = _FixedBackend(outcome)
+        token = CancelToken()
+        ctx = RequestContext(identity="x", token=token)
+        streamed, finals = [], []
+
+        def on_entry(entry):
+            streamed.append(entry)
+            if len(streamed) == cancel_after:
+                token.cancel("client disconnected")
+
+        backend.submit_search_stream(
+            SearchRequest(base="o=Grid"), ctx, on_entry, finals.append
+        )
+        if cancel_after and len(outcome.entries) >= cancel_after:
+            assert len(streamed) == cancel_after
+            assert finals == []
+        else:
+            assert streamed == outcome.entries
+            assert len(finals) == 1
+
+
+# ---------------------------------------------------------------------------
+# Compiled filters: one compile, same verdicts
+# ---------------------------------------------------------------------------
+
+_PROBES = [
+    HOST,
+    Entry("hn=empty"),
+    Entry(
+        "hn=hostY",
+        objectclass=["computer", "server"],
+        system="linux",
+        cpucount="16",
+        load5="0.1",
+        memorysize="2 GB",
+        description="spare rack",
+    ),
+]
+
+
+class TestCompiledFilters:
+    @given(_filters())
+    @settings(max_examples=200, deadline=None)
+    def test_compiled_matches_interpreted(self, f):
+        match = compile_filter(f)
+        for probe in _PROBES:
+            assert match(probe) == f.matches(probe), (f, probe.dn)
+
+    def test_none_filter_matches_everything(self):
+        assert compile_filter(None)(HOST)
+
+    def test_compiled_is_reusable_across_entries(self):
+        match = compile_filter(parse_filter("(&(objectclass=computer)(load5<=4))"))
+        assert match(HOST)
+        assert not match(Entry("hn=empty"))
+
+
+# ---------------------------------------------------------------------------
+# Request-encode cache: identical bytes, counted hits
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_request_cache():
+    set_request_encode_cache(True)
+    yield
+    set_request_encode_cache(True)
+
+
+class TestRequestEncodeCache:
+    def _req(self):
+        return SearchRequest(
+            base="o=Grid", filter=parse_filter("(objectclass=computer)")
+        )
+
+    def test_repeat_encodes_hit_and_match(self, fresh_request_cache):
+        first = encode_message(LdapMessage(1, self._req()))
+        before = request_encode_stats()
+        second = encode_message(LdapMessage(1, self._req()))
+        after = request_encode_stats()
+        assert first == second
+        assert after["hits"] >= before["hits"] + 2  # base DN + filter
+
+    def test_disabled_cache_still_encodes_identically(self, fresh_request_cache):
+        cached = encode_message(LdapMessage(3, self._req()))
+        set_request_encode_cache(False)
+        uncached = encode_message(LdapMessage(3, self._req()))
+        assert cached == uncached
+        stats = request_encode_stats()
+        assert stats["base_cached"] == 0 and stats["filter_cached"] == 0
+
+
+# ---------------------------------------------------------------------------
+# The chained relay: byte-identical with relay on and off, both transports
+# ---------------------------------------------------------------------------
+
+
+class _RecordingConn:
+    """Connection wrapper recording every received frame as bytes."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.frames = []
+        self.lock = threading.Lock()
+
+    def set_receiver(self, callback):
+        def record(payload):
+            with self.lock:
+                self.frames.append(bytes(payload))
+            callback(payload)
+
+        self.inner.set_receiver(record)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _child_dit(first_host: int, n_hosts: int) -> DIT:
+    dit = DIT(index_attrs=["hn"])
+    dit.add(Entry("o=Grid", objectclass="organization", o="Grid"))
+    for h in range(first_host, first_host + n_hosts):
+        dit.add(
+            Entry(
+                f"hn=host{h}, o=Grid",
+                objectclass="computer",
+                hn=f"host{h}",
+                load5=str(h / 10),
+            )
+        )
+    return dit
+
+
+def _chained_capture(transport: str, relay: bool):
+    """One GIIS over two disjoint GRIS children on a real transport;
+    returns every frame the client received for a fixed workload."""
+    clock = WallClock()
+    endpoint = make_endpoint(transport)
+    closers = [endpoint.close]
+    try:
+        gris_ports = []
+        for g in range(2):
+            server = LdapServer(
+                DitBackend(_child_dit(first_host=g * 3, n_hosts=3)),
+                clock=clock,
+                name=f"gris{g}",
+            )
+            gris_ports.append(endpoint.listen(0, server.handle_connection))
+        giis = GiisBackend(
+            "o=Grid",
+            clock=clock,
+            connector=lambda url: endpoint.connect((url.host, url.port)),
+            child_timeout=30.0,
+            relay=relay,
+        )
+        closers.append(giis.shutdown)
+        now = clock.now()
+        for port in gris_ports:
+            giis.apply_grrp(
+                GrrpMessage(
+                    service_url=f"ldap://127.0.0.1:{port}/",
+                    timestamp=now,
+                    valid_until=now + 3600.0,
+                    metadata={"suffix": "o=Grid"},
+                )
+            )
+        front = LdapServer(giis, clock=clock, name="giis")
+        giis_port = endpoint.listen(0, front.handle_connection)
+        recorder = _RecordingConn(endpoint.connect(("127.0.0.1", giis_port)))
+        client = LdapClient(recorder)
+        client.search("o=Grid", filter="(objectclass=computer)")
+        client.search("o=Grid", filter="(hn=host4)")
+        client.search("o=Grid", filter="(load5>=0.2)")
+        client.unbind()
+        with recorder.lock:
+            return list(recorder.frames), giis.metrics
+    finally:
+        for close in reversed(closers):
+            close()
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_relay_wire_bytes_identical_on_and_off(transport):
+    """The acceptance criterion: relayed results are byte-identical to
+    the decode-and-re-encode path.  Child arrival order is not
+    deterministic, so frames are compared as sorted multisets."""
+    on_frames, on_metrics = _chained_capture(transport, relay=True)
+    off_frames, _ = _chained_capture(transport, relay=False)
+    assert sorted(on_frames) == sorted(off_frames)
+    assert len(on_frames) > 8  # the workload actually produced traffic
+    assert on_metrics.counter("giis.relay.entries").value > 0
+
+
+def test_relay_wire_bytes_identical_across_transports():
+    frames = [_chained_capture(t, relay=True)[0] for t in TRANSPORTS]
+    assert sorted(frames[0]) == sorted(frames[1])
+
+
+# ---------------------------------------------------------------------------
+# Streamed == buffered through the whole chained stack (simulator)
+# ---------------------------------------------------------------------------
+
+
+def _build_vo(tb: GridTestbed, n_gris: int = 3, **giis_kwargs):
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO-A", **giis_kwargs)
+    children = []
+    for i in range(n_gris):
+        gris = tb.standard_gris(f"r{i}", f"hn=r{i}, o=Grid", load_mean=0.5 + i)
+        tb.register(gris, giis, interval=20.0, ttl=60.0, name=f"r{i}")
+        children.append(gris)
+    tb.run(1.0)
+    return giis, children
+
+
+def _shape(entry: Entry):
+    return (
+        str(entry.dn),
+        tuple(sorted((a, tuple(vs)) for a, vs in entry.items())),
+    )
+
+
+class TestStreamedEqualsBuffered:
+    @pytest.mark.parametrize(
+        "filt",
+        [
+            "(objectclass=computer)",
+            "(objectclass=*)",
+            "(&(objectclass=loadaverage)(load5<=100))",
+            "(hn=r1)",
+        ],
+    )
+    def test_chained_entry_sets_match(self, filt):
+        tb = GridTestbed(seed=3)
+        giis, _ = _build_vo(tb)
+        client = tb.client("user", giis)
+        streamed = client.search("o=Grid", filter=filt)
+
+        buffered_box = []
+        req = SearchRequest(base="o=Grid", filter=parse_filter(filt))
+        giis.backend.submit_search(
+            req, RequestContext(identity="u"), buffered_box.append
+        )
+        tb.run(10.0)
+        assert len(buffered_box) == 1
+        assert sorted(map(_shape, streamed.entries)) == sorted(
+            map(_shape, buffered_box[0].entries)
+        )
+
+    def test_relay_off_serves_the_same_entries(self):
+        tb_on = GridTestbed(seed=4)
+        giis_on, _ = _build_vo(tb_on)
+        on = tb_on.client("u", giis_on).search("o=Grid", filter="(objectclass=*)")
+        tb_off = GridTestbed(seed=4)
+        giis_off, _ = _build_vo(tb_off, relay=False)
+        off = tb_off.client("u", giis_off).search(
+            "o=Grid", filter="(objectclass=*)"
+        )
+        assert sorted(map(_shape, on.entries)) == sorted(map(_shape, off.entries))
+        assert giis_on.backend.metrics.counter("giis.relay.entries").value > 0
+        assert giis_off.backend.metrics.counter("giis.relay.entries").value == 0
+
+
+# ---------------------------------------------------------------------------
+# Size budgets: propagation to children and early abandon
+# ---------------------------------------------------------------------------
+
+
+class _RecordingBackend(Backend):
+    """A child backend that records every chained SearchRequest."""
+
+    def __init__(self, n_entries: int = 4):
+        self.requests = []
+        self.entries = [
+            Entry(f"hn=rec{i}, o=Grid", objectclass="computer", hn=f"rec{i}")
+            for i in range(n_entries)
+        ]
+
+    def _search_impl(self, req, ctx):
+        self.requests.append(req)
+        limit = req.size_limit or len(self.entries)
+        out = self.entries[:limit]
+        code = (
+            ResultCode.SIZE_LIMIT_EXCEEDED
+            if limit < len(self.entries)
+            else ResultCode.SUCCESS
+        )
+        return SearchOutcome(entries=out, result=LdapResult(code))
+
+    def naming_contexts(self):
+        return ["o=Grid"]
+
+
+def _vo_with_recording_child(tb: GridTestbed, **giis_kwargs):
+    giis = tb.add_giis("giis", "o=Grid", vo_name="VO-A", **giis_kwargs)
+    recorder = _RecordingBackend()
+    node = tb.host("rec")
+    server = LdapServer(recorder, clock=tb.sim, name="gris-rec")
+    node.listen(2135, server.handle_connection)
+    giis.backend.apply_grrp(
+        GrrpMessage(
+            service_url="ldap://rec:2135/",
+            timestamp=tb.sim.now(),
+            valid_until=tb.sim.now() + 3600.0,
+            metadata={"suffix": "o=Grid"},
+        )
+    )
+    return giis, recorder
+
+
+class TestSizeBudget:
+    def test_transparent_request_propagates_limit(self):
+        tb = GridTestbed(seed=5)
+        giis, recorder = _vo_with_recording_child(tb)
+        client = tb.client("u", giis)
+        client.search(
+            "o=Grid", filter="(objectclass=computer)", size_limit=2, check=False
+        )
+        assert recorder.requests and recorder.requests[-1].size_limit == 2
+
+    def test_projected_request_keeps_children_unlimited(self):
+        """Attribute selection makes the parent non-transparent: a child
+        truncating early could starve the parent's authoritative
+        projection, so the budget must stay home."""
+        tb = GridTestbed(seed=5)
+        giis, recorder = _vo_with_recording_child(tb)
+        client = tb.client("u", giis)
+        client.search(
+            "o=Grid",
+            filter="(objectclass=computer)",
+            attrs=["hn"],
+            size_limit=2,
+            check=False,
+        )
+        assert recorder.requests and recorder.requests[-1].size_limit == 0
+
+    def test_child_size_limit_exceeded_is_partial_success(self):
+        tb = GridTestbed(seed=5)
+        giis, recorder = _vo_with_recording_child(tb)
+        client = tb.client("u", giis)
+        out = client.search(
+            "o=Grid", filter="(objectclass=computer)", size_limit=3, check=False
+        )
+        # The child truncated at 3 and said sizeLimitExceeded; the
+        # parent serves the partial set instead of dropping the child.
+        assert out.result.code == ResultCode.SIZE_LIMIT_EXCEEDED
+        assert len(out.entries) == 3
+        assert giis.backend.stats_child_errors == 0
+
+    def test_size_limit_abandons_outstanding_children(self):
+        tb = GridTestbed(seed=6)
+        giis, _ = _build_vo(tb, n_gris=4)
+        client = tb.client("u", giis)
+        out = client.search(
+            "o=Grid", filter="(objectclass=computer)", size_limit=2, check=False
+        )
+        assert out.result.code == ResultCode.SIZE_LIMIT_EXCEEDED
+        assert len(out.entries) == 2
+        abandoned = giis.backend.metrics.counter("giis.child.abandoned")
+        assert abandoned.value >= 1
+
+
+# ---------------------------------------------------------------------------
+# Committed benchmark artifact (E23)
+# ---------------------------------------------------------------------------
+
+
+def test_bench_e23_schema():
+    import json
+    import pathlib
+
+    path = pathlib.Path(__file__).parents[1] / "BENCH_E23.json"
+    assert path.exists(), "BENCH_E23.json must be committed at the repo root"
+    data = json.loads(path.read_text())
+    assert data["experiment"] == "E23"
+    assert isinstance(data["git"], str) and data["git"]
+    assert data["runs"], "at least one workload rung"
+    for run in data["runs"]:
+        wl = run["workload"]
+        assert wl["name"] and wl["base"] and wl["filters"] and wl["scopes"]
+        for side in ("relay_off", "relay_on"):
+            summary = run[side]
+            for key in ("p50_ms", "p95_ms", "p99_ms"):
+                assert isinstance(summary["percentiles"][key], (int, float))
+                assert isinstance(
+                    summary["ttfe_percentiles"][key], (int, float)
+                )
+            assert isinstance(summary["throughput_rps"], (int, float))
+            assert summary["completed"] > 0
+        assert run["relay_on"]["giis_metrics"]["relay_entries"] > 0
+        assert run["relay_off"]["giis_metrics"]["relay_entries"] == 0
+        assert isinstance(run["speedup"], (int, float))
+        assert isinstance(run["ttfe_ratio"], (int, float))
+    if not data["quick"]:
+        big = [
+            r for r in data["runs"]
+            if r["entries"] >= 10000 and r["users"] >= 500
+        ]
+        assert big and (
+            big[0]["speedup"] >= 1.3 or big[0]["ttfe_ratio"] >= 2.0
+        )
